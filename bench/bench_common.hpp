@@ -1,0 +1,45 @@
+#pragma once
+
+/// Shared helpers for the figure-reproduction benches. Every fig*_ binary
+/// regenerates one figure of the paper's evaluation (Sec. 4 analysis
+/// figures or Sec. 5 simulation figures) as a textual series table:
+/// one row per x value, one column per curve, values `mean (+/- 95% CI)`.
+///
+/// Replications default to 10 per point; set ALERTSIM_REPS=30 to match the
+/// paper's averaging exactly (3x slower).
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "util/stats.hpp"
+
+namespace alert::bench {
+
+/// The paper's default setup (Sec. 5.2).
+inline core::ScenarioConfig default_scenario() {
+  core::ScenarioConfig cfg;
+  cfg.field = {0.0, 0.0, 1000.0, 1000.0};
+  cfg.node_count = 200;
+  cfg.speed_mps = 2.0;
+  cfg.radio_range_m = 250.0;
+  cfg.flow_count = 10;
+  cfg.packet_interval_s = 2.0;
+  cfg.payload_bytes = 512;
+  cfg.duration_s = 100.0;
+  cfg.alert.partitions_h = 5;
+  cfg.seed = 0xA1E47;
+  return cfg;
+}
+
+inline util::SeriesPoint point(double x, const util::Accumulator& acc) {
+  return {x, acc.mean(), acc.ci95_halfwidth()};
+}
+
+inline void header(const char* fig, const char* what) {
+  std::printf("# %s — %s\n", fig, what);
+  std::printf("# defaults: 1000x1000 m, 200 nodes, 2 m/s, 250 m range, "
+              "10 flows, 512 B CBR every 2 s, 100 s, H=5\n");
+  std::fflush(stdout);
+}
+
+}  // namespace alert::bench

@@ -1,0 +1,28 @@
+/// Fig. 7a: analytical expected number of possible participating nodes
+/// (Eq. 7) versus the number of partitions H, for networks of 100, 200 and
+/// 400 nodes. Expected shape: fast rise from H=1 to 2, then saturation
+/// near ~N/4..N/3 of the population.
+
+#include "analysis/theory.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace alert;
+  bench::header("Fig. 7a", "estimated possible participating nodes (Eq. 7)");
+
+  std::vector<util::Series> series;
+  for (const double n : {100.0, 200.0, 400.0}) {
+    util::Series s;
+    s.name = std::to_string(static_cast<int>(n)) + " nodes";
+    const analysis::NetworkShape net{1000.0, 1000.0, n};
+    for (int H = 1; H <= 7; ++H) {
+      s.points.push_back(
+          {static_cast<double>(H),
+           analysis::expected_possible_nodes(net, H), 0.0});
+    }
+    series.push_back(std::move(s));
+  }
+  util::print_series_table("Fig. 7a — possible participating nodes",
+                           "partitions H", "expected nodes N_e", series);
+  return 0;
+}

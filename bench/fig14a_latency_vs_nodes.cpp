@@ -1,0 +1,35 @@
+/// Fig. 14a: latency per packet versus network size for the four
+/// protocols. Expected shape: ALARM and AO2P two orders of magnitude
+/// above GPSR/ALERT (hop-by-hop public-key crypto, ~250 ms/op); AO2P a
+/// little above ALARM (contention phase); ALERT slightly above GPSR
+/// (longer random path + one symmetric encryption); every curve falls as
+/// density rises.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace alert;
+  bench::header("Fig. 14a", "latency per packet vs number of nodes");
+  const std::size_t reps = core::bench_replications();
+
+  std::vector<util::Series> series;
+  for (const core::ProtocolKind proto :
+       {core::ProtocolKind::Alert, core::ProtocolKind::Gpsr,
+        core::ProtocolKind::Alarm, core::ProtocolKind::Ao2p}) {
+    util::Series s{std::string(core::protocol_name(proto)) + " (ms)", {}};
+    for (const std::size_t n : {50u, 100u, 150u, 200u}) {
+      core::ScenarioConfig cfg = bench::default_scenario();
+      cfg.node_count = n;
+      cfg.protocol = proto;
+      const core::ExperimentResult r = core::run_experiment(cfg, reps);
+      s.points.push_back({static_cast<double>(n),
+                          r.latency_s.mean() * 1e3,
+                          r.latency_s.ci95_halfwidth() * 1e3});
+    }
+    series.push_back(std::move(s));
+  }
+  util::print_series_table("Fig. 14a — latency per packet",
+                           "total nodes", "latency (ms)", series);
+  std::printf("\n(reps per point: %zu)\n", reps);
+  return 0;
+}

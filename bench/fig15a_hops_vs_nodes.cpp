@@ -1,0 +1,38 @@
+/// Fig. 15a: hops per packet versus network size, including the "ALARM
+/// (include id dissemination hops)" accounting. Expected shape: ALERT
+/// roughly one-to-a-few hops above the greedy baselines (random relays
+/// lengthen paths); ALARM-with-dissemination far above everything,
+/// about double ALERT.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace alert;
+  bench::header("Fig. 15a", "hops per packet vs number of nodes");
+  const std::size_t reps = core::bench_replications();
+
+  std::vector<util::Series> series;
+  util::Series alarm_diss{"ALARM (incl. dissemination)", {}};
+  for (const core::ProtocolKind proto :
+       {core::ProtocolKind::Alert, core::ProtocolKind::Gpsr,
+        core::ProtocolKind::Alarm, core::ProtocolKind::Ao2p}) {
+    util::Series s{core::protocol_name(proto), {}};
+    for (const std::size_t n : {50u, 100u, 150u, 200u}) {
+      core::ScenarioConfig cfg = bench::default_scenario();
+      cfg.node_count = n;
+      cfg.protocol = proto;
+      const core::ExperimentResult r = core::run_experiment(cfg, reps);
+      s.points.push_back(bench::point(static_cast<double>(n), r.hops));
+      if (proto == core::ProtocolKind::Alarm) {
+        alarm_diss.points.push_back(
+            bench::point(static_cast<double>(n), r.hops_with_control));
+      }
+    }
+    series.push_back(std::move(s));
+  }
+  series.push_back(std::move(alarm_diss));
+  util::print_series_table("Fig. 15a — hops per packet", "total nodes",
+                           "hops", series);
+  std::printf("\n(reps per point: %zu)\n", reps);
+  return 0;
+}

@@ -1,0 +1,43 @@
+/// Fig. 16b: delivery rate versus node speed with and without destination
+/// update. Expected shape: with updates, flat near 1.0; without updates,
+/// decay with speed — and ALERT above GPSR because the final zone
+/// broadcast still catches a destination that wandered near (the paper's
+/// "interesting observation").
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace alert;
+  bench::header("Fig. 16b", "delivery rate vs node speed");
+  const std::size_t reps = core::bench_replications();
+
+  struct Variant {
+    core::ProtocolKind proto;
+    bool update;
+    const char* name;
+  };
+  const Variant variants[] = {
+      {core::ProtocolKind::Alert, true, "ALERT w/ update"},
+      {core::ProtocolKind::Alert, false, "ALERT w/o update"},
+      {core::ProtocolKind::Gpsr, true, "GPSR w/ update"},
+      {core::ProtocolKind::Gpsr, false, "GPSR w/o update"},
+  };
+
+  std::vector<util::Series> series;
+  for (const Variant& v : variants) {
+    util::Series s{v.name, {}};
+    for (double speed = 2.0; speed <= 8.0; speed += 2.0) {
+      core::ScenarioConfig cfg = bench::default_scenario();
+      cfg.protocol = v.proto;
+      cfg.speed_mps = speed;
+      cfg.destination_update = v.update;
+      const core::ExperimentResult r = core::run_experiment(cfg, reps);
+      s.points.push_back(bench::point(speed, r.delivery_rate));
+    }
+    series.push_back(std::move(s));
+  }
+  util::print_series_table("Fig. 16b — delivery rate vs speed",
+                           "speed (m/s)", "delivery rate", series);
+  std::printf("\n(reps per point: %zu)\n", reps);
+  return 0;
+}

@@ -1,0 +1,124 @@
+/// Google-benchmark microbenchmarks for the hot paths of the simulator and
+/// crypto substrate: these bound how many replications a figure sweep can
+/// afford and catch performance regressions in the engine.
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "crypto/pubkey.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/symmetric.hpp"
+#include "routing/zone.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace alert;
+
+void BM_Sha1_512B(benchmark::State& state) {
+  std::vector<std::uint8_t> data(512, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha1::hash(data));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_Sha1_512B);
+
+void BM_XteaCtr_512B(benchmark::State& state) {
+  const auto key = crypto::SymmetricKey::from_seed(1);
+  std::vector<std::uint8_t> data(512, 0xCD);
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    crypto::xtea_ctr_apply(key, nonce++, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_XteaCtr_512B);
+
+void BM_RsaEncryptValue(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto kp = crypto::generate_keypair(rng);
+  std::uint64_t m = 12345;
+  for (auto _ : state) {
+    m = crypto::rsa_encrypt_value(kp.pub, m % kp.pub.n);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_RsaEncryptValue);
+
+void BM_RsaDecryptValue(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto kp = crypto::generate_keypair(rng);
+  const std::uint64_t c = crypto::rsa_encrypt_value(kp.pub, 12345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_decrypt_value(kp.priv, c));
+  }
+}
+BENCHMARK(BM_RsaDecryptValue);
+
+void BM_KeypairGeneration(benchmark::State& state) {
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::generate_keypair(rng));
+  }
+}
+BENCHMARK(BM_KeypairGeneration);
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule(rng.uniform(), [] {});
+    }
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.pop().time);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(256)->Arg(4096);
+
+void BM_DestinationZone(benchmark::State& state) {
+  const util::Rect field{0.0, 0.0, 1000.0, 1000.0};
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routing::destination_zone(field, rng.point_in(field), 5));
+  }
+}
+BENCHMARK(BM_DestinationZone);
+
+void BM_PartitionUntilSeparated(benchmark::State& state) {
+  const util::Rect field{0.0, 0.0, 1000.0, 1000.0};
+  util::Rng rng(6);
+  const util::Rect zd = routing::destination_zone(field, {900.0, 900.0}, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::partition_until_separated(
+        field, rng.point_in(field), zd, util::Axis::Vertical, 5));
+  }
+}
+BENCHMARK(BM_PartitionUntilSeparated);
+
+void BM_FullReplication(benchmark::State& state) {
+  core::ScenarioConfig cfg;
+  cfg.node_count = static_cast<std::size_t>(state.range(0));
+  cfg.duration_s = 20.0;
+  cfg.flow_count = 5;
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_once(cfg, rep++));
+  }
+}
+BENCHMARK(BM_FullReplication)->Arg(100)->Arg(200)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

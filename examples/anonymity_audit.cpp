@@ -1,0 +1,78 @@
+/// \file anonymity_audit.cpp
+/// Audit the anonymity of every implemented routing protocol with the full
+/// adversary battery (timing attack, strict-intersection attack, the
+/// stronger frequency-ranking variant, route tracing) and print a
+/// practitioner-style report. This is the Table 1 story told per
+/// mechanism, including the effect of switching ALERT's individual
+/// defences off — a mini ablation of "notify and go" and the Sec. 3.3
+/// countermeasure.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+namespace {
+
+void audit(const char* label, alert::core::ScenarioConfig cfg) {
+  cfg.run_attacks = true;
+  cfg.seed = 99;
+  const alert::core::ExperimentResult r =
+      alert::core::run_experiment(cfg, 5);
+  std::printf("%-34s %8.2f %8.2f %8.2f %8.2f %9.2f\n", label,
+              r.timing_source_rate.mean(), r.timing_dest_rate.mean(),
+              r.intersection_success.mean(), r.intersection_frequency.mean(),
+              r.route_overlap.mean());
+}
+
+}  // namespace
+
+int main() {
+  using namespace alert;
+
+  std::printf("anonymity audit — 200 nodes, 100 s, global passive "
+              "adversary (5 runs each)\n\n");
+  std::printf("%-34s %8s %8s %8s %8s %9s\n", "configuration", "src-tim",
+              "dst-tim", "dst-int", "dst-freq", "route-ovl");
+
+  core::ScenarioConfig base;
+  base.duration_s = 100.0;
+
+  core::ScenarioConfig alert_full = base;
+  alert_full.alert.intersection_countermeasure = true;
+  audit("ALERT (all defences)", alert_full);
+
+  core::ScenarioConfig no_cm = base;
+  audit("ALERT (no intersection defence)", no_cm);
+
+  core::ScenarioConfig no_notify = base;
+  no_notify.alert.notify_and_go = false;
+  audit("ALERT (no notify-and-go)", no_notify);
+
+  core::ScenarioConfig gpsr = base;
+  gpsr.protocol = core::ProtocolKind::Gpsr;
+  audit("GPSR", gpsr);
+
+  core::ScenarioConfig alarm = base;
+  alarm.protocol = core::ProtocolKind::Alarm;
+  audit("ALARM", alarm);
+
+  core::ScenarioConfig ao2p = base;
+  ao2p.protocol = core::ProtocolKind::Ao2p;
+  audit("AO2P", ao2p);
+
+  core::ScenarioConfig zap = base;
+  zap.protocol = core::ProtocolKind::Zap;
+  audit("ZAP (dest-only anonymity)", zap);
+
+  std::printf(
+      "\nreading the columns:\n"
+      "  src-tim   timing attack finds the source (notify-and-go defends)\n"
+      "  dst-tim   timing attack finds the destination (zone broadcast\n"
+      "            hides D among k receivers)\n"
+      "  dst-int   strict intersection attack pins D (Sec. 3.3\n"
+      "            countermeasure defends)\n"
+      "  dst-freq  frequency-ranking intersection variant — stronger than\n"
+      "            the paper's attacker; see EXPERIMENTS.md\n"
+      "  route-ovl consecutive-route overlap (low = untraceable routes)\n");
+  return 0;
+}

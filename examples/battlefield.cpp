@@ -1,0 +1,55 @@
+/// \file battlefield.cpp
+/// The paper's motivating scenario (Sec. 1): a MANET deployed in a
+/// battlefield. Squads move under group mobility; a scout (source) reports
+/// to a commander (destination) under ALERT while a passive adversary
+/// eavesdrops on everything. The example shows, per squad configuration,
+/// whether the adversary's timing and intersection attacks can find the
+/// commander or the scout, and what the anonymity costs in delay.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace alert;
+
+  std::printf("battlefield — squads under group mobility, ALERT comms,\n"
+              "passive adversary with full radio coverage\n\n");
+  std::printf("%-24s %-9s %-11s %-12s %-12s %-10s\n", "squad layout",
+              "delivery", "delay(ms)", "scout found", "cmdr found",
+              "relays");
+
+  struct Layout {
+    std::size_t groups;
+    double range;
+    const char* name;
+  };
+  for (const Layout layout : {Layout{10, 150.0, "10 squads x 150 m"},
+                              Layout{5, 200.0, "5 squads x 200 m"}}) {
+    core::ScenarioConfig cfg;
+    cfg.mobility = core::MobilityKind::Group;
+    cfg.group_count = layout.groups;
+    cfg.group_range_m = layout.range;
+    cfg.flow_count = 6;  // six scout->commander reporting flows
+    cfg.duration_s = 60.0;
+    cfg.run_attacks = true;
+    cfg.min_pair_distance_m = 250.0;  // scouts report across the field
+    cfg.alert.intersection_countermeasure = true;
+    cfg.alert.max_retransmissions = 4;
+    cfg.seed = 2026;
+    const core::ExperimentResult r = core::run_experiment(cfg, 5);
+    std::printf("%-24s %-9.2f %-11.1f %-12.2f %-12.2f %-10.1f\n",
+                layout.name, r.delivery_rate.mean(),
+                r.e2e_delay_s.mean() * 1e3, r.timing_source_rate.mean(),
+                r.intersection_success.mean(), r.participants.mean());
+  }
+
+  std::printf(
+      "\n'scout found' is the adversary's timing-attack success at\n"
+      "identifying the reporting scout; 'cmdr found' its intersection-\n"
+      "attack success at pinning the commander among the k-anonymity\n"
+      "receivers. Both should stay near zero; 'relays' shows how many\n"
+      "nodes share the routing burden (route anonymity + robustness to\n"
+      "node compromise, Sec. 3.1).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+/// \file multimedia_stream.cpp
+/// The paper's resource-constraint motivation (Sec. 1): multimedia (e.g.
+/// video) transmission needs routing efficiency — an anonymity layer that
+/// costs hundreds of milliseconds per packet ruins it. This example
+/// streams CBR "video" (heavier packets, shorter interval) over each
+/// protocol and reports whether the stream's playout deadline can be met,
+/// reproducing the paper's argument that ALERT is the only anonymous
+/// option that keeps multimedia viable.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace alert;
+
+  constexpr double kDeadlineMs = 150.0;  // interactive-video budget
+
+  std::printf("multimedia stream — 1 kB packets every 0.5 s, 200 nodes\n\n");
+  std::printf("%-8s %-10s %-12s %-12s %-14s %s\n", "proto", "delivery",
+              "latency(ms)", "hops", "crypto-bound?",
+              "meets 150 ms playout?");
+
+  for (const core::ProtocolKind proto :
+       {core::ProtocolKind::Alert, core::ProtocolKind::Gpsr,
+        core::ProtocolKind::Alarm, core::ProtocolKind::Ao2p}) {
+    core::ScenarioConfig cfg;
+    cfg.protocol = proto;
+    cfg.payload_bytes = 1024;
+    cfg.packet_interval_s = 0.5;
+    cfg.flow_count = 4;
+    cfg.duration_s = 60.0;
+    cfg.seed = 7;
+    const core::ExperimentResult r = core::run_experiment(cfg, 5);
+    const double latency_ms = r.latency_s.mean() * 1e3;
+    const bool crypto_bound = proto == core::ProtocolKind::Alarm ||
+                              proto == core::ProtocolKind::Ao2p;
+    std::printf("%-8s %-10.2f %-12.1f %-12.2f %-14s %s\n",
+                core::protocol_name(proto), r.delivery_rate.mean(),
+                latency_ms, r.hops.mean(), crypto_bound ? "yes" : "no",
+                latency_ms <= kDeadlineMs ? "YES" : "no");
+  }
+
+  std::printf(
+      "\nALERT pays one symmetric encryption per packet; ALARM and AO2P\n"
+      "pay public-key operations per hop (Sec. 5.2: 2-3 hundred ms each),\n"
+      "so only GPSR (no anonymity) and ALERT stay inside an interactive\n"
+      "playout budget — the paper's low-cost-anonymity claim.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+/// \file quickstart.cpp
+/// Minimal end-to-end use of the alertsim public API: build a 200-node
+/// MANET on a 1 km^2 field (the paper's default setup), run ALERT traffic
+/// between 10 random S-D pairs for 100 simulated seconds, and print the
+/// paper's six evaluation metrics next to GPSR's for comparison.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace alert;
+
+  core::ScenarioConfig cfg;      // paper defaults: 1000x1000 m, 200 nodes,
+  cfg.duration_s = 100.0;        // 2 m/s, 250 m range, 10 pairs, 512 B CBR
+  cfg.run_attacks = true;
+  cfg.seed = 42;
+
+  std::printf("alertsim quickstart — %zu nodes, %.0f s, %zu flows\n\n",
+              cfg.node_count, cfg.duration_s, cfg.flow_count);
+
+  for (const core::ProtocolKind proto :
+       {core::ProtocolKind::Alert, core::ProtocolKind::Gpsr}) {
+    cfg.protocol = proto;
+    const core::ExperimentResult r = core::run_experiment(cfg, 3);
+    std::printf("%s:\n", core::protocol_name(proto));
+    std::printf("  delivery rate            %.3f\n", r.delivery_rate.mean());
+    std::printf("  latency per packet       %.1f ms\n",
+                r.latency_s.mean() * 1e3);
+    std::printf("  hops per packet          %.2f\n", r.hops.mean());
+    std::printf("  participating nodes/flow %.1f\n", r.participants.mean());
+    std::printf("  route overlap (Jaccard)  %.2f\n", r.route_overlap.mean());
+    std::printf("  random forwarders/packet %.2f\n", r.rf_per_packet.mean());
+    std::printf("  timing attack S-id rate  %.2f\n",
+                r.timing_source_rate.mean());
+    std::printf("  intersection P(find D)   %.2f (freq attack %.2f)\n",
+                r.intersection_success.mean(),
+                r.intersection_frequency.mean());
+    std::printf("\n");
+  }
+  std::printf(
+      "ALERT should match GPSR's delivery at slightly higher latency/hops\n"
+      "while spreading traffic over far more nodes and defeating the\n"
+      "attacks — see bench/ for the full figure reproductions.\n");
+  return 0;
+}

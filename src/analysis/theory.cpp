@@ -1,0 +1,123 @@
+#include "analysis/theory.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace alert::analysis {
+
+double side_a(int h, double la) {
+  assert(h >= 0);
+  return la / std::exp2(static_cast<double>(h / 2));
+}
+
+double side_b(int h, double lb) {
+  assert(h >= 0);
+  return lb / std::exp2(static_cast<double>((h + 1) / 2));
+}
+
+double partitions_for_k(double density, double area, double k) {
+  assert(density > 0 && area > 0 && k > 0);
+  return std::log2(density * area / k);
+}
+
+double dest_zone_population(const NetworkShape& net, int H) {
+  return side_a(H, net.la) * side_b(H, net.lb) * net.density();
+}
+
+double separation_probability(int sigma) {
+  assert(sigma > 0);
+  return std::exp2(-static_cast<double>(sigma));
+}
+
+double possible_nodes_at(const NetworkShape& net, int sigma) {
+  return side_a(sigma, net.la) * side_b(sigma, net.lb) * net.density();
+}
+
+double expected_possible_nodes(const NetworkShape& net, int H) {
+  double total = 0.0;
+  for (int sigma = 1; sigma <= H; ++sigma) {
+    total += possible_nodes_at(net, sigma) * separation_probability(sigma);
+  }
+  return total;
+}
+
+double binomial(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  k = std::min(k, n - k);
+  double result = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    result = result * static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+double rf_count_pmf(int H, int sigma, int i) {
+  assert(sigma >= 0 && sigma <= H && i >= 0);
+  const int m = H - sigma;
+  if (i > m) return 0.0;
+  return binomial(m, i) * std::exp2(-static_cast<double>(m));
+}
+
+double expected_rfs_at(int H, int sigma) {
+  // Eq. (9). (The sum equals (H - sigma) / 2 in closed form; we evaluate
+  // the series as written so tests can verify the identity.)
+  double total = 0.0;
+  for (int i = 1; i <= H - sigma; ++i) {
+    total += rf_count_pmf(H, sigma, i) * static_cast<double>(i);
+  }
+  return total;
+}
+
+double expected_rfs(int H) {
+  double total = 0.0;
+  for (int sigma = 1; sigma <= H; ++sigma) {
+    total += expected_rfs_at(H, sigma) * separation_probability(sigma);
+  }
+  return total;
+}
+
+double beta_circle(double radius_m, double speed_mps) {
+  assert(speed_mps > 0);
+  return M_PI * radius_m / (2.0 * speed_mps);
+}
+
+double beta_square_zone(double side_m, double speed_mps) {
+  assert(speed_mps > 0);
+  const double r_prime = side_m / 2.0;
+  return std::sqrt(M_PI) * r_prime / speed_mps;
+}
+
+double remain_probability(double t_s, double beta_s) {
+  assert(beta_s > 0);
+  return std::exp(-t_s / beta_s);
+}
+
+double remaining_nodes(const NetworkShape& net, int H, double speed_mps,
+                       double t_s) {
+  const double population = dest_zone_population(net, H);
+  if (speed_mps <= 0.0) return population;  // static nodes never leave
+  const double side = side_a(H, net.la);
+  return remain_probability(t_s, beta_square_zone(side, speed_mps)) *
+         population;
+}
+
+double required_node_count(const NetworkShape& net, int H, double speed_mps,
+                           double t_s, double k_required) {
+  // N_r scales linearly with node count; solve for the count where
+  // N_r(t) == k_required.
+  NetworkShape unit = net;
+  unit.node_count = 1.0;
+  const double per_node = remaining_nodes(unit, H, speed_mps, t_s);
+  assert(per_node > 0.0);
+  return k_required / per_node;
+}
+
+double location_overhead_ratio(double n_nodes, double n_servers,
+                               double update_freq, double regular_freq) {
+  assert(n_nodes > 0 && regular_freq > 0);
+  return (n_servers * (n_servers - 1.0) * update_freq +
+          n_nodes * update_freq) /
+         (n_nodes * regular_freq);
+}
+
+}  // namespace alert::analysis

@@ -1,0 +1,119 @@
+#include "attack/compromise.hpp"
+
+#include <algorithm>
+
+#include "attack/route_tracer.hpp"
+
+namespace alert::attack {
+
+namespace {
+
+/// Relay sets per flow/seq with the flow's endpoints removed.
+std::map<std::uint32_t, std::map<std::uint32_t, std::set<net::NodeId>>>
+relay_sets_without_endpoints(const std::vector<ObservedEvent>& events) {
+  auto by_flow = transmitters_by_flow(events);
+  std::map<std::uint32_t, std::pair<net::NodeId, net::NodeId>> endpoints;
+  for (const auto& e : events) {
+    if (e.packet_kind == net::PacketKind::Data) {
+      endpoints[e.flow] = {e.true_source, e.true_dest};
+    }
+  }
+  for (auto& [flow, by_seq] : by_flow) {
+    const auto [s, d] = endpoints[flow];
+    for (auto& [seq, relays] : by_seq) {
+      relays.erase(s);
+      relays.erase(d);
+    }
+  }
+  return by_flow;
+}
+
+}  // namespace
+
+double targeted_next_packet_interception(
+    const std::vector<ObservedEvent>& events, std::size_t budget,
+    util::Rng& rng) {
+  const auto by_flow = relay_sets_without_endpoints(events);
+  std::size_t pairs = 0, hits = 0;
+  for (const auto& [flow, by_seq] : by_flow) {
+    const std::set<net::NodeId>* prev = nullptr;
+    for (const auto& [seq, relays] : by_seq) {
+      if (prev != nullptr && !prev->empty()) {
+        // Compromise up to `budget` random relays of the previous packet.
+        std::vector<net::NodeId> pool(prev->begin(), prev->end());
+        std::set<net::NodeId> compromised;
+        for (std::size_t i = 0; i < budget && i < pool.size(); ++i) {
+          const std::size_t j =
+              i + static_cast<std::size_t>(rng.below(pool.size() - i));
+          std::swap(pool[i], pool[j]);
+          compromised.insert(pool[i]);
+        }
+        ++pairs;
+        const bool hit =
+            std::any_of(relays.begin(), relays.end(),
+                        [&](net::NodeId id) { return compromised.contains(id); });
+        hits += hit ? 1u : 0u;
+      }
+      prev = &relays;
+    }
+  }
+  return pairs == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(pairs);
+}
+
+CompromiseResult compromise_analysis(
+    const std::vector<ObservedEvent>& events, std::size_t node_count,
+    std::size_t compromised, std::size_t trials, util::Rng& rng) {
+  const auto by_flow = relay_sets_without_endpoints(events);
+  CompromiseResult result;
+  result.compromised = compromised;
+  if (by_flow.empty() || trials == 0) return result;
+
+  double intercept_sum = 0.0, blocked_sum = 0.0, touched_sum = 0.0;
+  std::vector<net::NodeId> pool(node_count);
+  for (net::NodeId i = 0; i < node_count; ++i) pool[i] = i;
+
+  for (std::size_t t = 0; t < trials; ++t) {
+    // Draw a random compromised set (partial Fisher-Yates).
+    for (std::size_t i = 0; i < compromised && i < pool.size(); ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.below(pool.size() - i));
+      std::swap(pool[i], pool[j]);
+    }
+    const auto is_compromised = [&](net::NodeId id) {
+      return std::find(pool.begin(),
+                       pool.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min(compromised, pool.size())),
+                       id) !=
+             pool.begin() + static_cast<std::ptrdiff_t>(
+                                std::min(compromised, pool.size()));
+    };
+
+    std::size_t packets = 0, intercepted = 0, flows_blocked = 0,
+                flows_touched = 0;
+    for (const auto& [flow, by_seq] : by_flow) {
+      std::size_t flow_hits = 0;
+      for (const auto& [seq, relays] : by_seq) {
+        ++packets;
+        const bool hit = std::any_of(relays.begin(), relays.end(),
+                                     is_compromised);
+        intercepted += hit ? 1u : 0u;
+        flow_hits += hit ? 1u : 0u;
+      }
+      if (flow_hits == by_seq.size()) ++flows_blocked;
+      if (flow_hits > 0) ++flows_touched;
+    }
+    intercept_sum +=
+        static_cast<double>(intercepted) / static_cast<double>(packets);
+    blocked_sum +=
+        static_cast<double>(flows_blocked) / static_cast<double>(by_flow.size());
+    touched_sum +=
+        static_cast<double>(flows_touched) / static_cast<double>(by_flow.size());
+  }
+  result.packet_interception = intercept_sum / static_cast<double>(trials);
+  result.flow_blockage = blocked_sum / static_cast<double>(trials);
+  result.flow_touched = touched_sum / static_cast<double>(trials);
+  return result;
+}
+
+}  // namespace alert::attack

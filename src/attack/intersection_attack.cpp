@@ -1,0 +1,105 @@
+#include "attack/intersection_attack.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace alert::attack {
+
+double IntersectionAttackResult::identification_rate() const {
+  if (flows.empty()) return 0.0;
+  std::size_t ok = 0;
+  for (const auto& f : flows) ok += f.identified ? 1u : 0u;
+  return static_cast<double>(ok) / static_cast<double>(flows.size());
+}
+
+double IntersectionAttackResult::frequency_identification_rate() const {
+  if (flows.empty()) return 0.0;
+  std::size_t ok = 0;
+  for (const auto& f : flows) ok += f.frequency_correct ? 1u : 0u;
+  return static_cast<double>(ok) / static_cast<double>(flows.size());
+}
+
+double IntersectionAttackResult::mean_success_probability() const {
+  if (flows.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& f : flows) {
+    if (f.dest_in_candidates && !f.candidates.empty()) {
+      sum += 1.0 / static_cast<double>(f.candidates.size());
+    }
+  }
+  return sum / static_cast<double>(flows.size());
+}
+
+IntersectionAttackResult intersection_attack(
+    const std::vector<ObservedEvent>& events) {
+  // Recipient sets per (flow, uid) for zone-broadcast data frames. Only
+  // first-step broadcasts are used: an attacker cannot tell which packet a
+  // second-step (bit-altered) rebroadcast carries — that is precisely the
+  // countermeasure — so it can only intersect per-delivery recipient sets.
+  std::map<std::uint32_t, std::map<std::uint64_t, std::set<net::NodeId>>>
+      recipient_sets;
+  std::map<std::uint32_t, net::NodeId> truth;
+  for (const auto& e : events) {
+    if (e.kind != EventKind::Receive) continue;
+    if (e.packet_kind != net::PacketKind::Data || !e.zone_broadcast) continue;
+    if (e.second_step) continue;  // unlinkable to its packet (bit-altered)
+    if (!e.addressed) continue;   // overhearing is not recipient evidence
+    if (!e.in_dest_zone) continue;  // out-of-zone radio halo discarded
+    recipient_sets[e.flow][e.uid].insert(e.node);
+    truth[e.flow] = e.true_dest;
+  }
+
+  IntersectionAttackResult result;
+  for (const auto& [flow, by_uid] : recipient_sets) {
+    IntersectionAttackResult::FlowAnalysis fa;
+    fa.flow = flow;
+    std::set<net::NodeId> inter;
+    bool first = true;
+    for (const auto& [uid, recipients] : by_uid) {
+      if (first) {
+        inter = recipients;
+        first = false;
+      } else {
+        std::set<net::NodeId> next;
+        std::set_intersection(inter.begin(), inter.end(), recipients.begin(),
+                              recipients.end(),
+                              std::inserter(next, next.begin()));
+        inter = std::move(next);
+      }
+      ++fa.observations;
+      fa.candidate_counts.push_back(inter.size());
+    }
+    fa.candidates = inter;
+    fa.dest_in_candidates = inter.contains(truth[flow]);
+    fa.identified = inter.size() == 1 && fa.dest_in_candidates;
+
+    // Frequency attack: count appearances per node over all observations.
+    std::map<net::NodeId, std::size_t> appearances;
+    for (const auto& [uid, recipients] : by_uid) {
+      for (const net::NodeId n : recipients) ++appearances[n];
+    }
+    net::NodeId top = net::kInvalidNode;
+    std::size_t top_n = 0, second_n = 0;
+    for (const auto& [node, n] : appearances) {
+      if (n > top_n) {
+        second_n = top_n;
+        top_n = n;
+        top = node;
+      } else if (n > second_n) {
+        second_n = n;
+      }
+    }
+    fa.frequency_guess = top;
+    fa.frequency_correct = top == truth[flow];
+    if (fa.observations > 0) {
+      fa.top_rate =
+          static_cast<double>(top_n) / static_cast<double>(fa.observations);
+      fa.runner_up_rate = static_cast<double>(second_n) /
+                          static_cast<double>(fa.observations);
+    }
+    result.flows.push_back(std::move(fa));
+  }
+  return result;
+}
+
+}  // namespace alert::attack

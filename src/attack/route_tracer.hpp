@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file route_tracer.hpp
+/// Route-anonymity analysis (Sec. 3.1): an adversary that observed one
+/// packet's full path tries to predict the path of subsequent packets of
+/// the same flow. ALERT defeats this by re-randomizing the RF set per
+/// packet; GPSR-family protocols repeat (nearly) the same shortest path.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "attack/observer.hpp"
+
+namespace alert::attack {
+
+struct RouteTraceResult {
+  /// Mean Jaccard overlap |route_i ∩ route_{i+1}| / |route_i ∪ route_{i+1}|
+  /// between consecutive packets' transmitter sets, averaged over flows.
+  double mean_consecutive_overlap = 0.0;
+  /// Mean number of distinct nodes that transmitted data of a flow
+  /// (the "actual participating nodes" metric of Sec. 5.3).
+  double mean_participating_nodes = 0.0;
+  /// Distinct participating nodes per flow, cumulative after each packet —
+  /// the curve of Fig. 10a.
+  std::vector<double> cumulative_participants_by_packet;
+};
+
+/// Analyze Data-packet transmitter sets per (flow, seq).
+[[nodiscard]] RouteTraceResult trace_routes(
+    const std::vector<ObservedEvent>& events);
+
+/// Per-(flow, seq) transmitter sets, ordered by seq (exposed for tests and
+/// for the intersection attack's session structure).
+[[nodiscard]] std::map<std::uint32_t,
+                       std::map<std::uint32_t, std::set<net::NodeId>>>
+transmitters_by_flow(const std::vector<ObservedEvent>& events);
+
+}  // namespace alert::attack

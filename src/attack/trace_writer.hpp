@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file trace_writer.hpp
+/// JSONL trace export: a TraceListener that streams every on-air event to
+/// a file, one JSON object per line — suitable for offline visualization
+/// (plotting routes, animating the notify-and-go bursts, replaying an
+/// attack's view). Lives in the attack module because its output is
+/// exactly the adversary's observation record.
+
+#include <cstdio>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace alert::attack {
+
+class JsonlTraceWriter final : public net::TraceListener {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit JsonlTraceWriter(const std::string& path);
+  ~JsonlTraceWriter() override;
+
+  JsonlTraceWriter(const JsonlTraceWriter&) = delete;
+  JsonlTraceWriter& operator=(const JsonlTraceWriter&) = delete;
+
+  void on_transmit(const net::Node& sender, const net::Packet& pkt,
+                   sim::Time air_start) override;
+  void on_deliver(const net::Node& receiver, const net::Packet& pkt,
+                  sim::Time when) override;
+  void on_drop(const net::Node& last_holder, const net::Packet& pkt,
+               sim::Time when, net::DropReason why) override;
+
+  /// Flush and report how many events were written.
+  [[nodiscard]] std::uint64_t events_written() const { return count_; }
+  void flush();
+
+ private:
+  void write(const char* kind, const net::Node& node,
+             const net::Packet& pkt, sim::Time when, const char* extra);
+
+  std::FILE* file_;
+  std::uint64_t count_ = 0;
+};
+
+/// Render one packet kind as a stable lowercase token (shared with tests).
+[[nodiscard]] const char* packet_kind_token(net::PacketKind kind);
+
+}  // namespace alert::attack

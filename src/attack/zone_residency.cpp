@@ -1,0 +1,31 @@
+#include "attack/zone_residency.hpp"
+
+namespace alert::attack {
+
+ZoneResidency::ZoneResidency(const net::Network& network, util::Rect zone)
+    : net_(network), zone_(zone) {
+  const sim::Time now = net_.now();
+  for (net::NodeId id = 0; id < net_.size(); ++id) {
+    if (zone_.contains(net_.node(id).position(now))) {
+      initial_members_.push_back(id);
+    }
+  }
+}
+
+std::size_t ZoneResidency::remaining_at(sim::Time t) const {
+  std::size_t count = 0;
+  for (const net::NodeId id : initial_members_) {
+    if (zone_.contains(net_.node(id).position(t))) ++count;
+  }
+  return count;
+}
+
+std::vector<net::NodeId> ZoneResidency::occupants_at(sim::Time t) const {
+  std::vector<net::NodeId> out;
+  for (net::NodeId id = 0; id < net_.size(); ++id) {
+    if (zone_.contains(net_.node(id).position(t))) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace alert::attack

@@ -1,0 +1,375 @@
+#include "core/experiment.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <unordered_set>
+
+#include "attack/observer.hpp"
+#include "attack/route_tracer.hpp"
+#include "attack/trace_writer.hpp"
+#include "attack/zone_residency.hpp"
+#include "loc/pseudonym.hpp"
+#include "routing/zone.hpp"
+#include "sim/simulator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace alert::core {
+
+namespace {
+
+/// Counts end-to-end Data deliveries at the true destination, deduplicated
+/// per application packet (uid): first radio arrival wins.
+class DeliveryCounter final : public net::TraceListener {
+ public:
+  void on_deliver(const net::Node& receiver, const net::Packet& pkt,
+                  sim::Time when) override {
+    if (pkt.kind != net::PacketKind::Data) return;
+    if (receiver.id() != pkt.true_dest) return;
+    if (!seen_.insert(pkt.uid).second) return;
+    ++delivered_;
+    latency_sum_ += when - pkt.app_send_time;
+    e2e_sum_ += when - pkt.first_send_time;
+    hops_sum_ += pkt.hop_count;
+  }
+
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] double mean_latency() const {
+    return delivered_ == 0
+               ? 0.0
+               : latency_sum_ / static_cast<double>(delivered_);
+  }
+  [[nodiscard]] double mean_hops() const {
+    return delivered_ == 0
+               ? 0.0
+               : static_cast<double>(hops_sum_) /
+                     static_cast<double>(delivered_);
+  }
+  [[nodiscard]] double mean_e2e() const {
+    return delivered_ == 0 ? 0.0
+                           : e2e_sum_ / static_cast<double>(delivered_);
+  }
+
+ private:
+  std::unordered_set<std::uint64_t> seen_;
+  std::uint64_t delivered_ = 0;
+  double latency_sum_ = 0.0;
+  double e2e_sum_ = 0.0;
+  std::int64_t hops_sum_ = 0;
+};
+
+std::unique_ptr<net::MobilityModel> make_mobility(
+    const ScenarioConfig& cfg) {
+  switch (cfg.mobility) {
+    case MobilityKind::Group:
+      return std::make_unique<net::GroupMobility>(
+          cfg.field, cfg.speed_mps, cfg.group_count, cfg.group_range_m);
+    case MobilityKind::Static:
+      return std::make_unique<net::StaticPlacement>(cfg.field);
+    case MobilityKind::RandomWaypoint:
+      break;
+  }
+  return std::make_unique<net::RandomWaypoint>(cfg.field, cfg.speed_mps);
+}
+
+std::unique_ptr<routing::Protocol> make_protocol(
+    const ScenarioConfig& cfg, net::Network& network,
+    loc::LocationService& location) {
+  switch (cfg.protocol) {
+    case ProtocolKind::Gpsr:
+      return std::make_unique<routing::GpsrRouter>(network, location,
+                                                   cfg.gpsr);
+    case ProtocolKind::Alarm:
+      return std::make_unique<routing::AlarmRouter>(network, location,
+                                                    cfg.alarm);
+    case ProtocolKind::Ao2p:
+      return std::make_unique<routing::Ao2pRouter>(network, location,
+                                                   cfg.ao2p);
+    case ProtocolKind::Zap:
+      return std::make_unique<routing::ZapRouter>(network, location,
+                                                  cfg.zap);
+    case ProtocolKind::Alert:
+      break;
+  }
+  return std::make_unique<routing::AlertRouter>(network, location, cfg.alert);
+}
+
+/// Connected-component labels of the unit-disk graph at time `t`.
+/// Traffic pairs are drawn within a component: a CBR flow between nodes
+/// that cannot physically communicate measures nothing about a routing
+/// protocol (relevant under group mobility, where the paper's RPGM
+/// configurations partition the field; see EXPERIMENTS.md).
+std::vector<int> disk_components(const net::Network& network, sim::Time t) {
+  const std::size_t n = network.size();
+  std::vector<int> comp(n, -1);
+  int next = 0;
+  for (net::NodeId s = 0; s < n; ++s) {
+    if (comp[s] != -1) continue;
+    comp[s] = next;
+    std::queue<net::NodeId> q;
+    q.push(s);
+    while (!q.empty()) {
+      const net::NodeId u = q.front();
+      q.pop();
+      for (const net::NodeId v : network.nodes_within(
+               network.node(u).position(t), network.config().radio_range_m,
+               t)) {
+        if (comp[v] == -1) {
+          comp[v] = next;
+          q.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+}  // namespace
+
+RunResult run_once(const ScenarioConfig& config,
+                   std::uint64_t replication_index) {
+  sim::Simulator simulator;
+  util::Rng rng(config.seed + replication_index * 0x9E3779B97F4A7C15ULL);
+
+  net::Network network(simulator, config.network_config(),
+                       make_mobility(config), rng.fork(1),
+                       config.duration_s);
+
+  loc::PseudonymManager pseudonyms(loc::PseudonymPolicy{}, rng.fork(2));
+  network.set_pseudonym_provider(&pseudonyms);
+
+  loc::LocationService location(network, config.location,
+                                config.duration_s);
+
+  auto protocol = make_protocol(config, network, location);
+
+  DeliveryCounter delivery;
+  network.add_listener(&delivery);
+  attack::PassiveObserver observer(network);
+  network.add_listener(&observer);
+  std::unique_ptr<attack::JsonlTraceWriter> trace_writer;
+  if (!config.trace_path.empty() && replication_index == 0) {
+    trace_writer =
+        std::make_unique<attack::JsonlTraceWriter>(config.trace_path);
+    network.add_listener(trace_writer.get());
+  }
+
+  // Traffic: flow_count random S-D pairs; CBR one packet per interval.
+  util::Rng traffic_rng = rng.fork(3);
+  struct Flow {
+    net::NodeId src, dst;
+  };
+  std::vector<Flow> flows;
+  flows.reserve(config.flow_count);
+  const std::vector<int> comp = disk_components(network, 0.0);
+  for (std::size_t f = 0; f < config.flow_count; ++f) {
+    net::NodeId src = 0, dst = 0;
+    for (int attempt = 0; attempt < 1024; ++attempt) {
+      src = static_cast<net::NodeId>(traffic_rng.below(config.node_count));
+      dst = src;
+      while (dst == src) {
+        dst = static_cast<net::NodeId>(traffic_rng.below(config.node_count));
+      }
+      if (comp[src] != comp[dst]) continue;  // physically communicable pair
+      const double d = util::distance(network.node(src).position(0.0),
+                                      network.node(dst).position(0.0));
+      if (d < config.min_pair_distance_m || d > config.max_pair_distance_m) {
+        continue;
+      }
+      break;
+    }
+    flows.push_back(Flow{src, dst});
+  }
+
+  std::uint64_t sent = 0;
+  std::vector<std::uint32_t> next_seq(config.flow_count, 0);
+  routing::Protocol* proto = protocol.get();
+  for (std::size_t f = 0; f < config.flow_count; ++f) {
+    // Small per-flow phase so flows do not transmit in lockstep.
+    const double phase = traffic_rng.uniform(0.0, 0.2);
+    simulator.schedule_periodic(
+        config.traffic_start_s + phase, config.packet_interval_s,
+        [&, f] {
+          if (simulator.now() > config.duration_s) return;
+          if (config.packets_per_flow != 0 &&
+              next_seq[f] >= config.packets_per_flow) {
+            return;
+          }
+          proto->send(flows[f].src, flows[f].dst, config.payload_bytes,
+                      static_cast<std::uint32_t>(f), next_seq[f]++);
+          ++sent;
+        });
+  }
+
+  // The "without destination update" switch freezes the location service's
+  // position snapshots just before traffic begins (Sec. 5.6).
+  if (!config.destination_update) {
+    simulator.schedule_at(config.traffic_start_s - 0.5,
+                          [&location] { location.freeze_updates(); });
+  }
+
+  // Zone-residency observation (Figs. 12/13): for each flow, snapshot the
+  // destination zone's occupants at traffic start and sample how many of
+  // them remain on a fixed grid.
+  std::vector<attack::ZoneResidency> residencies;
+  std::vector<std::vector<double>> residency_samples(config.flow_count);
+  simulator.schedule_at(config.traffic_start_s, [&] {
+    for (std::size_t f = 0; f < config.flow_count; ++f) {
+      const util::Vec2 dpos =
+          network.node(flows[f].dst).position(simulator.now());
+      residencies.emplace_back(
+          network, routing::destination_zone(config.field, dpos,
+                                             config.alert.partitions_h));
+    }
+  });
+  const std::size_t samples =
+      static_cast<std::size_t>((config.duration_s - config.traffic_start_s) /
+                               config.residency_sample_period_s) +
+      1;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double t = config.traffic_start_s +
+                     static_cast<double>(s) *
+                         config.residency_sample_period_s;
+    simulator.schedule_at(t, [&, s] {
+      if (residencies.empty()) return;
+      for (std::size_t f = 0; f < residencies.size(); ++f) {
+        residency_samples[f].push_back(
+            static_cast<double>(residencies[f].remaining_at(simulator.now())));
+      }
+      (void)s;
+    });
+  }
+
+  simulator.run_until(config.duration_s);
+
+  RunResult result;
+  result.sent = sent;
+  result.delivered = delivery.delivered();
+  result.mean_latency_s = delivery.mean_latency();
+  result.mean_e2e_delay_s = delivery.mean_e2e();
+  result.mean_hops = delivery.mean_hops();
+  result.hello_messages = network.hello_count();
+  result.location_update_messages = location.update_messages();
+
+  const net::EnergyMeter energy = network.energy().total();
+  result.energy_total_j = energy.total();
+  result.energy_crypto_j = energy.crypto_j;
+  result.energy_max_node_j = network.energy().max_node_total();
+  if (result.delivered > 0) {
+    result.energy_per_delivered_j =
+        energy.total() / static_cast<double>(result.delivered);
+  }
+
+  const auto trace = attack::trace_routes(observer.events());
+  result.mean_participants = trace.mean_participating_nodes;
+  result.mean_route_overlap = trace.mean_consecutive_overlap;
+  result.cumulative_participants = trace.cumulative_participants_by_packet;
+
+  const routing::ProtocolStats& stats = proto->stats();
+  if (stats.data_sent > 0) {
+    result.rf_per_packet = static_cast<double>(stats.random_forwarders) /
+                           static_cast<double>(stats.data_sent);
+    result.partitions_per_packet =
+        static_cast<double>(stats.partitions) /
+        static_cast<double>(stats.data_sent);
+    result.control_hops_per_packet =
+        static_cast<double>(stats.control_hops) /
+        static_cast<double>(stats.data_sent);
+    result.cover_packets_per_data =
+        static_cast<double>(stats.cover_packets) /
+        static_cast<double>(stats.data_sent);
+  }
+
+  // Average residency over flows per sample index.
+  std::size_t max_len = 0;
+  for (const auto& v : residency_samples) max_len = std::max(max_len, v.size());
+  result.remaining_by_sample.assign(max_len, 0.0);
+  for (std::size_t s = 0; s < max_len; ++s) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& v : residency_samples) {
+      if (s < v.size()) {
+        sum += v[s];
+        ++n;
+      }
+    }
+    result.remaining_by_sample[s] = n ? sum / static_cast<double>(n) : 0.0;
+  }
+
+  if (config.run_attacks) {
+    const auto timing = attack::timing_attack(observer.events());
+    result.timing_source_rate = timing.source_identification_rate();
+    result.timing_dest_rate = timing.dest_identification_rate();
+    const auto inter = attack::intersection_attack(observer.events());
+    result.intersection_success = inter.mean_success_probability();
+    result.intersection_identified = inter.identification_rate();
+    result.intersection_frequency = inter.frequency_identification_rate();
+  }
+  return result;
+}
+
+void ExperimentResult::add(const RunResult& run) {
+  ++replications;
+  if (run.delivered > 0) {
+    latency_s.add(run.mean_latency_s);
+    e2e_delay_s.add(run.mean_e2e_delay_s);
+    hops.add(run.mean_hops);
+    hops_with_control.add(run.mean_hops + run.control_hops_per_packet);
+  }
+  delivery_rate.add(run.delivery_rate());
+  participants.add(run.mean_participants);
+  route_overlap.add(run.mean_route_overlap);
+  rf_per_packet.add(run.rf_per_packet);
+  partitions_per_packet.add(run.partitions_per_packet);
+  cover_per_data.add(run.cover_packets_per_data);
+  energy_total_j.add(run.energy_total_j);
+  energy_crypto_j.add(run.energy_crypto_j);
+  energy_max_node_j.add(run.energy_max_node_j);
+  if (run.delivered > 0) {
+    energy_per_delivered_j.add(run.energy_per_delivered_j);
+  }
+  timing_source_rate.add(run.timing_source_rate);
+  timing_dest_rate.add(run.timing_dest_rate);
+  intersection_success.add(run.intersection_success);
+  intersection_identified.add(run.intersection_identified);
+  intersection_frequency.add(run.intersection_frequency);
+
+  if (cumulative_participants.size() < run.cumulative_participants.size()) {
+    cumulative_participants.resize(run.cumulative_participants.size());
+  }
+  for (std::size_t i = 0; i < run.cumulative_participants.size(); ++i) {
+    cumulative_participants[i].add(run.cumulative_participants[i]);
+  }
+  if (remaining_by_sample.size() < run.remaining_by_sample.size()) {
+    remaining_by_sample.resize(run.remaining_by_sample.size());
+  }
+  for (std::size_t i = 0; i < run.remaining_by_sample.size(); ++i) {
+    remaining_by_sample[i].add(run.remaining_by_sample[i]);
+  }
+}
+
+ExperimentResult run_experiment(const ScenarioConfig& config,
+                                std::size_t replications,
+                                std::size_t threads) {
+  ExperimentResult result;
+  std::mutex mutex;
+  util::ThreadPool pool(threads);
+  pool.parallel_for(replications, [&](std::size_t r) {
+    const RunResult run = run_once(config, r);
+    std::lock_guard lk(mutex);
+    result.add(run);
+  });
+  return result;
+}
+
+std::size_t bench_replications(std::size_t fallback) {
+  if (const char* env = std::getenv("ALERTSIM_REPS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+}  // namespace alert::core

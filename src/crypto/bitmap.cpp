@@ -1,0 +1,68 @@
+#include "crypto/bitmap.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace alert::crypto {
+
+namespace {
+void flip_bit(std::span<std::uint8_t> payload, std::uint32_t pos) {
+  payload[pos / 8] ^= static_cast<std::uint8_t>(1u << (pos % 8));
+}
+}  // namespace
+
+AlterationBitmap AlterationBitmap::alter(std::span<std::uint8_t> payload,
+                                         std::size_t flips, util::Rng& rng) {
+  AlterationBitmap bm;
+  const std::size_t total_bits = payload.size() * 8;
+  if (total_bits == 0) return bm;
+  flips = std::min(flips, total_bits);
+  bm.positions_.reserve(flips);
+  while (bm.positions_.size() < flips) {
+    const auto pos = static_cast<std::uint32_t>(rng.below(total_bits));
+    if (std::find(bm.positions_.begin(), bm.positions_.end(), pos) !=
+        bm.positions_.end()) {
+      continue;
+    }
+    bm.positions_.push_back(pos);
+    flip_bit(payload, pos);
+  }
+  return bm;
+}
+
+void AlterationBitmap::restore(std::span<std::uint8_t> payload) const {
+  for (const std::uint32_t pos : positions_) {
+    assert(pos / 8 < payload.size());
+    flip_bit(payload, pos);
+  }
+}
+
+std::vector<std::uint8_t> AlterationBitmap::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(positions_.size() * 4);
+  for (const std::uint32_t p : positions_) {
+    out.push_back(static_cast<std::uint8_t>(p));
+    out.push_back(static_cast<std::uint8_t>(p >> 8));
+    out.push_back(static_cast<std::uint8_t>(p >> 16));
+    out.push_back(static_cast<std::uint8_t>(p >> 24));
+  }
+  return out;
+}
+
+AlterationBitmap AlterationBitmap::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  AlterationBitmap bm;
+  bm.positions_.reserve(bytes.size() / 4);
+  for (std::size_t i = 0; i + 3 < bytes.size(); i += 4) {
+    const std::uint32_t p = static_cast<std::uint32_t>(bytes[i]) |
+                            (static_cast<std::uint32_t>(bytes[i + 1]) << 8) |
+                            (static_cast<std::uint32_t>(bytes[i + 2]) << 16) |
+                            (static_cast<std::uint32_t>(bytes[i + 3]) << 24);
+    bm.positions_.push_back(p);
+  }
+  return bm;
+}
+
+}  // namespace alert::crypto

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file bitmap.hpp
+/// Bit-alteration codec for the intersection-attack countermeasure
+/// (Sec. 3.3): the last forwarding node flips a number of payload bits so an
+/// on-air observer cannot match the rebroadcast packet to the original; the
+/// positions of the flipped bits are recorded in a Bitmap that travels
+/// encrypted under the destination's public key, letting only D restore the
+/// payload.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace alert::util {
+class Rng;
+}
+
+namespace alert::crypto {
+
+/// Records which bit positions of a payload were flipped.
+class AlterationBitmap {
+ public:
+  AlterationBitmap() = default;
+
+  /// Flip `flips` distinct random bits of `payload` in place and remember
+  /// their positions.
+  static AlterationBitmap alter(std::span<std::uint8_t> payload,
+                                std::size_t flips, util::Rng& rng);
+
+  /// Undo the recorded flips (payload must be the altered buffer).
+  void restore(std::span<std::uint8_t> payload) const;
+
+  [[nodiscard]] const std::vector<std::uint32_t>& positions() const {
+    return positions_;
+  }
+
+  /// Wire encoding (u32 positions, little-endian) — this is the value that
+  /// gets RSA-encrypted into the (Bitmap)_{K_pub^D} packet field.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static AlterationBitmap deserialize(
+      std::span<const std::uint8_t> bytes);
+
+ private:
+  std::vector<std::uint32_t> positions_;
+};
+
+}  // namespace alert::crypto

@@ -1,0 +1,4 @@
+#include "crypto/cost_model.hpp"
+
+// CostModel is header-only today; this translation unit anchors the library
+// target and reserves a home for future calibration code.

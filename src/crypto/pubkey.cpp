@@ -1,0 +1,150 @@
+#include "crypto/pubkey.hpp"
+
+#include <array>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace alert::crypto {
+
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(a) * b) % m);
+}
+
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  assert(m != 0);
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mul_mod(result, base, m);
+    base = mul_mod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::optional<std::uint64_t> inverse_mod(std::uint64_t a, std::uint64_t m) {
+  // Extended Euclid on signed 128-bit to avoid overflow.
+  __extension__ typedef __int128 i128;
+  i128 t = 0, new_t = 1;
+  i128 r = static_cast<i128>(m), new_r = static_cast<i128>(a % m);
+  while (new_r != 0) {
+    const i128 q = r / new_r;
+    const i128 tmp_t = t - q * new_t;
+    t = new_t;
+    new_t = tmp_t;
+    const i128 tmp_r = r - q * new_r;
+    r = new_r;
+    new_r = tmp_r;
+  }
+  if (r != 1) return std::nullopt;
+  if (t < 0) t += static_cast<i128>(m);
+  return static_cast<std::uint64_t>(t);
+}
+
+bool is_probable_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                          19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  // Deterministic witnesses for all n < 2^64 (Sinclair set).
+  for (std::uint64_t a : {2ULL, 325ULL, 9375ULL, 28178ULL, 450775ULL,
+                          9780504ULL, 1795265022ULL}) {
+    std::uint64_t x = pow_mod(a % n, d, n);
+    if (x == 0 || x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 1; i < s; ++i) {
+      x = mul_mod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::uint64_t random_prime(util::Rng& rng, int bits) {
+  assert(bits >= 8 && bits <= 32);
+  const std::uint64_t lo = 1ULL << (bits - 1);
+  const std::uint64_t hi = (1ULL << bits) - 1;
+  for (;;) {
+    std::uint64_t candidate = lo + rng.below(hi - lo + 1);
+    candidate |= 1;  // odd
+    if (is_probable_prime(candidate)) return candidate;
+  }
+}
+
+}  // namespace
+
+KeyPair generate_keypair(util::Rng& rng, int bits) {
+  assert(bits >= 16 && bits <= 63);
+  const int half = bits / 2;
+  for (;;) {
+    const std::uint64_t p = random_prime(rng, half);
+    std::uint64_t q = random_prime(rng, bits - half);
+    if (p == q) continue;
+    const std::uint64_t n = p * q;
+    const std::uint64_t phi = (p - 1) * (q - 1);
+    constexpr std::uint64_t kE = 65537;
+    const auto d = inverse_mod(kE, phi);
+    if (!d) continue;  // gcd(e, phi) != 1; re-draw primes
+    return KeyPair{PublicKey{n, kE}, PrivateKey{n, *d}};
+  }
+}
+
+std::uint64_t rsa_encrypt_value(const PublicKey& pub, std::uint64_t value) {
+  assert(value < pub.n);
+  return pow_mod(value, pub.e, pub.n);
+}
+
+std::uint64_t rsa_decrypt_value(const PrivateKey& priv, std::uint64_t value) {
+  assert(value < priv.n);
+  return pow_mod(value, priv.d, priv.n);
+}
+
+std::vector<std::uint64_t> rsa_encrypt_bytes(
+    const PublicKey& pub, const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint64_t> blocks;
+  blocks.reserve((data.size() + 6) / 7);
+  for (std::size_t off = 0; off < data.size(); off += 7) {
+    std::uint64_t chunk = 0;
+    const std::size_t n = std::min<std::size_t>(7, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) {
+      chunk = (chunk << 8) | data[off + i];
+    }
+    // 7 bytes = 56 bits < 61-bit modulus floor, so chunk < pub.n always.
+    blocks.push_back(rsa_encrypt_value(pub, chunk));
+  }
+  return blocks;
+}
+
+std::vector<std::uint8_t> rsa_decrypt_bytes(
+    const PrivateKey& priv, const std::vector<std::uint64_t>& blocks,
+    std::size_t original_size) {
+  std::vector<std::uint8_t> out;
+  out.reserve(original_size);
+  std::size_t remaining = original_size;
+  for (const std::uint64_t block : blocks) {
+    const std::uint64_t chunk = rsa_decrypt_value(priv, block);
+    const std::size_t n = std::min<std::size_t>(7, remaining);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(static_cast<std::uint8_t>(chunk >> (8 * (n - 1 - i))));
+    }
+    remaining -= n;
+  }
+  return out;
+}
+
+}  // namespace alert::crypto

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file pubkey.hpp
+/// Public-key substrate: textbook RSA over 64-bit primes, built from
+/// scratch (Miller-Rabin key generation, 128-bit modular exponentiation).
+///
+/// The paper's nodes use RSA to (a) wrap the session key K_s under the
+/// destination's public key, (b) encrypt the source-zone field L_{Z_S},
+/// (c) encrypt the TTL under the next relay's key in notify-and-go, and
+/// (d) encrypt the intersection-countermeasure Bitmap. All of those are
+/// short values, so a 64-bit-prime RSA (≈127-bit modulus) carries them
+/// faithfully; the *simulated* cost of a real RSA-1024 operation is charged
+/// via crypto::CostModel, exactly as DESIGN.md's substitution table states.
+/// This code must not be used for actual security.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace alert::util {
+class Rng;
+}
+
+namespace alert::crypto {
+
+struct PublicKey {
+  std::uint64_t n = 0;  ///< modulus (product of two 32-bit-ish primes)
+  std::uint64_t e = 0;  ///< public exponent
+
+  constexpr bool operator==(const PublicKey&) const = default;
+};
+
+struct PrivateKey {
+  std::uint64_t n = 0;
+  std::uint64_t d = 0;  ///< private exponent
+};
+
+struct KeyPair {
+  PublicKey pub;
+  PrivateKey priv;
+};
+
+/// Generate an RSA key pair with ~`bits`-bit modulus (default 62 to stay
+/// within u64). Deterministic given the RNG state.
+[[nodiscard]] KeyPair generate_keypair(util::Rng& rng, int bits = 62);
+
+/// Raw RSA on a single residue value (< n). Asserts value < n.
+[[nodiscard]] std::uint64_t rsa_encrypt_value(const PublicKey& pub,
+                                              std::uint64_t value);
+[[nodiscard]] std::uint64_t rsa_decrypt_value(const PrivateKey& priv,
+                                              std::uint64_t value);
+
+/// Encrypt an arbitrary byte string by splitting it into sub-modulus chunks.
+/// Each 7-byte chunk becomes one 8-byte ciphertext block.
+[[nodiscard]] std::vector<std::uint64_t> rsa_encrypt_bytes(
+    const PublicKey& pub, const std::vector<std::uint8_t>& data);
+[[nodiscard]] std::vector<std::uint8_t> rsa_decrypt_bytes(
+    const PrivateKey& priv, const std::vector<std::uint64_t>& blocks,
+    std::size_t original_size);
+
+/// Miller-Rabin primality (deterministic witness set valid for u64).
+[[nodiscard]] bool is_probable_prime(std::uint64_t n);
+
+/// Modular arithmetic helpers (exposed for tests).
+[[nodiscard]] std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b,
+                                    std::uint64_t m);
+[[nodiscard]] std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp,
+                                    std::uint64_t m);
+/// Modular inverse of a mod m, if gcd(a, m) == 1.
+[[nodiscard]] std::optional<std::uint64_t> inverse_mod(std::uint64_t a,
+                                                       std::uint64_t m);
+
+}  // namespace alert::crypto

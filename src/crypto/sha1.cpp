@@ -1,0 +1,143 @@
+#include "crypto/sha1.hpp"
+
+#include <cstring>
+
+namespace alert::crypto {
+
+namespace {
+constexpr std::uint32_t rotl32(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+}  // namespace
+
+void Sha1::reset() {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  buffer_len_ = 0;
+  total_bits_ = 0;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  total_bits_ += static_cast<std::uint64_t>(data.size()) * 8;
+  std::size_t off = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    off += take;
+    if (buffer_len_ == 64) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (off + 64 <= data.size()) {
+    process_block(data.data() + off);
+    off += 64;
+  }
+  if (off < data.size()) {
+    buffer_len_ = data.size() - off;
+    std::memcpy(buffer_.data(), data.data() + off, buffer_len_);
+  }
+}
+
+void Sha1::update(std::string_view s) {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+Sha1Digest Sha1::finish() {
+  const std::uint64_t bits = total_bits_;
+  const std::uint8_t pad = 0x80;
+  update(std::span<const std::uint8_t>(&pad, 1));
+  const std::uint8_t zero = 0x00;
+  while (buffer_len_ != 56) {
+    update(std::span<const std::uint8_t>(&zero, 1));
+  }
+  std::array<std::uint8_t, 8> len{};
+  for (int i = 0; i < 8; ++i) {
+    len[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+  }
+  update(len);
+
+  Sha1Digest out{};
+  for (std::size_t i = 0; i < 5; ++i) {
+    out[4 * i + 0] = static_cast<std::uint8_t>(h_[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+Sha1Digest Sha1::hash(std::span<const std::uint8_t> data) {
+  Sha1 ctx;
+  ctx.update(data);
+  return ctx.finish();
+}
+
+Sha1Digest Sha1::hash(std::string_view s) {
+  Sha1 ctx;
+  ctx.update(s);
+  return ctx.finish();
+}
+
+std::string to_hex(const Sha1Digest& d) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (const std::uint8_t b : d) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+std::uint64_t digest_prefix64(const Sha1Digest& d) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[static_cast<std::size_t>(i)];
+  return v;
+}
+
+}  // namespace alert::crypto

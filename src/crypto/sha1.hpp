@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file sha1.hpp
+/// SHA-1 (FIPS 180-1), implemented from scratch. ALERT uses a
+/// collision-resistant hash of (MAC address, randomized timestamp) as each
+/// node's dynamic pseudonym (Sec. 2.2). SHA-1 is the hash the paper names;
+/// its known cryptanalytic weaknesses are irrelevant to a simulation whose
+/// threat model only needs collision resistance against honest traffic.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace alert::crypto {
+
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// Incremental SHA-1 context.
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s);
+  /// Finalize and return the digest. The context must be reset() before
+  /// further use.
+  [[nodiscard]] Sha1Digest finish();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Sha1Digest hash(std::span<const std::uint8_t> data);
+  [[nodiscard]] static Sha1Digest hash(std::string_view s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// Lowercase hex rendering of a digest.
+[[nodiscard]] std::string to_hex(const Sha1Digest& d);
+
+/// First 8 bytes of the digest as a big-endian integer — handy compact
+/// pseudonym representation.
+[[nodiscard]] std::uint64_t digest_prefix64(const Sha1Digest& d);
+
+}  // namespace alert::crypto

@@ -1,0 +1,64 @@
+#include "crypto/symmetric.hpp"
+
+#include "util/rng.hpp"
+
+namespace alert::crypto {
+
+SymmetricKey SymmetricKey::from_seed(std::uint64_t seed) {
+  util::SplitMix64 sm(seed);
+  SymmetricKey k;
+  for (auto& w : k.words) w = static_cast<std::uint32_t>(sm.next());
+  return k;
+}
+
+namespace {
+constexpr std::uint32_t kDelta = 0x9E3779B9u;
+constexpr int kCycles = 32;
+}  // namespace
+
+std::uint64_t Xtea::encrypt_block(std::uint64_t plaintext) const {
+  auto v0 = static_cast<std::uint32_t>(plaintext >> 32);
+  auto v1 = static_cast<std::uint32_t>(plaintext);
+  std::uint32_t sum = 0;
+  for (int i = 0; i < kCycles; ++i) {
+    v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key_[sum & 3]);
+    sum += kDelta;
+    v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key_[(sum >> 11) & 3]);
+  }
+  return (static_cast<std::uint64_t>(v0) << 32) | v1;
+}
+
+std::uint64_t Xtea::decrypt_block(std::uint64_t ciphertext) const {
+  auto v0 = static_cast<std::uint32_t>(ciphertext >> 32);
+  auto v1 = static_cast<std::uint32_t>(ciphertext);
+  std::uint32_t sum = kDelta * static_cast<std::uint32_t>(kCycles);
+  for (int i = 0; i < kCycles; ++i) {
+    v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key_[(sum >> 11) & 3]);
+    sum -= kDelta;
+    v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key_[sum & 3]);
+  }
+  return (static_cast<std::uint64_t>(v0) << 32) | v1;
+}
+
+void xtea_ctr_apply(const SymmetricKey& key, std::uint64_t nonce,
+                    std::span<std::uint8_t> data) {
+  const Xtea cipher(key);
+  std::uint64_t counter = 0;
+  for (std::size_t off = 0; off < data.size(); off += 8, ++counter) {
+    const std::uint64_t keystream = cipher.encrypt_block(nonce ^ counter);
+    const std::size_t n = std::min<std::size_t>(8, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) {
+      data[off + i] ^= static_cast<std::uint8_t>(keystream >> (8 * (7 - i)));
+    }
+  }
+}
+
+std::vector<std::uint8_t> xtea_ctr_encrypt(
+    const SymmetricKey& key, std::uint64_t nonce,
+    std::span<const std::uint8_t> plaintext) {
+  std::vector<std::uint8_t> out(plaintext.begin(), plaintext.end());
+  xtea_ctr_apply(key, nonce, out);
+  return out;
+}
+
+}  // namespace alert::crypto

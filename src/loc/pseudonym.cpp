@@ -1,0 +1,46 @@
+#include "loc/pseudonym.hpp"
+
+#include <cmath>
+
+#include "crypto/sha1.hpp"
+
+namespace alert::loc {
+
+net::Pseudonym PseudonymManager::make(const net::Node& node, sim::Time now) {
+  // Quantize the timestamp to the retained precision, then append
+  // randomized sub-precision digits the attacker cannot enumerate cheaply.
+  const auto quantized = static_cast<std::uint64_t>(
+      std::floor(now / policy_.timestamp_precision_s));
+  const std::uint64_t jitter = rng_.below(policy_.randomized_digits);
+
+  std::uint8_t buf[24];
+  auto put = [&buf](std::size_t off, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf[off + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  };
+  put(0, node.mac_address());
+  put(8, quantized);
+  put(16, jitter);
+  net::Pseudonym p = crypto::digest_prefix64(
+      crypto::Sha1::hash(std::span<const std::uint8_t>(buf, sizeof buf)));
+
+  ++issued_;
+  if (issues_.contains(p)) ++collisions_;
+  issues_[p] = Issue{node.id(), now};
+  by_node_[node.id()].push_back(p);
+  return p;
+}
+
+bool PseudonymManager::is_live(net::Pseudonym p, sim::Time now) const {
+  const auto it = issues_.find(p);
+  return it != issues_.end() && now - it->second.when <= policy_.lifetime_s;
+}
+
+std::vector<net::Pseudonym> PseudonymManager::history(net::NodeId id) const {
+  const auto it = by_node_.find(id);
+  return it == by_node_.end() ? std::vector<net::Pseudonym>{} : it->second;
+}
+
+}  // namespace alert::loc

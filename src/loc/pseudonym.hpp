@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file pseudonym.hpp
+/// Dynamic pseudonyms (Sec. 2.2): each node's identifier on air is
+/// SHA-1(MAC address || timestamp), where the timestamp keeps 1-second
+/// precision but its sub-second digits are randomized so an eavesdropper
+/// cannot recompute the hash by enumerating plausible timestamps. Pseudonyms
+/// expire after a configured lifetime; the manager records history so tests
+/// can audit collision-freedom and expiry behaviour.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace alert::loc {
+
+struct PseudonymPolicy {
+  /// Lifetime after which a pseudonym must be rotated (Sec. 2.2 discusses
+  /// the too-frequent / too-infrequent tradeoff).
+  double lifetime_s = 20.0;
+  /// Timestamp precision retained in the hashed value, seconds.
+  double timestamp_precision_s = 1.0;
+  /// Randomized sub-precision range (the paper randomizes "within 1/10th").
+  std::uint64_t randomized_digits = 100'000'000;
+};
+
+class PseudonymManager final : public net::PseudonymProvider {
+ public:
+  PseudonymManager(PseudonymPolicy policy, util::Rng rng)
+      : policy_(policy), rng_(rng) {}
+
+  /// net::PseudonymProvider: derive a fresh pseudonym for `node` at `now`.
+  net::Pseudonym make(const net::Node& node, sim::Time now) override;
+
+  [[nodiscard]] const PseudonymPolicy& policy() const { return policy_; }
+
+  /// True if `p` was issued no later than `lifetime_s` before `now`.
+  [[nodiscard]] bool is_live(net::Pseudonym p, sim::Time now) const;
+
+  /// Total pseudonyms issued and how many collided with an earlier issue
+  /// (collision-resistance audit; expected 0 for SHA-1).
+  [[nodiscard]] std::uint64_t issued() const { return issued_; }
+  [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
+
+  /// All pseudonyms ever issued to a node, oldest first (test hook; a real
+  /// adversary cannot obtain this linkage — that is the point).
+  [[nodiscard]] std::vector<net::Pseudonym> history(net::NodeId id) const;
+
+ private:
+  PseudonymPolicy policy_;
+  util::Rng rng_;
+  struct Issue {
+    net::NodeId node;
+    sim::Time when;
+  };
+  std::unordered_map<net::Pseudonym, Issue> issues_;
+  std::unordered_map<net::NodeId, std::vector<net::Pseudonym>> by_node_;
+  std::uint64_t issued_ = 0;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace alert::loc

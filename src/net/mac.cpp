@@ -1,0 +1,23 @@
+#include "net/mac.hpp"
+
+#include <algorithm>
+
+#include "net/node.hpp"
+
+namespace alert::net {
+
+MacGrant Mac::acquire(Node& node, std::size_t bytes, sim::Time earliest,
+                      std::size_t contending_neighbors, util::Rng& rng) {
+  const double backoff =
+      cfg_.difs_s +
+      cfg_.slot_s * rng.uniform() *
+          (1.0 + cfg_.contention_per_neighbor *
+                     static_cast<double>(contending_neighbors));
+  const sim::Time start =
+      std::max(earliest, node.mac_busy_until) + backoff;
+  const double tx = tx_time(bytes);
+  node.mac_busy_until = start + tx;
+  return MacGrant{start, tx};
+}
+
+}  // namespace alert::net

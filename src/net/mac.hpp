@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file mac.hpp
+/// Simplified 802.11-DCF cost model. We do not simulate RTS/CTS frame
+/// exchange; we charge the first-order latency terms a DCF MAC produces:
+///   * serialization: a node transmits one frame at a time
+///     (`Node::mac_busy_until`),
+///   * transmission time: bytes * 8 / bandwidth (2 Mb/s default, the
+///     802.11 basic rate used with NS-2.29 in the paper),
+///   * contention backoff: a random slot-scaled wait growing with the
+///     number of contending neighbours,
+///   * propagation delay at c.
+/// DESIGN.md's substitution table records why this preserves the paper's
+/// latency comparison.
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace alert::net {
+
+class Node;
+
+struct MacConfig {
+  double bandwidth_bps = 2e6;       ///< 802.11 basic rate
+  double slot_s = 100e-6;           ///< contention slot scale
+  double difs_s = 50e-6;            ///< fixed per-frame overhead
+  double propagation_mps = 3.0e8;   ///< radio propagation speed
+  double contention_per_neighbor = 0.15;  ///< backoff growth per contender
+};
+
+/// Outcome of scheduling one frame on the channel.
+struct MacGrant {
+  sim::Time start;    ///< when the frame begins on air
+  sim::Time tx_time;  ///< serialization time
+};
+
+class Mac {
+ public:
+  explicit Mac(MacConfig cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] const MacConfig& config() const { return cfg_; }
+
+  [[nodiscard]] double tx_time(std::size_t bytes) const {
+    return static_cast<double>(bytes) * 8.0 / cfg_.bandwidth_bps;
+  }
+
+  [[nodiscard]] double propagation_delay(double meters) const {
+    return meters / cfg_.propagation_mps;
+  }
+
+  /// Reserve the channel at `node` for a `bytes`-long frame, not before
+  /// `earliest`. Applies DIFS + density-dependent random backoff and
+  /// advances the node's busy horizon.
+  MacGrant acquire(Node& node, std::size_t bytes, sim::Time earliest,
+                   std::size_t contending_neighbors, util::Rng& rng);
+
+ private:
+  MacConfig cfg_;
+};
+
+}  // namespace alert::net

@@ -1,0 +1,245 @@
+#include "net/network.hpp"
+
+#include <cassert>
+
+#include "crypto/sha1.hpp"
+
+namespace alert::net {
+
+namespace {
+
+/// Fallback pseudonym provider: SHA-1(MAC || nanosecond timestamp with
+/// randomized sub-second digits), per Sec. 2.2. loc::PseudonymManager
+/// implements the full policy (expiry windows, collision audit); this
+/// default keeps Network usable standalone.
+class DefaultPseudonyms final : public PseudonymProvider {
+ public:
+  explicit DefaultPseudonyms(std::uint64_t seed) : rng_(seed) {}
+
+  Pseudonym make(const Node& node, sim::Time now) override {
+    // Keep 1-second precision and randomize within a tenth (Sec. 2.2's
+    // randomization): attacker cannot recompute the exact timestamp.
+    const auto seconds = static_cast<std::uint64_t>(now);
+    const std::uint64_t jitter = rng_.below(100'000'000);  // sub-second ns
+    std::uint8_t buf[24];
+    auto put = [&buf](std::size_t off, std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        buf[off + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(v >> (8 * i));
+      }
+    };
+    put(0, node.mac_address());
+    put(8, seconds);
+    put(16, jitter);
+    return crypto::digest_prefix64(crypto::Sha1::hash(
+        std::span<const std::uint8_t>(buf, sizeof buf)));
+  }
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace
+
+Network::Network(sim::Simulator& simulator, NetworkConfig config,
+                 std::unique_ptr<MobilityModel> mobility, util::Rng rng,
+                 sim::Time horizon)
+    : sim_(simulator),
+      config_(config),
+      mobility_(std::move(mobility)),
+      rng_(rng),
+      horizon_(horizon),
+      mac_(config.mac),
+      energy_(config.energy, config.node_count) {
+  assert(mobility_ != nullptr);
+  default_provider_ =
+      std::make_unique<DefaultPseudonyms>(rng_.fork(0xA11CE).next());
+  pseudonym_provider_ = default_provider_.get();
+
+  util::Rng keygen = rng_.fork(0x6E75);
+  nodes_.reserve(config_.node_count);
+  for (NodeId id = 0; id < config_.node_count; ++id) {
+    const std::uint64_t mac_addr = 0x02'00'00'00'00'00ULL + id;
+    nodes_.push_back(std::make_unique<Node>(
+        id, mac_addr, crypto::generate_keypair(keygen,
+                                               config_.rsa_modulus_bits)));
+  }
+  handlers_.assign(nodes_.size(), nullptr);
+
+  mobility_->initialize(nodes_, rng_);
+  for (auto& n : nodes_) {
+    rotate_pseudonym(*n);
+    schedule_mobility(*n);
+  }
+
+  // Hello beaconing: desynchronized start within one period.
+  for (auto& n : nodes_) {
+    Node* node = n.get();
+    const double phase = rng_.uniform(0.0, config_.hello_period_s);
+    sim_.schedule_periodic(phase, config_.hello_period_s,
+                           [this, node] { send_hello(*node); });
+  }
+  // Pseudonym rotation.
+  for (auto& n : nodes_) {
+    Node* node = n.get();
+    const double phase = rng_.uniform(0.0, config_.pseudonym_period_s);
+    sim_.schedule_periodic(phase, config_.pseudonym_period_s,
+                           [this, node] { rotate_pseudonym(*node); });
+  }
+}
+
+Network::~Network() = default;
+
+std::vector<NodeId> Network::nodes_within(util::Vec2 center, double radius,
+                                          sim::Time t) const {
+  std::vector<NodeId> out;
+  const double r2 = radius * radius;
+  for (const auto& n : nodes_) {
+    if (util::distance_sq(n->position(t), center) <= r2) {
+      out.push_back(n->id());
+    }
+  }
+  return out;
+}
+
+NodeId Network::resolve_pseudonym(Pseudonym p) const {
+  const auto it = pseudonym_registry_.find(p);
+  return it == pseudonym_registry_.end() ? kInvalidNode : it->second;
+}
+
+void Network::attach_handler(NodeId id, PacketHandler* handler) {
+  handlers_.at(id) = handler;
+}
+
+void Network::add_listener(TraceListener* listener) {
+  listeners_.push_back(listener);
+}
+
+void Network::set_pseudonym_provider(PseudonymProvider* provider) {
+  pseudonym_provider_ = provider != nullptr ? provider
+                                            : default_provider_.get();
+}
+
+void Network::rotate_pseudonym(Node& node) {
+  // Old pseudonym stays resolvable until overwritten by another node —
+  // mirrors neighbours' stale tables remaining temporarily usable.
+  const Pseudonym p = pseudonym_provider_->make(node, sim_.now());
+  node.set_pseudonym(p);
+  pseudonym_registry_[p] = node.id();
+}
+
+void Network::schedule_mobility(Node& node) {
+  const sim::Time end = node.segment_end();
+  if (end >= horizon_) return;
+  Node* n = &node;
+  sim_.schedule_at(end, [this, n] {
+    mobility_->next_segment(*n, sim_.now(), rng_);
+    schedule_mobility(*n);
+  });
+}
+
+void Network::send_hello(Node& node) {
+  ++hello_count_;
+  Packet pkt;
+  pkt.kind = PacketKind::Hello;
+  pkt.src_pseudonym = node.pseudonym();
+  pkt.size_bytes = 32;
+  pkt.true_source = node.id();
+  pkt.prev_hop = node.id();
+  broadcast(node, std::move(pkt));
+}
+
+void Network::unicast(Node& from, Pseudonym to, Packet pkt,
+                      double processing_delay) {
+  pkt.prev_hop = from.id();
+  const sim::Time now = sim_.now();
+  const util::Vec2 pos = from.position(now);
+  const std::size_t contenders =
+      nodes_within(pos, config_.radio_range_m, now).size();
+  const MacGrant grant =
+      mac_.acquire(from, pkt.size_bytes, now + processing_delay, contenders,
+                   rng_);
+  energy_.charge_tx(from.id(), pkt.size_bytes, config_.radio_range_m);
+  const NodeId receiver = resolve_pseudonym(to);
+  for (auto* l : listeners_) l->on_transmit(from, pkt, grant.start);
+
+  const NodeId sender = from.id();
+  const sim::Time arrive =
+      grant.start + grant.tx_time +
+      mac_.propagation_delay(config_.radio_range_m);
+  sim_.schedule_at(arrive, [this, sender, receiver, pkt = std::move(pkt)] {
+    deliver_unicast(sender, receiver, pkt);
+  });
+}
+
+void Network::broadcast(Node& from, Packet pkt, double processing_delay) {
+  pkt.prev_hop = from.id();
+  const sim::Time now = sim_.now();
+  const util::Vec2 pos = from.position(now);
+  const std::size_t contenders =
+      nodes_within(pos, config_.radio_range_m, now).size();
+  const MacGrant grant =
+      mac_.acquire(from, pkt.size_bytes, now + processing_delay, contenders,
+                   rng_);
+  energy_.charge_tx(from.id(), pkt.size_bytes, config_.radio_range_m);
+  for (auto* l : listeners_) l->on_transmit(from, pkt, grant.start);
+
+  const NodeId sender = from.id();
+  const sim::Time arrive =
+      grant.start + grant.tx_time +
+      mac_.propagation_delay(config_.radio_range_m);
+  // Capture the sender position at transmission time: receivers are the
+  // nodes inside the range disc around where the frame was emitted.
+  sim_.schedule_at(arrive, [this, sender, pos, pkt = std::move(pkt)] {
+    deliver_broadcast(sender, pkt, pos);
+  });
+}
+
+void Network::deliver_broadcast(NodeId sender, const Packet& pkt,
+                                util::Vec2 sender_pos) {
+  const sim::Time now = sim_.now();
+  for (const NodeId id :
+       nodes_within(sender_pos, config_.radio_range_m, now)) {
+    if (id == sender) continue;
+    Node& receiver = *nodes_[id];
+    energy_.charge_rx(id, pkt.size_bytes);
+    if (pkt.kind == PacketKind::Hello) {
+      const Node& s = *nodes_[sender];
+      receiver.observe_neighbor(
+          NeighborInfo{pkt.src_pseudonym, s.position(now), s.public_key(),
+                       now},
+          now);
+      receiver.expire_neighbors(now, config_.neighbor_max_age_s);
+      continue;  // hellos are consumed by the neighbour layer
+    }
+    for (auto* l : listeners_) l->on_deliver(receiver, pkt, now);
+    if (handlers_[id] != nullptr) handlers_[id]->handle(receiver, pkt);
+  }
+}
+
+void Network::deliver_unicast(NodeId sender, NodeId receiver,
+                              const Packet& pkt) {
+  const sim::Time now = sim_.now();
+  if (receiver == kInvalidNode) {
+    for (auto* l : listeners_)
+      l->on_drop(*nodes_[sender], pkt, now, DropReason::OutOfRange);
+    return;
+  }
+  Node& to = *nodes_[receiver];
+  const util::Vec2 from_pos = nodes_[sender]->position(now);
+  if (util::distance(from_pos, to.position(now)) > config_.radio_range_m) {
+    for (auto* l : listeners_)
+      l->on_drop(*nodes_[sender], pkt, now, DropReason::OutOfRange);
+    return;
+  }
+  energy_.charge_rx(receiver, pkt.size_bytes);
+  for (auto* l : listeners_) l->on_deliver(to, pkt, now);
+  if (handlers_[receiver] != nullptr) {
+    handlers_[receiver]->handle(to, pkt);
+  } else {
+    for (auto* l : listeners_)
+      l->on_drop(to, pkt, now, DropReason::NoHandler);
+  }
+}
+
+}  // namespace alert::net

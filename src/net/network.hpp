@@ -1,0 +1,170 @@
+#pragma once
+
+/// \file network.hpp
+/// The MANET: nodes + radio channel + mobility + hello beaconing +
+/// pseudonym rotation, glued to the discrete-event simulator. Protocols
+/// (src/routing) attach one PacketHandler per node and use the unicast /
+/// broadcast primitives; metrics and attack models register TraceListeners
+/// that see every on-air event.
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/cost_model.hpp"
+#include "net/energy.hpp"
+#include "net/mac.hpp"
+#include "net/mobility.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace alert::net {
+
+/// Per-node protocol entry point, implemented by routers.
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  /// A frame addressed to (or overheard by, for broadcasts) `self`.
+  virtual void handle(Node& self, const Packet& pkt) = 0;
+};
+
+/// Pseudonym generation strategy (implemented by loc::PseudonymManager; the
+/// interface lives here so net does not depend on loc).
+class PseudonymProvider {
+ public:
+  virtual ~PseudonymProvider() = default;
+  virtual Pseudonym make(const Node& node, sim::Time now) = 0;
+};
+
+enum class DropReason : std::uint8_t {
+  OutOfRange,     ///< unicast receiver moved out of radio range
+  NoHandler,      ///< no protocol attached
+  TtlExpired,     ///< hops_remaining exhausted (counted by routers)
+};
+
+/// Observer of every on-air event — the eyes of metrics collection and of
+/// the adversary models.
+class TraceListener {
+ public:
+  virtual ~TraceListener() = default;
+  virtual void on_transmit(const Node& sender, const Packet& pkt,
+                           sim::Time air_start) {
+    (void)sender, (void)pkt, (void)air_start;
+  }
+  virtual void on_deliver(const Node& receiver, const Packet& pkt,
+                          sim::Time when) {
+    (void)receiver, (void)pkt, (void)when;
+  }
+  virtual void on_drop(const Node& last_holder, const Packet& pkt,
+                       sim::Time when, DropReason why) {
+    (void)last_holder, (void)pkt, (void)when, (void)why;
+  }
+};
+
+struct NetworkConfig {
+  util::Rect field{0.0, 0.0, 1000.0, 1000.0};
+  std::size_t node_count = 200;
+  double radio_range_m = 250.0;
+  MacConfig mac;
+  double hello_period_s = 1.0;
+  double neighbor_max_age_s = 2.5;
+  double pseudonym_period_s = 20.0;  ///< pseudonym rotation interval
+  crypto::CostModel crypto_cost;
+  EnergyConfig energy;
+  int rsa_modulus_bits = 62;
+};
+
+class Network {
+ public:
+  /// Builds nodes (keys, MAC addresses), places them with `mobility`, and
+  /// schedules hello/pseudonym/mobility processes on `simulator` up to
+  /// `horizon`.
+  Network(sim::Simulator& simulator, NetworkConfig config,
+          std::unique_ptr<MobilityModel> mobility, util::Rng rng,
+          sim::Time horizon);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- topology access ---------------------------------------------------
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_[id]; }
+  [[nodiscard]] const Node& node(NodeId id) const { return *nodes_[id]; }
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::Time now() const { return sim_.now(); }
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+
+  /// Ids of nodes within `radius` of `center` at time `t` (O(N) scan; the
+  /// channel equivalent of carrier range).
+  [[nodiscard]] std::vector<NodeId> nodes_within(util::Vec2 center,
+                                                 double radius,
+                                                 sim::Time t) const;
+
+  /// Resolve a pseudonym to the node currently owning it (simulator-level
+  /// registry standing in for MAC-layer addressing). kInvalidNode if stale.
+  [[nodiscard]] NodeId resolve_pseudonym(Pseudonym p) const;
+
+  // --- protocol attachment ------------------------------------------------
+  void attach_handler(NodeId id, PacketHandler* handler);
+  void add_listener(TraceListener* listener);
+  void set_pseudonym_provider(PseudonymProvider* provider);
+
+  // --- transmission primitives --------------------------------------------
+  /// Unicast `pkt` from `from` to the node owning pseudonym `to`.
+  /// `processing_delay` models protocol computation (e.g. crypto) performed
+  /// before the frame can be handed to the MAC. Delivery fails (on_drop)
+  /// if the receiver is out of range when the frame lands.
+  void unicast(Node& from, Pseudonym to, Packet pkt,
+               double processing_delay = 0.0);
+
+  /// Broadcast to every node in radio range at delivery time.
+  void broadcast(Node& from, Packet pkt, double processing_delay = 0.0);
+
+  /// Fresh application-packet uid.
+  std::uint64_t next_uid() { return next_uid_++; }
+
+  /// Immediately rotate one node's pseudonym (also runs periodically).
+  void rotate_pseudonym(Node& node);
+
+  /// Count of hello beacons sent so far (overhead accounting).
+  [[nodiscard]] std::uint64_t hello_count() const { return hello_count_; }
+
+  /// Per-node energy meters (radio charges applied automatically on every
+  /// transmission/reception; protocols charge their crypto time through
+  /// charge_crypto so the Sec. 5 energy comparison is measurable).
+  [[nodiscard]] const EnergyModel& energy() const { return energy_; }
+  void charge_crypto(NodeId node, double seconds) {
+    energy_.charge_crypto(node, seconds);
+  }
+
+ private:
+  void schedule_mobility(Node& node);
+  void send_hello(Node& node);
+  void deliver_broadcast(NodeId sender, const Packet& pkt,
+                         util::Vec2 sender_pos);
+  void deliver_unicast(NodeId sender, NodeId receiver, const Packet& pkt);
+
+  sim::Simulator& sim_;
+  NetworkConfig config_;
+  std::unique_ptr<MobilityModel> mobility_;
+  util::Rng rng_;
+  sim::Time horizon_;
+
+  Mac mac_;
+  EnergyModel energy_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<PacketHandler*> handlers_;
+  std::vector<TraceListener*> listeners_;
+  std::unordered_map<Pseudonym, NodeId> pseudonym_registry_;
+  PseudonymProvider* pseudonym_provider_ = nullptr;  // non-owning
+  std::unique_ptr<PseudonymProvider> default_provider_;
+  std::uint64_t next_uid_ = 1;
+  std::uint64_t hello_count_ = 0;
+};
+
+}  // namespace alert::net

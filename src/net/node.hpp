@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file node.hpp
+/// A mobile node: identity material (MAC address, RSA key pair, dynamic
+/// pseudonym slot), kinematic state (piecewise-linear motion segment set by
+/// the mobility model), and the neighbour table built from received hello
+/// beacons — the only view of the network a protocol is allowed to use.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/pubkey.hpp"
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "util/geometry.hpp"
+
+namespace alert::net {
+
+/// What a node knows about a neighbour, learned from hello beacons
+/// (pseudonym + position + public key, Sec. 2.2). Position is as of the
+/// last hello, so it goes stale as nodes move — exactly the staleness that
+/// degrades geographic forwarding at speed.
+struct NeighborInfo {
+  Pseudonym pseudonym = 0;
+  util::Vec2 position;
+  crypto::PublicKey pubkey;
+  sim::Time last_heard = 0.0;
+};
+
+class Node {
+ public:
+  Node(NodeId id, std::uint64_t mac_address, crypto::KeyPair keys)
+      : id_(id), mac_address_(mac_address), keys_(keys) {}
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] std::uint64_t mac_address() const { return mac_address_; }
+  [[nodiscard]] const crypto::PublicKey& public_key() const {
+    return keys_.pub;
+  }
+  [[nodiscard]] const crypto::PrivateKey& private_key() const {
+    return keys_.priv;
+  }
+
+  [[nodiscard]] Pseudonym pseudonym() const { return pseudonym_; }
+  void set_pseudonym(Pseudonym p) { pseudonym_ = p; }
+
+  // --- kinematics -------------------------------------------------------
+  /// Replace the current motion segment: from `start_pos` at `start_time`,
+  /// move with `velocity` until `end_time`, then hold position.
+  void set_motion(util::Vec2 start_pos, sim::Time start_time,
+                  util::Vec2 velocity, sim::Time end_time);
+
+  [[nodiscard]] util::Vec2 position(sim::Time t) const;
+  [[nodiscard]] util::Vec2 velocity() const { return velocity_; }
+  [[nodiscard]] sim::Time segment_end() const { return seg_end_; }
+
+  // --- neighbour table --------------------------------------------------
+  /// Record a received hello beacon.
+  void observe_neighbor(const NeighborInfo& info, sim::Time now);
+  /// Drop entries not refreshed within `max_age`.
+  void expire_neighbors(sim::Time now, double max_age);
+
+  [[nodiscard]] const std::vector<NeighborInfo>& neighbors() const {
+    return neighbors_;
+  }
+  [[nodiscard]] const NeighborInfo* find_neighbor(Pseudonym p) const;
+
+  /// Neighbour whose (beaconed) position is closest to `target`, or nullptr
+  /// if the table is empty. Excludes `exclude` when provided.
+  [[nodiscard]] const NeighborInfo* closest_neighbor_to(
+      util::Vec2 target, std::optional<Pseudonym> exclude = {}) const;
+
+  // --- MAC state (owned by Mac, stored inline for locality) -------------
+  sim::Time mac_busy_until = 0.0;
+
+ private:
+  NodeId id_;
+  std::uint64_t mac_address_;
+  crypto::KeyPair keys_;
+  Pseudonym pseudonym_ = 0;
+
+  util::Vec2 seg_start_pos_;
+  sim::Time seg_start_ = 0.0;
+  util::Vec2 velocity_;
+  sim::Time seg_end_ = 0.0;
+
+  std::vector<NeighborInfo> neighbors_;
+};
+
+}  // namespace alert::net

@@ -1,0 +1,28 @@
+#include "net/packet.hpp"
+
+namespace alert::net {
+
+std::size_t header_bytes(const Packet& pkt) {
+  // MAC-independent header accounting: pseudonyms, flow/seq, kind.
+  std::size_t bytes = 8u + 8u + 4u + 4u + 1u;
+  if (pkt.alert) {
+    const auto& a = *pkt.alert;
+    bytes += 4 * 8;  // dest zone rect
+    bytes += 2 * 8;  // TD
+    bytes += 2;      // h, H
+    bytes += 1;      // direction bit + phase flags
+    bytes += a.src_zone_enc.size() * 8;
+    bytes += a.session_key_enc.size() * 8;
+    bytes += a.ttl_enc ? 8u : 0u;
+    for (const auto& layer : a.bitmap_layers_enc) bytes += layer.size() * 8;
+    bytes += a.multicast_set.size() * 8;
+    bytes += 16;  // carried destination public key
+  }
+  if (pkt.geo) {
+    bytes += 2 * 8;  // destination position
+    bytes += 1 + 4 * 8;  // perimeter-mode state
+  }
+  return bytes;
+}
+
+}  // namespace alert::net

@@ -1,0 +1,105 @@
+#include "routing/ao2p.hpp"
+
+#include "routing/geo_forwarding.hpp"
+
+namespace alert::routing {
+
+Ao2pRouter::Ao2pRouter(net::Network& network, loc::LocationService& location,
+                       Ao2pConfig config)
+    : Protocol(network, location), config_(config) {
+  attach_to_all();
+}
+
+util::Vec2 Ao2pRouter::virtual_position(util::Vec2 src, util::Vec2 dst) const {
+  const util::Vec2 dir = (dst - src).normalized();
+  // Degenerate S == D: no direction; target D itself.
+  if (dir.norm_sq() == 0.0) return dst;
+  return net_.config().field.clamp(dst + dir * config_.virtual_extension_m);
+}
+
+void Ao2pRouter::send(net::NodeId src, net::NodeId dst,
+                      std::size_t payload_bytes, std::uint32_t flow,
+                      std::uint32_t seq) {
+  const auto record = loc_.query(src, dst);
+  if (!record) return;
+
+  net::Node& source = net_.node(src);
+  net::Packet pkt;
+  pkt.kind = net::PacketKind::Data;
+  pkt.src_pseudonym = source.pseudonym();
+  pkt.dst_pseudonym = record->pseudonym;
+  pkt.flow = flow;
+  pkt.seq = seq;
+  pkt.payload.assign(payload_bytes, 0);
+  pkt.geo = net::GeoFields{};
+  // The packet carries only the virtual position — never D's coordinates.
+  pkt.geo->dest_pos =
+      virtual_position(source.position(net_.now()), record->position);
+  pkt.hops_remaining = config_.max_hops;
+  pkt.uid = net_.next_uid();
+  pkt.app_send_time = net_.now();
+  pkt.first_send_time = net_.now();
+  pkt.true_source = src;
+  pkt.true_dest = dst;
+  pkt.size_bytes = payload_bytes + header_bytes(pkt);
+
+  ++stats_.data_sent;
+  forward(source, std::move(pkt));
+}
+
+void Ao2pRouter::handle(net::Node& self, const net::Packet& pkt) {
+  if (pkt.kind != net::PacketKind::Data) return;
+  if (net_.resolve_pseudonym(pkt.dst_pseudonym) == self.id()) {
+    ++stats_.data_delivered;
+    return;
+  }
+  forward(self, pkt);
+}
+
+void Ao2pRouter::forward(net::Node& self, net::Packet pkt) {
+  if (pkt.hops_remaining <= 0) {
+    ++stats_.data_dropped;
+    return;
+  }
+  --pkt.hops_remaining;
+  ++pkt.hop_count;
+
+  // Contention phase (next-hop election among distance classes) plus
+  // hop-by-hop public-key protection.
+  const crypto::CostModel& cost = net_.config().crypto_cost;
+  const double hop_delay = config_.contention_phase_s +
+                           cost.public_encrypt_s + cost.verify_s;
+  charge_crypto(self, cost.public_encrypt_s + cost.verify_s);
+
+  const util::Vec2 self_pos = self.position(net_.now());
+  const net::NodeId dest_id = net_.resolve_pseudonym(pkt.dst_pseudonym);
+  // D is picked up en route when it becomes a neighbour of the holder.
+  for (const auto& n : self.neighbors()) {
+    if (net_.resolve_pseudonym(n.pseudonym) == dest_id) {
+      ++stats_.forwards;
+      net_.unicast(self, n.pseudonym, std::move(pkt),
+                   config_.per_hop_processing_s + hop_delay);
+      return;
+    }
+  }
+  if (const auto* next =
+          greedy_next_hop(self, self_pos, pkt.geo->dest_pos)) {
+    ++stats_.forwards;
+    net_.unicast(self, next->pseudonym, std::move(pkt),
+                 config_.per_hop_processing_s + hop_delay);
+    return;
+  }
+  util::Vec2 from = pkt.geo->dest_pos;
+  if (pkt.prev_hop != net::kInvalidNode && pkt.prev_hop != self.id()) {
+    from = net_.node(pkt.prev_hop).position(net_.now());
+  }
+  if (const auto* next = perimeter_next_hop(self, self_pos, from)) {
+    ++stats_.forwards;
+    net_.unicast(self, next->pseudonym, std::move(pkt),
+                 config_.per_hop_processing_s + hop_delay);
+    return;
+  }
+  ++stats_.data_dropped;
+}
+
+}  // namespace alert::routing

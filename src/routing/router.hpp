@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file router.hpp
+/// Protocol interface shared by ALERT and the baselines. One Protocol
+/// instance serves the whole network (per-node state lives in vectors
+/// indexed by NodeId); it implements net::PacketHandler and is attached to
+/// every node.
+
+#include <cstdint>
+#include <string>
+
+#include "loc/location_service.hpp"
+#include "net/network.hpp"
+
+namespace alert::routing {
+
+/// Per-protocol counters the experiment harness reads after a run.
+struct ProtocolStats {
+  std::uint64_t data_sent = 0;        ///< application packets issued
+  std::uint64_t data_delivered = 0;   ///< reached the true destination
+  std::uint64_t data_dropped = 0;     ///< gave up (ttl / dead end / loss)
+  std::uint64_t forwards = 0;         ///< unicast forward transmissions
+  std::uint64_t broadcasts = 0;       ///< protocol broadcasts (not hellos)
+  std::uint64_t random_forwarders = 0;///< ALERT RF events (all packets)
+  std::uint64_t partitions = 0;       ///< ALERT zone splits (all packets)
+  std::uint64_t cover_packets = 0;    ///< notify-and-go camouflage traffic
+  std::uint64_t retransmissions = 0;  ///< confirmation-timeout resends
+  std::uint64_t naks = 0;             ///< NAKs issued by destinations
+  std::uint64_t control_hops = 0;     ///< e.g. ALARM dissemination hops
+  double crypto_time_total_s = 0.0;   ///< simulated crypto latency charged
+};
+
+class Protocol : public net::PacketHandler {
+ public:
+  Protocol(net::Network& network, loc::LocationService& location)
+      : net_(network), loc_(location) {}
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Issue one application packet of `payload_bytes` from `src` to `dst`.
+  /// `flow` identifies the S-D pair, `seq` the packet within the flow.
+  virtual void send(net::NodeId src, net::NodeId dst,
+                    std::size_t payload_bytes, std::uint32_t flow,
+                    std::uint32_t seq) = 0;
+
+  [[nodiscard]] const ProtocolStats& stats() const { return stats_; }
+
+ protected:
+  /// Account `seconds` of cryptographic computation at `node`: simulated
+  /// latency totals for the stats and joules on the node's energy meter.
+  void charge_crypto(const net::Node& node, double seconds) {
+    stats_.crypto_time_total_s += seconds;
+    net_.charge_crypto(node.id(), seconds);
+  }
+
+  /// Attach this protocol as the handler of every node.
+  void attach_to_all() {
+    for (net::NodeId id = 0; id < net_.size(); ++id) {
+      net_.attach_handler(id, this);
+    }
+  }
+
+  net::Network& net_;
+  loc::LocationService& loc_;
+  ProtocolStats stats_;
+};
+
+}  // namespace alert::routing

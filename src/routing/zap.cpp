@@ -1,0 +1,135 @@
+#include "routing/zap.hpp"
+
+#include <algorithm>
+
+#include "routing/geo_forwarding.hpp"
+
+namespace alert::routing {
+
+ZapRouter::ZapRouter(net::Network& network, loc::LocationService& location,
+                     ZapConfig config)
+    : Protocol(network, location),
+      config_(config),
+      rng_(network.rng().fork(0x5A9)) {
+  attach_to_all();
+}
+
+util::Rect ZapRouter::cloak(util::Vec2 dest, util::Rng& rng) const {
+  const double side = config_.zone_side_m;
+  const util::Rect& field = net_.config().field;
+  // D sits at a uniform position inside the zone, so the zone centre
+  // reveals nothing about D's exact location.
+  const double off_x = rng.uniform(0.0, side);
+  const double off_y = rng.uniform(0.0, side);
+  util::Vec2 min{dest.x - off_x, dest.y - off_y};
+  // Clamp into the field while preserving the side length.
+  min.x = std::clamp(min.x, field.min.x, field.max.x - side);
+  min.y = std::clamp(min.y, field.min.y, field.max.y - side);
+  return util::Rect{min, {min.x + side, min.y + side}};
+}
+
+void ZapRouter::send(net::NodeId src, net::NodeId dst,
+                     std::size_t payload_bytes, std::uint32_t flow,
+                     std::uint32_t seq) {
+  const auto record = loc_.query(src, dst);
+  if (!record) return;
+
+  net::Node& source = net_.node(src);
+  net::Packet pkt;
+  pkt.kind = net::PacketKind::Data;
+  pkt.src_pseudonym = source.pseudonym();
+  pkt.dst_pseudonym = record->pseudonym;
+  pkt.flow = flow;
+  pkt.seq = seq;
+  pkt.payload.assign(payload_bytes, 0);
+  pkt.alert = net::AlertFields{};  // universal zone fields (see header)
+  pkt.alert->dest_zone = cloak(record->position, rng_);
+  pkt.alert->td = pkt.alert->dest_zone.center();
+  pkt.hops_remaining = config_.max_hops;
+  pkt.uid = net_.next_uid();
+  pkt.app_send_time = net_.now();
+  pkt.first_send_time = net_.now();
+  pkt.true_source = src;
+  pkt.true_dest = dst;
+  pkt.size_bytes = payload_bytes + header_bytes(pkt);
+
+  ++stats_.data_sent;
+  forward(source, std::move(pkt));
+}
+
+void ZapRouter::handle(net::Node& self, const net::Packet& pkt) {
+  if (pkt.kind != net::PacketKind::Data || !pkt.alert) return;
+  if (pkt.alert->in_dest_zone_phase) {
+    const util::Vec2 pos = self.position(net_.now());
+    if (!pkt.alert->dest_zone.contains(pos)) return;  // overheard
+    if (net_.resolve_pseudonym(pkt.dst_pseudonym) == self.id() &&
+        delivered_uids_.insert(pkt.uid).second) {
+      ++stats_.data_delivered;
+      // D must keep rebroadcasting like every other zone member, or its
+      // silence would single it out.
+    }
+    if (config_.flood_rebroadcast && pkt.hops_remaining > 0 &&
+        !rebroadcast_done_[pkt.uid ^ (static_cast<std::uint64_t>(self.id())
+                                      << 40)]) {
+      rebroadcast_done_[pkt.uid ^ (static_cast<std::uint64_t>(self.id())
+                                   << 40)] = true;
+      net::Packet copy = pkt;
+      --copy.hops_remaining;
+      ++copy.hop_count;
+      ++stats_.broadcasts;
+      net_.broadcast(self, std::move(copy), config_.per_hop_processing_s);
+    }
+    return;
+  }
+  forward(self, pkt);
+}
+
+void ZapRouter::forward(net::Node& self, net::Packet pkt) {
+  if (pkt.hops_remaining <= 0) {
+    ++stats_.data_dropped;
+    return;
+  }
+  const util::Vec2 self_pos = self.position(net_.now());
+  if (pkt.alert->dest_zone.contains(self_pos)) {
+    zone_flood(self, std::move(pkt));
+    return;
+  }
+  --pkt.hops_remaining;
+  ++pkt.hop_count;
+  const util::Vec2 target = pkt.alert->td;
+  if (const auto* next = greedy_next_hop(self, self_pos, target)) {
+    ++stats_.forwards;
+    net_.unicast(self, next->pseudonym, std::move(pkt),
+                 config_.per_hop_processing_s);
+    return;
+  }
+  util::Vec2 from = target;
+  if (pkt.prev_hop != net::kInvalidNode && pkt.prev_hop != self.id()) {
+    from = net_.node(pkt.prev_hop).position(net_.now());
+  }
+  if (const auto* next = perimeter_next_hop(self, self_pos, from)) {
+    ++stats_.forwards;
+    net_.unicast(self, next->pseudonym, std::move(pkt),
+                 config_.per_hop_processing_s);
+    return;
+  }
+  ++stats_.data_dropped;
+}
+
+void ZapRouter::zone_flood(net::Node& self, net::Packet pkt) {
+  --pkt.hops_remaining;
+  ++pkt.hop_count;
+  pkt.alert->in_dest_zone_phase = true;
+  rebroadcast_done_[pkt.uid ^ (static_cast<std::uint64_t>(self.id())
+                               << 40)] = true;
+  ++stats_.broadcasts;
+  // The entry holder may itself be D.
+  net::Packet local = pkt;
+  net_.broadcast(self, std::move(pkt), config_.per_hop_processing_s);
+  if (net_.resolve_pseudonym(local.dst_pseudonym) == self.id() &&
+      delivered_uids_.insert(local.uid).second) {
+    ++stats_.data_delivered;
+  }
+}
+
+}  // namespace alert::routing

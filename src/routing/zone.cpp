@@ -1,0 +1,63 @@
+#include "routing/zone.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace alert::routing {
+
+int partitions_for_anonymity(double node_count, double k) {
+  assert(node_count > 0 && k > 0);
+  const double h = std::log2(node_count / k);
+  return h < 1.0 ? 1 : static_cast<int>(h);
+}
+
+double expected_zone_population(double node_count, int H) {
+  return node_count / std::exp2(static_cast<double>(H));
+}
+
+util::Rect destination_zone(const util::Rect& field, util::Vec2 dest, int H,
+                            util::Axis first) {
+  assert(field.contains(dest));
+  util::Rect zone = field;
+  util::Axis axis = first;
+  for (int i = 0; i < H; ++i) {
+    zone = zone.half_containing(axis, dest);
+    axis = util::flip(axis);
+  }
+  return zone;
+}
+
+std::optional<PartitionStep> partition_until_separated(
+    const util::Rect& field, util::Vec2 self, const util::Rect& dest_zone,
+    util::Axis first_axis, int max_splits) {
+  assert(field.contains(self));
+  if (dest_zone.contains(self)) return std::nullopt;
+
+  util::Rect zone = field;
+  util::Axis axis = first_axis;
+  int splits = 0;
+  while (splits < max_splits) {
+    const util::RectSplit halves = zone.split(axis);
+    const bool in_first = halves.first.contains(self);
+    const util::Rect& own = in_first ? halves.first : halves.second;
+    const util::Rect& other = in_first ? halves.second : halves.first;
+    ++splits;
+    if (own.contains(dest_zone)) {
+      // Still in the same zone as Z_D: keep partitioning (Sec. 2.3).
+      zone = own;
+      axis = util::flip(axis);
+      continue;
+    }
+    // Separated: Z_D lies (at least partly) in the other half. The TD will
+    // be drawn there so the packet approaches D.
+    return PartitionStep{own, other, splits, axis};
+  }
+  return std::nullopt;  // could not separate within the split budget
+}
+
+util::Vec2 choose_temporary_destination(const PartitionStep& step,
+                                        util::Rng& rng) {
+  return rng.point_in(step.other_half);
+}
+
+}  // namespace alert::routing

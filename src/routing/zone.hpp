@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file zone.hpp
+/// Hierarchical zone partition (Secs. 2.3-2.4): the geometric heart of
+/// ALERT. The network field is recursively bisected in alternating
+/// horizontal/vertical directions; the destination zone Z_D is the H-th
+/// partitioned zone containing D, and each forwarder partitions until it is
+/// separated from Z_D, then draws a random temporary destination (TD) in
+/// the half where Z_D lies.
+
+#include <optional>
+
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace alert::routing {
+
+/// Number of partitions H = log2(rho * G / k) rounded down so the zone
+/// holds at least k expected nodes (Sec. 2.4). Clamped to >= 1.
+[[nodiscard]] int partitions_for_anonymity(double node_count, double k);
+
+/// Expected number of nodes in the destination zone for a given H.
+[[nodiscard]] double expected_zone_population(double node_count, int H);
+
+/// Compute the position of the H-th partitioned zone containing `dest`
+/// (Sec. 2.4). Partitioning starts vertically ("Assume ALERT partitions
+/// zone vertically first") and alternates; each step keeps the half
+/// containing `dest`. The worked example in the paper — field (0,0)-(4,2),
+/// H = 3, D = (0.5, 0.8) -> zone (0,0)-(1,1) — is a unit test.
+[[nodiscard]] util::Rect destination_zone(const util::Rect& field,
+                                          util::Vec2 dest, int H,
+                                          util::Axis first =
+                                              util::Axis::Vertical);
+
+/// One forwarder's partition step (Sec. 2.3).
+struct PartitionStep {
+  util::Rect own_half;    ///< the half containing the forwarder
+  util::Rect other_half;  ///< the half containing (the bulk of) Z_D
+  int splits_performed = 0;   ///< partitions executed in this step
+  util::Axis last_axis;       ///< direction of the final (separating) split
+};
+
+/// From `self`'s position, bisect the zone containing both `self` and
+/// `dest_zone` — starting with `first_axis` and alternating — until the
+/// half holding `self` no longer fully contains `dest_zone`. Returns
+/// nullopt when `self` already lies inside `dest_zone` (the caller must
+/// switch to the destination-zone delivery phase) and when `max_splits`
+/// would be exceeded.
+[[nodiscard]] std::optional<PartitionStep> partition_until_separated(
+    const util::Rect& field, util::Vec2 self, const util::Rect& dest_zone,
+    util::Axis first_axis, int max_splits);
+
+/// Draw a temporary destination: a uniform point in the separating step's
+/// other half (the side where Z_D lies).
+[[nodiscard]] util::Vec2 choose_temporary_destination(
+    const PartitionStep& step, util::Rng& rng);
+
+}  // namespace alert::routing

@@ -1,0 +1,58 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace alert::sim {
+
+EventId EventQueue::schedule(Time when, Action action) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{when, next_seq_++, id, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::is_cancelled(EventId id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+         cancelled_.end();
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Refuse double-cancel.
+  if (is_cancelled(id)) return false;
+  // The event may have fired already; confirm it is still in the heap.
+  const bool pending =
+      std::any_of(heap_.begin(), heap_.end(),
+                  [id](const Entry& e) { return e.id == id; });
+  if (!pending) return false;
+  cancelled_.push_back(id);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::skip_cancelled() const {
+  while (!heap_.empty() && is_cancelled(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+  }
+}
+
+Time EventQueue::next_time() const {
+  skip_cancelled();
+  assert(!heap_.empty());
+  return heap_.front().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skip_cancelled();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  --live_count_;
+  return Fired{e.time, std::move(e.action)};
+}
+
+}  // namespace alert::sim

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// The pending-event set of the discrete-event engine: a binary min-heap
+/// ordered by (time, sequence). The sequence number makes simultaneous
+/// events fire in scheduling order, which keeps runs deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace alert::sim {
+
+/// Simulated time in seconds.
+using Time = double;
+
+/// Token identifying a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` at absolute time `when`. Returns a cancellation id.
+  EventId schedule(Time when, Action action);
+
+  /// Cancel a pending event. Returns false if it already fired, was already
+  /// cancelled, or never existed. Cancellation is O(1) (lazy deletion).
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] Time next_time() const;
+
+  /// Extract and return the earliest event's action, advancing past any
+  /// cancelled entries. Precondition: !empty().
+  struct Fired {
+    Time time;
+    Action action;
+  };
+  [[nodiscard]] Fired pop();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventId id;
+    Action action;
+    bool operator>(const Entry& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  void skip_cancelled() const;
+
+  mutable std::vector<Entry> heap_;  // std::push_heap/pop_heap with greater
+  std::vector<EventId> cancelled_;   // sorted-on-demand lazy tombstones
+  mutable std::size_t live_count_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+
+  [[nodiscard]] bool is_cancelled(EventId id) const;
+};
+
+}  // namespace alert::sim

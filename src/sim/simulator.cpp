@@ -1,0 +1,56 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace alert::sim {
+
+EventId Simulator::schedule_in(Time delay, EventQueue::Action action) {
+  assert(delay >= 0.0);
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+EventId Simulator::schedule_at(Time when, EventQueue::Action action) {
+  assert(when >= now_);
+  return queue_.schedule(when, std::move(action));
+}
+
+void Simulator::schedule_periodic(Time start, Time period,
+                                  std::function<void()> action) {
+  assert(period > 0.0);
+  auto shared = std::make_shared<std::function<void()>>(std::move(action));
+  // The recursive lambda owns only a shared_ptr to the user action; `this`
+  // outlives the queue so capturing it is safe.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, shared, tick, period] {
+    (*shared)();
+    schedule_in(period, *tick);
+  };
+  schedule_at(start, *tick);
+}
+
+std::uint64_t Simulator::run_until(Time horizon) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    auto fired = queue_.pop();
+    assert(fired.time + 1e-12 >= now_);
+    now_ = fired.time;
+    fired.action();
+    ++executed_;
+    ++count;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return count;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  fired.action();
+  ++executed_;
+  return true;
+}
+
+}  // namespace alert::sim

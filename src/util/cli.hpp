@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file cli.hpp
+/// Minimal command-line flag parser for the alertsim driver binaries:
+/// `--key=value` / `--key value` / boolean `--flag`. No dependencies,
+/// deterministic error reporting, typed getters with defaults.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace alert::util {
+
+class CliArgs {
+ public:
+  /// Parse argv (argv[0] skipped). Returns nullopt and fills `error` on a
+  /// malformed token (anything not starting with "--").
+  static std::optional<CliArgs> parse(int argc, const char* const* argv,
+                                      std::string* error = nullptr);
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.contains(key);
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get(const std::string& key, double fallback) const;
+  [[nodiscard]] std::int64_t get(const std::string& key,
+                                 std::int64_t fallback) const;
+  [[nodiscard]] bool get(const std::string& key, bool fallback) const;
+
+  /// Keys the program never consumed (typo detection).
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  mutable std::map<std::string, std::pair<std::string, bool>> values_;
+};
+
+}  // namespace alert::util

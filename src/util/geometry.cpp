@@ -1,0 +1,45 @@
+#include "util/geometry.hpp"
+
+#include <ostream>
+
+namespace alert::util {
+
+std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.min << " - " << r.max << ']';
+}
+
+namespace {
+
+int orientation(Vec2 a, Vec2 b, Vec2 c) {
+  const double v = (b - a).cross(c - a);
+  constexpr double kEps = 1e-12;
+  if (v > kEps) return 1;
+  if (v < -kEps) return -1;
+  return 0;
+}
+
+bool on_segment(Vec2 a, Vec2 b, Vec2 p) {
+  return std::min(a.x, b.x) <= p.x && p.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= p.y && p.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+bool segments_intersect(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  const int o1 = orientation(a, b, c);
+  const int o2 = orientation(a, b, d);
+  const int o3 = orientation(c, d, a);
+  const int o4 = orientation(c, d, b);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && on_segment(a, b, c)) return true;
+  if (o2 == 0 && on_segment(a, b, d)) return true;
+  if (o3 == 0 && on_segment(c, d, a)) return true;
+  if (o4 == 0 && on_segment(c, d, b)) return true;
+  return false;
+}
+
+}  // namespace alert::util

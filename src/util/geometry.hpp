@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file geometry.hpp
+/// 2-D vector and axis-aligned rectangle primitives used throughout the
+/// simulator: node positions, velocities, network-field and zone rectangles.
+
+#include <algorithm>
+#include <cmath>
+#include <iosfwd>
+#include <limits>
+
+namespace alert::util {
+
+/// A point or displacement in the plane, in metres.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double norm_sq() const { return x * x + y * y; }
+  [[nodiscard]] constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; sign gives turn direction.
+  [[nodiscard]] constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+
+  /// Unit vector in this direction; returns {0,0} for the zero vector.
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  /// Polar angle in [-pi, pi].
+  [[nodiscard]] double angle() const { return std::atan2(y, x); }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+[[nodiscard]] constexpr double distance_sq(Vec2 a, Vec2 b) {
+  return (a - b).norm_sq();
+}
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+
+/// Which axis a zone partition cuts across. A Horizontal cut splits the
+/// rectangle with a horizontal line (halving the height); a Vertical cut
+/// splits with a vertical line (halving the width).
+enum class Axis { Horizontal, Vertical };
+
+[[nodiscard]] constexpr Axis flip(Axis a) {
+  return a == Axis::Horizontal ? Axis::Vertical : Axis::Horizontal;
+}
+
+struct Rect;
+
+/// Result of bisecting a rectangle along an axis.
+struct RectSplit;
+
+/// Closed axis-aligned rectangle [min.x, max.x] x [min.y, max.y].
+/// Zones in ALERT are represented by their bottom-left and top-right corners
+/// (equivalently the paper's "upper left and bottom-right coordinates").
+struct Rect {
+  Vec2 min;
+  Vec2 max;
+
+  constexpr Rect() = default;
+  constexpr Rect(Vec2 mn, Vec2 mx) : min(mn), max(mx) {}
+  constexpr Rect(double x0, double y0, double x1, double y1)
+      : min(x0, y0), max(x1, y1) {}
+
+  constexpr bool operator==(const Rect&) const = default;
+
+  [[nodiscard]] constexpr double width() const { return max.x - min.x; }
+  [[nodiscard]] constexpr double height() const { return max.y - min.y; }
+  [[nodiscard]] constexpr double area() const { return width() * height(); }
+  [[nodiscard]] constexpr Vec2 center() const {
+    return {(min.x + max.x) * 0.5, (min.y + max.y) * 0.5};
+  }
+
+  [[nodiscard]] constexpr bool contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  /// True when `inner` lies entirely within this rectangle.
+  [[nodiscard]] constexpr bool contains(const Rect& inner) const {
+    return inner.min.x >= min.x && inner.max.x <= max.x &&
+           inner.min.y >= min.y && inner.max.y <= max.y;
+  }
+  [[nodiscard]] constexpr bool intersects(const Rect& o) const {
+    return min.x <= o.max.x && o.min.x <= max.x && min.y <= o.max.y &&
+           o.min.y <= max.y;
+  }
+
+  /// Clamp a point into the rectangle (used to keep mobile nodes in-field).
+  [[nodiscard]] constexpr Vec2 clamp(Vec2 p) const {
+    return {std::clamp(p.x, min.x, max.x), std::clamp(p.y, min.y, max.y)};
+  }
+
+  /// Bisect at the midpoint. Axis::Vertical cuts with a vertical line
+  /// (first = left half); Axis::Horizontal cuts with a horizontal line
+  /// (first = bottom half).
+  [[nodiscard]] constexpr RectSplit split(Axis axis) const;
+
+  /// The half (after a midpoint split along `axis`) containing `p`.
+  /// Points exactly on the cut line belong to the first half.
+  [[nodiscard]] constexpr Rect half_containing(Axis axis, Vec2 p) const;
+};
+
+struct RectSplit {
+  Rect first;   ///< lower/left half
+  Rect second;  ///< upper/right half
+};
+
+constexpr RectSplit Rect::split(Axis axis) const {
+  if (axis == Axis::Vertical) {
+    const double mid = (min.x + max.x) * 0.5;
+    return {Rect{min, {mid, max.y}}, Rect{{mid, min.y}, max}};
+  }
+  const double mid = (min.y + max.y) * 0.5;
+  return {Rect{min, {max.x, mid}}, Rect{{min.x, mid}, max}};
+}
+
+constexpr Rect Rect::half_containing(Axis axis, Vec2 p) const {
+  const RectSplit s = split(axis);
+  return s.first.contains(p) ? s.first : s.second;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+/// Segment intersection test used by perimeter-mode face routing: does the
+/// open segment (a,b) cross segment (c,d)?
+[[nodiscard]] bool segments_intersect(Vec2 a, Vec2 b, Vec2 c, Vec2 d);
+
+}  // namespace alert::util

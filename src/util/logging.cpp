@@ -1,0 +1,36 @@
+#include "util/logging.hpp"
+
+#include <cstdarg>
+
+namespace alert::util {
+
+namespace {
+LogLevel g_level = LogLevel::None;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::None: break;
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...) {
+  std::fprintf(stderr, "[%s] ", level_name(level));
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+}  // namespace detail
+
+}  // namespace alert::util

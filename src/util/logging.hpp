@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file logging.hpp
+/// Minimal leveled logging. Disabled by default so experiment output stays
+/// clean; tests and examples can raise the level to trace protocol events.
+
+#include <cstdio>
+#include <string>
+
+namespace alert::util {
+
+enum class LogLevel { None = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
+
+/// Process-wide log threshold. Not synchronized: set it once at startup.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+}  // namespace detail
+
+#define ALERT_LOG(level, ...)                                     \
+  do {                                                            \
+    if (static_cast<int>(level) <=                                \
+        static_cast<int>(::alert::util::log_level())) {           \
+      ::alert::util::detail::vlog(level, __VA_ARGS__);            \
+    }                                                             \
+  } while (0)
+
+#define ALERT_LOG_DEBUG(...) ALERT_LOG(::alert::util::LogLevel::Debug, __VA_ARGS__)
+#define ALERT_LOG_INFO(...) ALERT_LOG(::alert::util::LogLevel::Info, __VA_ARGS__)
+#define ALERT_LOG_WARN(...) ALERT_LOG(::alert::util::LogLevel::Warn, __VA_ARGS__)
+#define ALERT_LOG_ERROR(...) ALERT_LOG(::alert::util::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace alert::util

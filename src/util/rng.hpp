@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, explicitly-seeded pseudo-random number generation.
+///
+/// Every stochastic component of the simulator (mobility, TD selection,
+/// traffic, backoff, cover traffic, ...) draws from an Rng owned by its
+/// scenario, so any experiment is exactly reproducible from its seed. The
+/// generator is xoshiro256**, seeded through SplitMix64 per the reference
+/// recommendation; both are implemented here so results do not depend on a
+/// standard library's unspecified distribution algorithms.
+
+#include <array>
+#include <cstdint>
+
+#include "util/geometry.hpp"
+
+namespace alert::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state and
+/// to derive independent child seeds (seed sequences) for sub-components.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  /// Derive an independently-seeded child generator (for a sub-component),
+  /// keyed by a caller-chosen stream id so call order does not matter.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const {
+    SplitMix64 sm(state_[0] ^ (stream * 0x9e3779b97f4a7c15ULL) ^ state_[3]);
+    Rng child(sm.next());
+    return child;
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface.
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n) using Lemire's unbiased method.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Uniform point in a rectangle.
+  Vec2 point_in(const Rect& r) {
+    return {uniform(r.min.x, r.max.x), uniform(r.min.y, r.max.y)};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace alert::util

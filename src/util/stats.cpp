@@ -1,0 +1,134 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+
+namespace alert::util {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  const double se = stddev() / std::sqrt(static_cast<double>(n_));
+  return student_t_975(n_ - 1) * se;
+}
+
+void Accumulator::merge(const Accumulator& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double delta = o.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(o.n_);
+  mean_ += delta * m / (n + m);
+  m2_ += o.m2_ + delta * delta * n * m / (n + m);
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double student_t_975(std::size_t dof) {
+  static constexpr std::array<double, 31> kTable = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+      2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+      2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+      2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+  if (dof == 0) return 0.0;
+  if (dof < kTable.size()) return kTable[dof];
+  return 1.96;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(bins_.size()) - 1);
+  ++bins_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(bins_.size());
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    cum += static_cast<double>(bins_[i]);
+    if (cum >= target) return bin_low(i);
+  }
+  return hi_;
+}
+
+void print_series_table(const std::string& title, const std::string& x_label,
+                        const std::string& y_label,
+                        const std::vector<Series>& series) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("y: %s\n", y_label.c_str());
+  std::printf("%-12s", x_label.c_str());
+  for (const auto& s : series) std::printf("  %-22s", s.name.c_str());
+  std::printf("\n");
+
+  // Collect the union of x values (series may be sparse).
+  std::map<double, std::vector<const SeriesPoint*>> rows;
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    for (const auto& p : series[si].points) {
+      auto& row = rows[p.x];
+      row.resize(series.size(), nullptr);
+      row[si] = &p;
+    }
+  }
+  for (const auto& [x, row] : rows) {
+    std::printf("%-12.4g", x);
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      const SeriesPoint* p = si < row.size() ? row[si] : nullptr;
+      if (p == nullptr) {
+        std::printf("  %-22s", "-");
+      } else if (p->ci > 0.0) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.4g (+/-%.2g)", p->y, p->ci);
+        std::printf("  %-22s", buf);
+      } else {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.4g", p->y);
+        std::printf("  %-22s", buf);
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace alert::util

@@ -1,0 +1,233 @@
+#include "analysis/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace alert::analysis {
+namespace {
+
+TEST(Theory, SideLengthsEquations1And2) {
+  // Paper Eqs. (3)-(4): after 3 partitions, a = 0.5 l_A, b = 0.25 l_B.
+  EXPECT_DOUBLE_EQ(side_a(3, 1000.0), 500.0);
+  EXPECT_DOUBLE_EQ(side_b(3, 1000.0), 250.0);
+  EXPECT_DOUBLE_EQ(side_a(0, 1000.0), 1000.0);
+  EXPECT_DOUBLE_EQ(side_b(0, 1000.0), 1000.0);
+  EXPECT_DOUBLE_EQ(side_a(4, 1000.0), 250.0);
+  EXPECT_DOUBLE_EQ(side_b(4, 1000.0), 250.0);
+}
+
+TEST(Theory, SideProductHalvesPerPartition) {
+  for (int h = 0; h < 10; ++h) {
+    const double area_h = side_a(h, 1000.0) * side_b(h, 1000.0);
+    const double area_h1 = side_a(h + 1, 1000.0) * side_b(h + 1, 1000.0);
+    EXPECT_NEAR(area_h1, area_h / 2.0, 1e-9);
+  }
+}
+
+TEST(Theory, PartitionsForK) {
+  // H = log2(rho G / k); for 200 nodes and k = 6.25, H = 5.
+  EXPECT_NEAR(partitions_for_k(200.0 / 1e6, 1e6, 6.25), 5.0, 1e-12);
+}
+
+TEST(Theory, DestZonePopulation) {
+  const NetworkShape net{1000.0, 1000.0, 200.0};
+  EXPECT_NEAR(dest_zone_population(net, 5), 6.25, 1e-12);
+  EXPECT_NEAR(dest_zone_population(net, 0), 200.0, 1e-12);
+}
+
+TEST(Theory, SeparationProbabilityEq5) {
+  EXPECT_DOUBLE_EQ(separation_probability(1), 0.5);
+  EXPECT_DOUBLE_EQ(separation_probability(2), 0.25);
+  EXPECT_DOUBLE_EQ(separation_probability(5), 1.0 / 32.0);
+}
+
+TEST(Theory, SeparationProbabilityMatchesGeometry) {
+  // p_s(sigma) is the probability D lands in a position separated from S
+  // after exactly sigma partitions — i.e. D falls in the "other half" at
+  // level sigma, which has measure 2^-sigma of the field.
+  const NetworkShape net;
+  double total = 0.0;
+  for (int sigma = 1; sigma <= 20; ++sigma) {
+    total += separation_probability(sigma);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-5);
+  (void)net;
+}
+
+TEST(Theory, ExpectedPossibleNodesEq7Monotone) {
+  const NetworkShape net{1000.0, 1000.0, 200.0};
+  double prev = 0.0;
+  for (int H = 1; H <= 8; ++H) {
+    const double ne = expected_possible_nodes(net, H);
+    EXPECT_GT(ne, prev);
+    prev = ne;
+  }
+}
+
+TEST(Theory, ExpectedPossibleNodesApproachesQuarterOfN) {
+  // Fig. 7a's observation: N_e tends to about N/4 for large H (each term
+  // a(s)b(s)rho * 2^-s = N * 4^-s... summed geometric to N/3 for the
+  // alternating pattern it settles near N/4-N/3).
+  const NetworkShape net{1000.0, 1000.0, 400.0};
+  const double ne = expected_possible_nodes(net, 10);
+  EXPECT_GT(ne, 400.0 * 0.2);
+  EXPECT_LT(ne, 400.0 * 0.45);
+}
+
+TEST(Theory, ExpectedPossibleNodesScalesWithN) {
+  const NetworkShape n100{1000.0, 1000.0, 100.0};
+  const NetworkShape n400{1000.0, 1000.0, 400.0};
+  EXPECT_NEAR(expected_possible_nodes(n400, 5),
+              4.0 * expected_possible_nodes(n100, 5), 1e-9);
+}
+
+TEST(Theory, BinomialKnownValues) {
+  EXPECT_DOUBLE_EQ(binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(4, 5), 0.0);
+  EXPECT_DOUBLE_EQ(binomial(52, 5), 2598960.0);
+}
+
+class PmfSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PmfSweep, RfCountPmfSumsToOne) {
+  const auto [H, sigma] = GetParam();
+  double total = 0.0;
+  for (int i = 0; i <= H - sigma; ++i) total += rf_count_pmf(H, sigma, i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST_P(PmfSweep, ExpectedRfsMatchesClosedForm) {
+  // Eq. (9) has the closed form E = (H - sigma) / 2 (mean of a Binomial
+  // with p = 1/2).
+  const auto [H, sigma] = GetParam();
+  EXPECT_NEAR(expected_rfs_at(H, sigma),
+              static_cast<double>(H - sigma) / 2.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PmfSweep,
+    ::testing::Values(std::pair{5, 1}, std::pair{5, 3}, std::pair{7, 2},
+                      std::pair{10, 1}, std::pair{4, 4}));
+
+TEST(Theory, ExpectedRfsIncreasesLinearlyWithH) {
+  // Fig. 7b: approximately linear growth. Check successive differences
+  // converge to a constant.
+  const double d1 = expected_rfs(5) - expected_rfs(4);
+  const double d2 = expected_rfs(9) - expected_rfs(8);
+  EXPECT_NEAR(d1, d2, 0.05);
+  EXPECT_GT(expected_rfs(8), expected_rfs(4));
+}
+
+TEST(Theory, ExpectedRfsMonteCarloAgreement) {
+  // Simulate the RF+/RF- coin-flip process of Sec. 4.2 directly and
+  // compare with Eq. (10).
+  constexpr int kH = 6;
+  util::Rng rng(99);
+  double total = 0.0;
+  constexpr int kTrials = 200000;
+  for (int t = 0; t < kTrials; ++t) {
+    // Draw closeness sigma with p_s(sigma) = 2^-sigma (renormalized over
+    // 1..H by rejection).
+    int sigma;
+    do {
+      sigma = 1;
+      while (rng.bernoulli(0.5)) ++sigma;  // geometric, p = 1/2
+    } while (sigma > kH);                  // reject beyond H (renormalize)
+    int rfs = 0;
+    for (int i = 0; i < kH - sigma; ++i) rfs += rng.bernoulli(0.5) ? 1 : 0;
+    total += rfs;
+  }
+  // Renormalize the analytical value over the truncated sigma range.
+  double expected = 0.0, mass = 0.0;
+  for (int sigma = 1; sigma <= kH; ++sigma) {
+    expected += expected_rfs_at(kH, sigma) * separation_probability(sigma);
+    mass += separation_probability(sigma);
+  }
+  expected /= mass;
+  EXPECT_NEAR(total / kTrials, expected, 0.02);
+}
+
+TEST(Theory, BetaFormulas) {
+  // Eq. (12): beta = pi r / (2 v).
+  EXPECT_NEAR(beta_circle(100.0, 2.0), M_PI * 100.0 / 4.0, 1e-12);
+  // Eq. (14): beta = sqrt(pi) r' / v with r' = side / 2.
+  EXPECT_NEAR(beta_square_zone(200.0, 2.0), std::sqrt(M_PI) * 50.0, 1e-12);
+}
+
+TEST(Theory, SquareCircleApproximationConsistent) {
+  // Eq. (13): r = 2 r' / sqrt(pi) makes the circle area equal the square.
+  const double side = 250.0;
+  const double r = 2.0 * (side / 2.0) / std::sqrt(M_PI);
+  EXPECT_NEAR(M_PI * r * r, side * side, 1e-9);
+  EXPECT_NEAR(beta_circle(r, 2.0), beta_square_zone(side, 2.0), 1e-9);
+}
+
+TEST(Theory, RemainProbabilityDecays) {
+  const double beta = beta_square_zone(176.0, 2.0);
+  EXPECT_DOUBLE_EQ(remain_probability(0.0, beta), 1.0);
+  EXPECT_GT(remain_probability(10.0, beta), remain_probability(20.0, beta));
+  EXPECT_NEAR(remain_probability(beta, beta), std::exp(-1.0), 1e-12);
+}
+
+TEST(Theory, RemainingNodesEq15Properties) {
+  const NetworkShape net{1000.0, 1000.0, 200.0};
+  // t = 0: full zone population.
+  EXPECT_NEAR(remaining_nodes(net, 5, 2.0, 0.0),
+              dest_zone_population(net, 5), 1e-9);
+  // Decreasing in time and in speed; increasing in density.
+  EXPECT_GT(remaining_nodes(net, 5, 2.0, 10.0),
+            remaining_nodes(net, 5, 2.0, 30.0));
+  EXPECT_GT(remaining_nodes(net, 5, 2.0, 10.0),
+            remaining_nodes(net, 5, 4.0, 10.0));
+  const NetworkShape denser{1000.0, 1000.0, 400.0};
+  EXPECT_GT(remaining_nodes(denser, 5, 2.0, 10.0),
+            remaining_nodes(net, 5, 2.0, 10.0));
+  // Static nodes never leave.
+  EXPECT_NEAR(remaining_nodes(net, 5, 0.0, 1000.0),
+              dest_zone_population(net, 5), 1e-9);
+}
+
+TEST(Theory, FewerPartitionsMoreRemainingNodes) {
+  // Fig. 13a: H = 4 keeps more nodes than H = 5 at any time.
+  const NetworkShape net{1000.0, 1000.0, 200.0};
+  for (double t = 0.0; t <= 40.0; t += 10.0) {
+    EXPECT_GT(remaining_nodes(net, 4, 2.0, t),
+              remaining_nodes(net, 5, 2.0, t));
+  }
+}
+
+TEST(Theory, RequiredNodeCountInvertsEq15) {
+  const NetworkShape net{1000.0, 1000.0, 200.0};
+  const double needed = required_node_count(net, 5, 3.0, 10.0, 8.0);
+  NetworkShape check = net;
+  check.node_count = needed;
+  EXPECT_NEAR(remaining_nodes(check, 5, 3.0, 10.0), 8.0, 1e-9);
+}
+
+TEST(Theory, RequiredDensityGrowsWithSpeed) {
+  // Fig. 13b: faster movement demands higher density for the same k.
+  const NetworkShape net{1000.0, 1000.0, 200.0};
+  double prev = 0.0;
+  for (double v = 1.0; v <= 8.0; v += 1.0) {
+    const double n = required_node_count(net, 5, v, 10.0, 8.0);
+    EXPECT_GT(n, prev);
+    prev = n;
+  }
+}
+
+TEST(Theory, LocationOverheadSmallForSqrtNServers) {
+  // Sec. 4.3: N_L ~ sqrt(N) and f << F give ratio << 1.
+  const double ratio = location_overhead_ratio(200.0, 14.0, 1.0, 30.0);
+  EXPECT_LT(ratio, 0.1);
+  // More servers or more frequent updates raise it.
+  EXPECT_GT(location_overhead_ratio(200.0, 100.0, 1.0, 30.0), ratio);
+  EXPECT_GT(location_overhead_ratio(200.0, 14.0, 10.0, 30.0), ratio);
+}
+
+}  // namespace
+}  // namespace alert::analysis

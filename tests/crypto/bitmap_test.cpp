@@ -1,0 +1,84 @@
+#include "crypto/bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace alert::crypto {
+namespace {
+
+TEST(Bitmap, AlterThenRestoreIsIdentity) {
+  util::Rng rng(1);
+  std::vector<std::uint8_t> payload(64, 0x3C);
+  const auto original = payload;
+  const auto bm = AlterationBitmap::alter(payload, 16, rng);
+  EXPECT_NE(payload, original);
+  bm.restore(payload);
+  EXPECT_EQ(payload, original);
+}
+
+TEST(Bitmap, FlipsRequestedNumberOfDistinctBits) {
+  util::Rng rng(2);
+  std::vector<std::uint8_t> payload(32, 0);
+  const auto bm = AlterationBitmap::alter(payload, 10, rng);
+  EXPECT_EQ(bm.positions().size(), 10u);
+  const std::set<std::uint32_t> distinct(bm.positions().begin(),
+                                         bm.positions().end());
+  EXPECT_EQ(distinct.size(), 10u);
+  // Exactly 10 bits set in the zero payload.
+  int set_bits = 0;
+  for (const std::uint8_t b : payload) set_bits += __builtin_popcount(b);
+  EXPECT_EQ(set_bits, 10);
+}
+
+TEST(Bitmap, FlipCountClampedToPayloadBits) {
+  util::Rng rng(3);
+  std::vector<std::uint8_t> payload(2, 0);  // 16 bits
+  const auto bm = AlterationBitmap::alter(payload, 100, rng);
+  EXPECT_EQ(bm.positions().size(), 16u);
+  EXPECT_EQ(payload, std::vector<std::uint8_t>(2, 0xFF));
+}
+
+TEST(Bitmap, EmptyPayloadYieldsEmptyBitmap) {
+  util::Rng rng(4);
+  std::vector<std::uint8_t> payload;
+  const auto bm = AlterationBitmap::alter(payload, 5, rng);
+  EXPECT_TRUE(bm.positions().empty());
+}
+
+TEST(Bitmap, SerializeDeserializeRoundTrip) {
+  util::Rng rng(5);
+  std::vector<std::uint8_t> payload(512, 0xAA);
+  const auto original = payload;
+  const auto bm = AlterationBitmap::alter(payload, 16, rng);
+  const auto wire = bm.serialize();
+  EXPECT_EQ(wire.size(), 64u);
+  const auto recovered = AlterationBitmap::deserialize(wire);
+  EXPECT_EQ(recovered.positions(), bm.positions());
+  recovered.restore(payload);
+  EXPECT_EQ(payload, original);
+}
+
+TEST(Bitmap, LayeredAlterationsRestoreInReverse) {
+  util::Rng rng(6);
+  std::vector<std::uint8_t> payload(128, 0x77);
+  const auto original = payload;
+  const auto layer1 = AlterationBitmap::alter(payload, 8, rng);
+  const auto layer2 = AlterationBitmap::alter(payload, 8, rng);
+  layer2.restore(payload);
+  layer1.restore(payload);
+  EXPECT_EQ(payload, original);
+}
+
+TEST(Bitmap, DifferentRngStatesDifferentPositions) {
+  util::Rng r1(7), r2(8);
+  std::vector<std::uint8_t> p1(512, 0), p2(512, 0);
+  const auto b1 = AlterationBitmap::alter(p1, 16, r1);
+  const auto b2 = AlterationBitmap::alter(p2, 16, r2);
+  EXPECT_NE(b1.positions(), b2.positions());
+}
+
+}  // namespace
+}  // namespace alert::crypto

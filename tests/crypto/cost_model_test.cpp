@@ -1,0 +1,42 @@
+#include "crypto/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alert::crypto {
+namespace {
+
+TEST(CostModel, DefaultsMatchPaperSection52) {
+  const CostModel m;
+  // "A typical symmetric encryption costs several milliseconds while a
+  // public key encryption operation costs 2-3 hundred milliseconds."
+  EXPECT_GE(m.symmetric_encrypt_s, 0.001);
+  EXPECT_LE(m.symmetric_encrypt_s, 0.010);
+  EXPECT_GE(m.public_encrypt_s, 0.200);
+  EXPECT_LE(m.public_encrypt_s, 0.300);
+  // Ref. [26]: public-key ops cost hundreds of times more than symmetric.
+  EXPECT_GE(m.public_encrypt_s / m.symmetric_encrypt_s, 50.0);
+}
+
+TEST(CostModel, SymmetricCostScalesWithPayload) {
+  const CostModel m;
+  EXPECT_DOUBLE_EQ(m.symmetric_encrypt_for(512), m.symmetric_encrypt_s);
+  EXPECT_DOUBLE_EQ(m.symmetric_encrypt_for(1024),
+                   2.0 * m.symmetric_encrypt_s);
+  EXPECT_DOUBLE_EQ(m.symmetric_decrypt_for(2048),
+                   4.0 * m.symmetric_decrypt_s);
+}
+
+TEST(CostModel, SmallPayloadsPayTheBlockMinimum) {
+  const CostModel m;
+  EXPECT_DOUBLE_EQ(m.symmetric_encrypt_for(1), m.symmetric_encrypt_s);
+  EXPECT_DOUBLE_EQ(m.symmetric_encrypt_for(0), m.symmetric_encrypt_s);
+}
+
+TEST(CostModel, VerificationCheaperThanSigning) {
+  const CostModel m;
+  // e = 65537 makes verification much cheaper than the private-key op.
+  EXPECT_LT(m.verify_s, m.sign_s / 5.0);
+}
+
+}  // namespace
+}  // namespace alert::crypto

@@ -1,0 +1,134 @@
+#include "crypto/pubkey.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace alert::crypto {
+namespace {
+
+TEST(ModArith, MulModSmall) {
+  EXPECT_EQ(mul_mod(7, 8, 5), 1u);
+  EXPECT_EQ(mul_mod(0, 99, 7), 0u);
+}
+
+TEST(ModArith, MulModLargeOperandsNoOverflow) {
+  const std::uint64_t big = 0xFFFFFFFFFFFFFFC5ull;  // largest 64-bit prime
+  EXPECT_EQ(mul_mod(big - 1, big - 1, big), 1u);  // (-1)^2 = 1 mod p
+}
+
+TEST(ModArith, PowModKnownValues) {
+  EXPECT_EQ(pow_mod(2, 10, 1000), 24u);
+  EXPECT_EQ(pow_mod(3, 0, 7), 1u);
+  EXPECT_EQ(pow_mod(5, 3, 13), 125 % 13);
+}
+
+TEST(ModArith, FermatLittleTheorem) {
+  const std::uint64_t p = 1000000007ull;
+  for (std::uint64_t a : {2ull, 12345ull, 999999999ull}) {
+    EXPECT_EQ(pow_mod(a, p - 1, p), 1u);
+  }
+}
+
+TEST(ModArith, InverseModCorrect) {
+  const auto inv = inverse_mod(3, 7);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ((*inv * 3) % 7, 1u);
+}
+
+TEST(ModArith, InverseModOfNonCoprimeIsNull) {
+  EXPECT_FALSE(inverse_mod(6, 9).has_value());
+}
+
+TEST(ModArith, InverseModLarge) {
+  const std::uint64_t m = 0xFFFFFFFFFFFFFFC5ull;
+  const auto inv = inverse_mod(65537, m);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(mul_mod(*inv, 65537, m), 1u);
+}
+
+TEST(MillerRabin, SmallPrimesAndComposites) {
+  EXPECT_TRUE(is_probable_prime(2));
+  EXPECT_TRUE(is_probable_prime(3));
+  EXPECT_TRUE(is_probable_prime(97));
+  EXPECT_FALSE(is_probable_prime(0));
+  EXPECT_FALSE(is_probable_prime(1));
+  EXPECT_FALSE(is_probable_prime(91));  // 7 * 13
+}
+
+TEST(MillerRabin, CarmichaelNumbersRejected) {
+  for (std::uint64_t n : {561ull, 1105ull, 1729ull, 2465ull, 6601ull}) {
+    EXPECT_FALSE(is_probable_prime(n)) << n;
+  }
+}
+
+TEST(MillerRabin, LargePrimes) {
+  EXPECT_TRUE(is_probable_prime((1ull << 61) - 1));  // Mersenne prime
+  EXPECT_TRUE(is_probable_prime(0xFFFFFFFFFFFFFFC5ull));
+  EXPECT_FALSE(is_probable_prime((1ull << 61) - 3));
+}
+
+TEST(KeyGen, ProducesWorkingKeyPair) {
+  util::Rng rng(1);
+  const KeyPair kp = generate_keypair(rng);
+  EXPECT_GT(kp.pub.n, 1ull << 55);
+  EXPECT_EQ(kp.pub.e, 65537u);
+  EXPECT_EQ(kp.pub.n, kp.priv.n);
+}
+
+TEST(KeyGen, DeterministicGivenRngState) {
+  util::Rng a(5), b(5);
+  const KeyPair ka = generate_keypair(a);
+  const KeyPair kb = generate_keypair(b);
+  EXPECT_EQ(ka.pub, kb.pub);
+}
+
+class RsaRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RsaRoundTrip, ValueEncryptDecrypt) {
+  util::Rng rng(GetParam());
+  const KeyPair kp = generate_keypair(rng);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t m = rng.below(kp.pub.n);
+    const std::uint64_t c = rsa_encrypt_value(kp.pub, m);
+    EXPECT_EQ(rsa_decrypt_value(kp.priv, c), m);
+  }
+}
+
+TEST_P(RsaRoundTrip, BytesEncryptDecrypt) {
+  util::Rng rng(GetParam() + 1000);
+  const KeyPair kp = generate_keypair(rng);
+  for (const std::size_t len : {0u, 1u, 6u, 7u, 8u, 16u, 32u, 100u}) {
+    std::vector<std::uint8_t> data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+    const auto blocks = rsa_encrypt_bytes(kp.pub, data);
+    EXPECT_EQ(blocks.size(), (len + 6) / 7);
+    EXPECT_EQ(rsa_decrypt_bytes(kp.priv, blocks, len), data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RsaRoundTrip,
+                         ::testing::Values(1, 2, 3, 7, 11, 101, 4242));
+
+TEST(Rsa, WrongKeyFailsToDecrypt) {
+  util::Rng rng(77);
+  const KeyPair a = generate_keypair(rng);
+  const KeyPair b = generate_keypair(rng);
+  ASSERT_NE(a.pub.n, b.pub.n);
+  const std::uint64_t m = 123456789;
+  const std::uint64_t c = rsa_encrypt_value(a.pub, m);
+  EXPECT_NE(rsa_decrypt_value(b.priv, c % b.priv.n), m);
+}
+
+TEST(Rsa, CiphertextDiffersFromPlaintext) {
+  util::Rng rng(88);
+  const KeyPair kp = generate_keypair(rng);
+  int unchanged = 0;
+  for (std::uint64_t m = 2; m < 100; ++m) {
+    if (rsa_encrypt_value(kp.pub, m) == m) ++unchanged;
+  }
+  EXPECT_LE(unchanged, 2);  // fixed points are astronomically rare
+}
+
+}  // namespace
+}  // namespace alert::crypto

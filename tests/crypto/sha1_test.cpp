@@ -1,0 +1,91 @@
+#include "crypto/sha1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace alert::crypto {
+namespace {
+
+// FIPS 180-1 reference vectors.
+TEST(Sha1, FipsVectorAbc) {
+  EXPECT_EQ(to_hex(Sha1::hash("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, FipsVectorTwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha1::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(to_hex(Sha1::hash("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(to_hex(ctx.finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  Sha1 ctx;
+  for (const char c : msg) ctx.update(std::string_view(&c, 1));
+  EXPECT_EQ(ctx.finish(), Sha1::hash(msg));
+}
+
+TEST(Sha1, BlockBoundaryLengths) {
+  // Lengths straddling the 64-byte block and the 56-byte padding cutoff.
+  for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha1 a;
+    a.update(msg);
+    Sha1 b;
+    b.update(msg.substr(0, len / 2));
+    b.update(msg.substr(len / 2));
+    EXPECT_EQ(a.finish(), b.finish()) << "len=" << len;
+  }
+}
+
+TEST(Sha1, ResetClearsState) {
+  Sha1 ctx;
+  ctx.update("garbage");
+  (void)ctx.finish();
+  ctx.reset();
+  ctx.update("abc");
+  EXPECT_EQ(to_hex(ctx.finish()),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, DifferentInputsDiffer) {
+  EXPECT_NE(Sha1::hash("node-1|t=5"), Sha1::hash("node-1|t=6"));
+  EXPECT_NE(Sha1::hash("a"), Sha1::hash("b"));
+}
+
+TEST(Sha1, DigestPrefix64BigEndian) {
+  Sha1Digest d{};
+  d[0] = 0x01;
+  d[7] = 0xFF;
+  EXPECT_EQ(digest_prefix64(d), 0x01000000000000FFull);
+}
+
+TEST(Sha1, HexLengthAndAlphabet) {
+  const std::string hex = to_hex(Sha1::hash("x"));
+  EXPECT_EQ(hex.size(), 40u);
+  EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+TEST(Sha1, ByteSpanOverload) {
+  const std::vector<std::uint8_t> bytes{'a', 'b', 'c'};
+  EXPECT_EQ(Sha1::hash(std::span<const std::uint8_t>(bytes)),
+            Sha1::hash("abc"));
+}
+
+}  // namespace
+}  // namespace alert::crypto

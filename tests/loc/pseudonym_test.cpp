@@ -1,0 +1,93 @@
+#include "loc/pseudonym.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/simulator.hpp"
+
+namespace alert::loc {
+namespace {
+
+net::Node make_node(net::NodeId id) {
+  util::Rng rng(id + 100);
+  return net::Node(id, 0x020000000000ULL + id,
+                   crypto::generate_keypair(rng));
+}
+
+TEST(PseudonymManager, IssuesNonZeroPseudonyms) {
+  PseudonymManager mgr({}, util::Rng(1));
+  net::Node n = make_node(0);
+  EXPECT_NE(mgr.make(n, 0.0), 0u);
+}
+
+TEST(PseudonymManager, NoCollisionsAcrossManyIssues) {
+  PseudonymManager mgr({}, util::Rng(2));
+  std::set<net::Pseudonym> seen;
+  for (net::NodeId id = 0; id < 50; ++id) {
+    net::Node n = make_node(id);
+    for (int t = 0; t < 20; ++t) {
+      seen.insert(mgr.make(n, static_cast<double>(t)));
+    }
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(mgr.collisions(), 0u);
+  EXPECT_EQ(mgr.issued(), 1000u);
+}
+
+TEST(PseudonymManager, SameSecondStillDiffersViaRandomizedDigits) {
+  // The randomized sub-second digits (Sec. 2.2) make two pseudonyms from
+  // the same node in the same quantized second differ.
+  PseudonymManager mgr({}, util::Rng(3));
+  net::Node n = make_node(0);
+  EXPECT_NE(mgr.make(n, 5.2), mgr.make(n, 5.7));
+}
+
+TEST(PseudonymManager, DifferentNodesSameTimeDiffer) {
+  PseudonymManager mgr({}, util::Rng(4));
+  net::Node a = make_node(1), b = make_node(2);
+  EXPECT_NE(mgr.make(a, 1.0), mgr.make(b, 1.0));
+}
+
+TEST(PseudonymManager, LivenessTracksLifetime) {
+  PseudonymPolicy policy;
+  policy.lifetime_s = 10.0;
+  PseudonymManager mgr(policy, util::Rng(5));
+  net::Node n = make_node(0);
+  const net::Pseudonym p = mgr.make(n, 100.0);
+  EXPECT_TRUE(mgr.is_live(p, 105.0));
+  EXPECT_TRUE(mgr.is_live(p, 110.0));
+  EXPECT_FALSE(mgr.is_live(p, 110.1));
+  EXPECT_FALSE(mgr.is_live(0xFEED, 100.0));  // never issued
+}
+
+TEST(PseudonymManager, HistoryRecordsAllIssues) {
+  PseudonymManager mgr({}, util::Rng(6));
+  net::Node n = make_node(3);
+  std::vector<net::Pseudonym> issued;
+  for (int t = 0; t < 5; ++t) {
+    issued.push_back(mgr.make(n, static_cast<double>(t * 7)));
+  }
+  EXPECT_EQ(mgr.history(3), issued);
+  EXPECT_TRUE(mgr.history(99).empty());
+}
+
+TEST(PseudonymManager, ActsAsNetworkProvider) {
+  sim::Simulator simulator;
+  net::NetworkConfig cfg;
+  cfg.node_count = 3;
+  PseudonymManager mgr({}, util::Rng(7));
+  net::Network network(simulator, cfg,
+                       std::make_unique<net::StaticPlacement>(
+                           util::Rect{0, 0, 100, 100}),
+                       util::Rng(8), 100.0);
+  network.set_pseudonym_provider(&mgr);
+  const net::Pseudonym before = network.node(0).pseudonym();
+  network.rotate_pseudonym(network.node(0));
+  EXPECT_NE(network.node(0).pseudonym(), before);
+  EXPECT_GE(mgr.issued(), 1u);
+  EXPECT_EQ(network.resolve_pseudonym(network.node(0).pseudonym()), 0u);
+}
+
+}  // namespace
+}  // namespace alert::loc

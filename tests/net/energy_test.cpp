@@ -1,0 +1,96 @@
+#include "net/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace alert::net {
+namespace {
+
+TEST(EnergyModel, TxCostMatchesFirstOrderModel) {
+  EnergyModel m(EnergyConfig{}, 2);
+  m.charge_tx(0, 512, 250.0);
+  const double bits = 512.0 * 8.0;
+  const double expected = bits * (50e-9 + 100e-12 * 250.0 * 250.0);
+  EXPECT_NEAR(m.meter(0).tx_j, expected, 1e-12);
+  EXPECT_DOUBLE_EQ(m.meter(1).tx_j, 0.0);
+}
+
+TEST(EnergyModel, RxCostIsElectronicsOnly) {
+  EnergyModel m(EnergyConfig{}, 1);
+  m.charge_rx(0, 100);
+  EXPECT_NEAR(m.meter(0).rx_j, 100.0 * 8.0 * 50e-9, 1e-15);
+}
+
+TEST(EnergyModel, CryptoCostIsPowerTimesTime) {
+  EnergyConfig cfg;
+  cfg.cpu_power_w = 2.0;
+  EnergyModel m(cfg, 1);
+  m.charge_crypto(0, 0.25);
+  EXPECT_DOUBLE_EQ(m.meter(0).crypto_j, 0.5);
+}
+
+TEST(EnergyModel, TotalsAggregateAcrossNodes) {
+  EnergyModel m(EnergyConfig{}, 3);
+  m.charge_rx(0, 100);
+  m.charge_rx(1, 100);
+  m.charge_crypto(2, 1.0);
+  const EnergyMeter t = m.total();
+  EXPECT_NEAR(t.rx_j, 2 * 100.0 * 8.0 * 50e-9, 1e-12);
+  EXPECT_DOUBLE_EQ(t.crypto_j, 0.5);
+  EXPECT_DOUBLE_EQ(t.tx_j, 0.0);
+}
+
+TEST(EnergyModel, MaxNodeTotalFindsHotspot) {
+  EnergyModel m(EnergyConfig{}, 3);
+  m.charge_crypto(1, 2.0);
+  m.charge_crypto(2, 1.0);
+  EXPECT_DOUBLE_EQ(m.max_node_total(), 1.0);  // 2 s x 0.5 W
+}
+
+TEST(EnergyIntegration, TransmissionsChargeMeters) {
+  core::ScenarioConfig cfg;
+  cfg.node_count = 60;
+  cfg.duration_s = 15.0;
+  cfg.flow_count = 2;
+  const core::RunResult r = core::run_once(cfg, 0);
+  EXPECT_GT(r.energy_total_j, 0.0);
+  EXPECT_GT(r.energy_per_delivered_j, 0.0);
+  EXPECT_GE(r.energy_max_node_j, r.energy_total_j / 60.0);
+}
+
+TEST(EnergyIntegration, AlarmCryptoDominatesAlertCrypto) {
+  // The Sec. 5.6 claim at test scale: per-hop public-key protocols burn
+  // far more crypto energy than ALERT's per-packet symmetric scheme.
+  core::ScenarioConfig cfg;
+  cfg.node_count = 100;
+  cfg.duration_s = 30.0;
+  cfg.flow_count = 4;
+  cfg.protocol = core::ProtocolKind::Alert;
+  const core::RunResult alert_run = core::run_once(cfg, 0);
+  cfg.protocol = core::ProtocolKind::Alarm;
+  const core::RunResult alarm_run = core::run_once(cfg, 0);
+  EXPECT_GT(alarm_run.energy_crypto_j, alert_run.energy_crypto_j * 3.0);
+}
+
+TEST(EnergyIntegration, AlertSpreadsLoadComparedToGpsrHotspot) {
+  // Route randomization spreads relaying: ALERT's hotspot share of total
+  // energy should be at most GPSR's (Sec. 3.1 robustness argument).
+  core::ScenarioConfig cfg;
+  cfg.node_count = 150;
+  cfg.duration_s = 50.0;
+  cfg.flow_count = 4;
+  cfg.seed = 5;
+  cfg.protocol = core::ProtocolKind::Alert;
+  const core::RunResult alert_run = core::run_once(cfg, 0);
+  cfg.protocol = core::ProtocolKind::Gpsr;
+  const core::RunResult gpsr_run = core::run_once(cfg, 0);
+  const double alert_share =
+      alert_run.energy_max_node_j / alert_run.energy_total_j;
+  const double gpsr_share =
+      gpsr_run.energy_max_node_j / gpsr_run.energy_total_j;
+  EXPECT_LT(alert_share, gpsr_share * 1.5);
+}
+
+}  // namespace
+}  // namespace alert::net

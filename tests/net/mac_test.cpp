@@ -1,0 +1,79 @@
+#include "net/mac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/node.hpp"
+#include "util/rng.hpp"
+
+namespace alert::net {
+namespace {
+
+Node make_node() {
+  util::Rng rng(1);
+  return Node(0, 0, crypto::generate_keypair(rng));
+}
+
+TEST(Mac, TxTimeMatchesBandwidth) {
+  Mac mac(MacConfig{});
+  // 512 bytes at 2 Mb/s = 2.048 ms.
+  EXPECT_NEAR(mac.tx_time(512), 512.0 * 8.0 / 2e6, 1e-12);
+  EXPECT_NEAR(mac.tx_time(0), 0.0, 1e-12);
+}
+
+TEST(Mac, TxTimeScalesWithBandwidth) {
+  MacConfig cfg;
+  cfg.bandwidth_bps = 11e6;  // 802.11b peak
+  Mac mac(cfg);
+  EXPECT_NEAR(mac.tx_time(512), 512.0 * 8.0 / 11e6, 1e-12);
+}
+
+TEST(Mac, PropagationDelayAtLightSpeed) {
+  Mac mac(MacConfig{});
+  EXPECT_NEAR(mac.propagation_delay(300.0), 1e-6, 1e-9);
+}
+
+TEST(Mac, GrantNotBeforeEarliest) {
+  Mac mac(MacConfig{});
+  Node node = make_node();
+  util::Rng rng(2);
+  const MacGrant g = mac.acquire(node, 512, 5.0, 10, rng);
+  EXPECT_GE(g.start, 5.0);
+  EXPECT_NEAR(g.tx_time, mac.tx_time(512), 1e-12);
+}
+
+TEST(Mac, GrantSerializesFramesAtOneNode) {
+  Mac mac(MacConfig{});
+  Node node = make_node();
+  util::Rng rng(3);
+  const MacGrant g1 = mac.acquire(node, 512, 0.0, 0, rng);
+  const MacGrant g2 = mac.acquire(node, 512, 0.0, 0, rng);
+  EXPECT_GE(g2.start, g1.start + g1.tx_time);
+  EXPECT_DOUBLE_EQ(node.mac_busy_until, g2.start + g2.tx_time);
+}
+
+TEST(Mac, BackoffGrowsWithContention) {
+  Mac mac(MacConfig{});
+  util::Rng rng(4);
+  double sparse = 0.0, dense = 0.0;
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    Node a = make_node();
+    sparse += mac.acquire(a, 64, 0.0, 0, rng).start;
+    Node b = make_node();
+    dense += mac.acquire(b, 64, 0.0, 50, rng).start;
+  }
+  EXPECT_GT(dense / kN, sparse / kN);
+}
+
+TEST(Mac, BackoffIncludesDifs) {
+  MacConfig cfg;
+  cfg.slot_s = 0.0;  // isolate the fixed component
+  Mac mac(cfg);
+  Node node = make_node();
+  util::Rng rng(5);
+  const MacGrant g = mac.acquire(node, 64, 1.0, 100, rng);
+  EXPECT_NEAR(g.start, 1.0 + cfg.difs_s, 1e-12);
+}
+
+}  // namespace
+}  // namespace alert::net

@@ -1,0 +1,75 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alert::net {
+namespace {
+
+TEST(Packet, DefaultsAreSane) {
+  const Packet p;
+  EXPECT_EQ(p.kind, PacketKind::Data);
+  EXPECT_FALSE(p.alert.has_value());
+  EXPECT_FALSE(p.geo.has_value());
+  EXPECT_EQ(p.true_source, kInvalidNode);
+  EXPECT_EQ(p.hop_count, 0);
+}
+
+TEST(HeaderBytes, BareHeaderIsSmall) {
+  const Packet p;
+  const std::size_t base = header_bytes(p);
+  EXPECT_GT(base, 0u);
+  EXPECT_LT(base, 64u);
+}
+
+TEST(HeaderBytes, AlertFieldsAddZoneAndTd) {
+  Packet p;
+  const std::size_t base = header_bytes(p);
+  p.alert = AlertFields{};
+  const std::size_t with_alert = header_bytes(p);
+  // Zone rect (32) + TD (16) + counters + carried pubkey at minimum.
+  EXPECT_GE(with_alert - base, 48u);
+}
+
+TEST(HeaderBytes, EncryptedBlocksCounted) {
+  Packet p;
+  p.alert = AlertFields{};
+  const std::size_t before = header_bytes(p);
+  p.alert->src_zone_enc.assign(5, 0);
+  p.alert->session_key_enc.assign(3, 0);
+  EXPECT_EQ(header_bytes(p), before + 8 * 8);
+}
+
+TEST(HeaderBytes, TtlFieldCounted) {
+  Packet p;
+  p.alert = AlertFields{};
+  const std::size_t before = header_bytes(p);
+  p.alert->ttl_enc = 42;
+  EXPECT_EQ(header_bytes(p), before + 8);
+}
+
+TEST(HeaderBytes, BitmapLayersCounted) {
+  Packet p;
+  p.alert = AlertFields{};
+  const std::size_t before = header_bytes(p);
+  p.alert->bitmap_layers_enc.push_back(std::vector<std::uint64_t>(4, 0));
+  p.alert->bitmap_layers_enc.push_back(std::vector<std::uint64_t>(2, 0));
+  EXPECT_EQ(header_bytes(p), before + 6 * 8);
+}
+
+TEST(HeaderBytes, MulticastSetCounted) {
+  Packet p;
+  p.alert = AlertFields{};
+  const std::size_t before = header_bytes(p);
+  p.alert->multicast_set.assign(3, 0);
+  EXPECT_EQ(header_bytes(p), before + 3 * 8);
+}
+
+TEST(HeaderBytes, GeoFieldsCounted) {
+  Packet p;
+  const std::size_t base = header_bytes(p);
+  p.geo = GeoFields{};
+  EXPECT_GT(header_bytes(p), base + 16);
+}
+
+}  // namespace
+}  // namespace alert::net

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "protocol_fixture.hpp"
+#include "routing/alarm.hpp"
+#include "routing/ao2p.hpp"
+
+namespace alert::routing {
+namespace {
+
+using testing::line_topology;
+using testing::ProtocolFixture;
+
+// --- ALARM -----------------------------------------------------------------
+
+TEST(Alarm, DeliversAlongLine) {
+  ProtocolFixture f(line_topology(5, 200.0));
+  AlarmRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  router.send(0, 4, 512, 0, 0);
+  f.simulator.run_until(20.0);
+  EXPECT_EQ(f.log.count_at_true_dest(0), 1u);
+}
+
+TEST(Alarm, MapRefreshesOnDisseminationPeriod) {
+  AlarmConfig cfg;
+  cfg.dissemination_period_s = 10.0;
+  ProtocolFixture f(/*nodes=*/5, /*speed=*/10.0, /*horizon=*/100.0);
+  AlarmRouter router(*f.network, *f.location, cfg);
+  const util::Vec2 initial = router.map_position(2);
+  f.simulator.run_until(5.0);
+  EXPECT_EQ(router.map_position(2), initial);  // between rounds: stale
+  EXPECT_NEAR(router.map_age(), 5.0, 1e-9);
+  f.simulator.run_until(11.0);
+  EXPECT_NE(router.map_position(2), initial);  // refreshed
+  EXPECT_LE(router.map_age(), 1.0 + 1e-9);
+}
+
+TEST(Alarm, DisseminationHopsAccumulate) {
+  AlarmConfig cfg;
+  cfg.dissemination_period_s = 10.0;
+  ProtocolFixture f(line_topology(5, 200.0));
+  AlarmRouter router(*f.network, *f.location, cfg);
+  const std::uint64_t initial = router.stats().control_hops;
+  EXPECT_GT(initial, 0u);  // the t=0 round
+  f.simulator.run_until(25.0);
+  EXPECT_EQ(router.stats().control_hops, initial * 3);  // rounds at 0,10,20
+}
+
+TEST(Alarm, PerHopCryptoChargedToLatency) {
+  // ALARM's delivery latency must exceed GPSR-style microsecond scales by
+  // the per-hop public-key cost (Sec. 5.6 / Fig. 14).
+  ProtocolFixture f(line_topology(4, 200.0));
+  AlarmRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  router.send(0, 3, 512, 0, 0);
+  f.simulator.run_until(20.0);
+  for (const auto& d : f.log.deliveries) {
+    if (d.was_true_dest && d.kind == net::PacketKind::Data) {
+      EXPECT_GT(d.latency, 3 * 0.25);  // >= 3 hops x public_encrypt
+    }
+  }
+  EXPECT_GT(router.stats().crypto_time_total_s, 0.5);
+}
+
+TEST(Alarm, TtlBoundsRouting) {
+  AlarmConfig cfg;
+  cfg.max_hops = 2;
+  ProtocolFixture f(line_topology(6, 190.0));
+  AlarmRouter router(*f.network, *f.location, cfg);
+  f.warm_up();
+  router.send(0, 5, 512, 0, 0);
+  f.simulator.run_until(20.0);
+  EXPECT_EQ(f.log.count_at_true_dest(0), 0u);
+}
+
+// --- AO2P ------------------------------------------------------------------
+
+TEST(Ao2p, VirtualPositionBeyondDestinationOnSdLine) {
+  ProtocolFixture f(line_topology(2, 100.0));
+  Ao2pRouter router(*f.network, *f.location, {});
+  const util::Vec2 s{100.0, 500.0}, d{500.0, 500.0};
+  const util::Vec2 v = router.virtual_position(s, d);
+  EXPECT_DOUBLE_EQ(v.y, 500.0);
+  EXPECT_DOUBLE_EQ(v.x, 700.0);  // 200 m beyond D
+  // Collinearity and ordering: S --- D --- V.
+  EXPECT_GT(util::distance(s, v), util::distance(s, d));
+}
+
+TEST(Ao2p, VirtualPositionClampedToField) {
+  ProtocolFixture f(line_topology(2, 100.0));
+  Ao2pRouter router(*f.network, *f.location, {});
+  const util::Vec2 v =
+      router.virtual_position({100.0, 500.0}, {950.0, 500.0});
+  EXPECT_LE(v.x, 1000.0);
+}
+
+TEST(Ao2p, DegenerateSameSourceDestIsDest) {
+  ProtocolFixture f(line_topology(2, 100.0));
+  Ao2pRouter router(*f.network, *f.location, {});
+  const util::Vec2 p{250.0, 250.0};
+  EXPECT_EQ(router.virtual_position(p, p), p);
+}
+
+TEST(Ao2p, DeliversViaEnRoutePickup) {
+  // D sits on the S->virtual line and is picked up before the packet
+  // reaches the virtual position.
+  ProtocolFixture f(line_topology(5, 200.0));
+  Ao2pRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  router.send(0, 3, 512, 0, 0);  // D is node 3; line continues past it
+  f.simulator.run_until(20.0);
+  EXPECT_EQ(f.log.count_at_true_dest(0), 1u);
+}
+
+TEST(Ao2p, ContentionPhaseAddsPerHopDelay) {
+  Ao2pConfig slow, fast;
+  slow.contention_phase_s = 0.050;
+  fast.contention_phase_s = 0.001;
+  double latency_slow = 0.0, latency_fast = 0.0;
+  for (const bool use_slow : {true, false}) {
+    ProtocolFixture f(line_topology(4, 200.0));
+    Ao2pRouter router(*f.network, *f.location, use_slow ? slow : fast);
+    f.warm_up();
+    router.send(0, 3, 512, 0, 0);
+    f.simulator.run_until(20.0);
+    for (const auto& d : f.log.deliveries) {
+      if (d.was_true_dest && d.kind == net::PacketKind::Data) {
+        (use_slow ? latency_slow : latency_fast) = d.latency;
+      }
+    }
+  }
+  EXPECT_GT(latency_slow, latency_fast + 3 * 0.045);
+}
+
+TEST(Ao2p, CryptoAccountingGrowsWithHops) {
+  ProtocolFixture f(line_topology(5, 200.0));
+  Ao2pRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  router.send(0, 4, 512, 0, 0);
+  f.simulator.run_until(20.0);
+  // 4 hops x (encrypt + verify).
+  EXPECT_NEAR(router.stats().crypto_time_total_s, 4 * 0.27, 0.05);
+}
+
+}  // namespace
+}  // namespace alert::routing

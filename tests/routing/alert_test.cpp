@@ -1,0 +1,301 @@
+#include "routing/alert_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "protocol_fixture.hpp"
+
+namespace alert::routing {
+namespace {
+
+using testing::ProtocolFixture;
+
+/// A dense static grid: every forwarding step has options, ALERT always
+/// completes. 7x7 grid over 900x900 m with 150 m spacing, 250 m range.
+std::vector<util::Vec2> grid_topology(std::size_t side = 7,
+                                      double gap = 140.0) {
+  std::vector<util::Vec2> pos;
+  for (std::size_t y = 0; y < side; ++y) {
+    for (std::size_t x = 0; x < side; ++x) {
+      pos.push_back({40.0 + gap * static_cast<double>(x),
+                     40.0 + gap * static_cast<double>(y)});
+    }
+  }
+  return pos;
+}
+
+AlertConfig quiet_config() {
+  AlertConfig cfg;
+  cfg.partitions_h = 4;
+  cfg.send_confirmation = false;
+  cfg.use_nak = false;
+  cfg.notify_and_go = false;
+  return cfg;
+}
+
+TEST(Alert, DeliversAcrossGrid) {
+  ProtocolFixture f(grid_topology());
+  AlertRouter router(*f.network, *f.location, quiet_config());
+  f.warm_up();
+  router.send(0, 48, 512, 0, 0);  // opposite corners
+  f.simulator.run_until(20.0);
+  EXPECT_EQ(f.log.count_at_true_dest(0), 1u);
+  EXPECT_EQ(router.stats().data_delivered, 1u);
+}
+
+TEST(Alert, KAnonymityFromDerivedH) {
+  AlertConfig cfg = quiet_config();
+  cfg.k_anonymity = 6.0;
+  ProtocolFixture f(grid_topology());
+  AlertRouter router(*f.network, *f.location, cfg);
+  // H = log2(49 / 6) = 3.03 -> 3.
+  EXPECT_EQ(router.effective_h(), 3);
+}
+
+TEST(Alert, ZoneBroadcastReachesMultipleReceivers) {
+  // k-anonymity (Sec. 2.3): the final broadcast is heard by several nodes
+  // in the destination zone, not only D.
+  ProtocolFixture f(grid_topology());
+  AlertRouter router(*f.network, *f.location, quiet_config());
+  f.warm_up();
+  router.send(0, 48, 512, 0, 0);
+  f.simulator.run_until(20.0);
+  std::set<net::NodeId> zone_receivers;
+  for (const auto& d : f.log.deliveries) {
+    if (d.kind == net::PacketKind::Data && d.flow == 0) {
+      zone_receivers.insert(d.receiver);
+    }
+  }
+  // Path relays + the k-anonymity set: strictly more receivers than a
+  // unicast chain would produce.
+  EXPECT_GE(zone_receivers.size(), 3u);
+}
+
+TEST(Alert, PayloadRecoveredIntactThroughEncryption) {
+  // End-to-end: payload is XTEA-encrypted at S, travels, and D's recovery
+  // is verified inside accept_at_destination (delivery only counts if the
+  // plaintext pattern survives).
+  ProtocolFixture f(grid_topology());
+  AlertRouter router(*f.network, *f.location, quiet_config());
+  f.warm_up();
+  for (std::uint32_t s = 0; s < 5; ++s) router.send(3, 45, 512, 0, s);
+  f.simulator.run_until(30.0);
+  EXPECT_EQ(router.stats().data_delivered, 5u);
+}
+
+TEST(Alert, RandomForwardersAppearOnLongRoutes) {
+  ProtocolFixture f(grid_topology());
+  AlertRouter router(*f.network, *f.location, quiet_config());
+  f.warm_up();
+  for (std::uint32_t s = 0; s < 10; ++s) router.send(0, 48, 512, 0, s);
+  f.simulator.run_until(60.0);
+  EXPECT_GT(router.stats().random_forwarders, 0u);
+  EXPECT_GT(router.stats().partitions, 0u);
+  EXPECT_GT(router.distinct_rfs(), 1u);
+}
+
+TEST(Alert, RoutesVaryAcrossPackets) {
+  // The core anonymity property (Sec. 3.1): consecutive packets of one
+  // S-D pair traverse different relay sets.
+  ProtocolFixture f(grid_topology());
+  AlertRouter router(*f.network, *f.location, quiet_config());
+  f.warm_up();
+  for (std::uint32_t s = 0; s < 6; ++s) router.send(0, 48, 512, 0, s);
+  f.simulator.run_until(60.0);
+  std::map<std::uint32_t, std::set<net::NodeId>> paths;
+  for (const auto& d : f.log.deliveries) {
+    if (d.kind == net::PacketKind::Data) paths[d.seq].insert(d.receiver);
+  }
+  std::set<std::set<net::NodeId>> distinct;
+  for (const auto& [seq, path] : paths) distinct.insert(path);
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(Alert, SourceInDestZoneStillDelivers) {
+  ProtocolFixture f(grid_topology());
+  AlertRouter router(*f.network, *f.location, quiet_config());
+  f.warm_up();
+  router.send(0, 1, 512, 0, 0);  // adjacent nodes, same zone at H=4
+  f.simulator.run_until(10.0);
+  EXPECT_EQ(f.log.count_at_true_dest(0), 1u);
+}
+
+TEST(Alert, NotifyAndGoEmitsCoverTraffic) {
+  AlertConfig cfg = quiet_config();
+  cfg.notify_and_go = true;
+  ProtocolFixture f(grid_topology());
+  AlertRouter router(*f.network, *f.location, cfg);
+  f.warm_up();
+  router.send(24, 48, 512, 0, 0);  // node 24 = grid centre, 8 neighbours
+  f.simulator.run_until(10.0);
+  EXPECT_GT(router.stats().cover_packets, 0u);
+  // Cover packets must never be forwarded: every Cover delivery's hop
+  // count stays 0.
+  for (const auto& d : f.log.deliveries) {
+    if (d.kind == net::PacketKind::Cover) {
+      EXPECT_EQ(d.hops, 0);
+    }
+  }
+  EXPECT_EQ(f.log.count_at_true_dest(0), 1u);
+}
+
+TEST(Alert, ConfirmationsFlowBackToSource) {
+  AlertConfig cfg = quiet_config();
+  cfg.send_confirmation = true;
+  cfg.confirm_timeout_s = 5.0;
+  cfg.max_retransmissions = 1;
+  ProtocolFixture f(grid_topology());
+  AlertRouter router(*f.network, *f.location, cfg);
+  f.warm_up();
+  router.send(0, 48, 512, 0, 0);
+  f.simulator.run_until(30.0);
+  // Confirm delivered back at the source.
+  bool confirm_at_source = false;
+  for (const auto& d : f.log.deliveries) {
+    if (d.kind == net::PacketKind::Confirm && d.receiver == 0) {
+      confirm_at_source = true;
+    }
+  }
+  EXPECT_TRUE(confirm_at_source);
+  // Confirmed delivery means no retransmission fires.
+  EXPECT_EQ(router.stats().retransmissions, 0u);
+}
+
+TEST(Alert, RetransmitsWhenConfirmationImpossible) {
+  // Destination unreachable: confirmation never arrives, the source
+  // retransmits up to the configured budget.
+  AlertConfig cfg = quiet_config();
+  cfg.send_confirmation = true;
+  cfg.confirm_timeout_s = 2.0;
+  cfg.max_retransmissions = 2;
+  std::vector<util::Vec2> pos{{100.0, 100.0}, {250.0, 100.0},
+                              {900.0, 900.0}};
+  ProtocolFixture f(pos, 200.0);
+  AlertRouter router(*f.network, *f.location, cfg);
+  f.warm_up();
+  router.send(0, 2, 512, 0, 0);
+  f.simulator.run_until(30.0);
+  EXPECT_EQ(router.stats().retransmissions, 2u);
+  EXPECT_EQ(f.log.count_at_true_dest(0), 0u);
+}
+
+TEST(Alert, NakTriggersResendOfMissingSeq) {
+  AlertConfig cfg = quiet_config();
+  cfg.send_confirmation = true;   // pending state enables NAK resends
+  cfg.use_nak = true;
+  cfg.confirm_timeout_s = 50.0;   // long: only the NAK can trigger resend
+  cfg.max_retransmissions = 1;
+  ProtocolFixture f(grid_topology());
+  AlertRouter router(*f.network, *f.location, cfg);
+  f.warm_up();
+  // Send seq 1 while seq 0 never existed at D: D NAKs seq 0. The source
+  // has no pending seq 0 so nothing resends; now send seq 0 and then 2 —
+  // no gap, no NAK.
+  router.send(0, 48, 512, 0, 1);
+  f.simulator.run_until(30.0);
+  EXPECT_GE(router.stats().naks, 1u);
+}
+
+TEST(Alert, CountermeasureStillDeliversAllPackets) {
+  AlertConfig cfg = quiet_config();
+  cfg.intersection_countermeasure = true;
+  cfg.countermeasure_m = 3;
+  // Dense 10x10 grid so the destination zone holds several members.
+  ProtocolFixture f(grid_topology(10, 95.0));
+  AlertRouter router(*f.network, *f.location, cfg);
+  f.warm_up();
+  constexpr std::uint32_t kPackets = 8;
+  for (std::uint32_t s = 0; s < kPackets; ++s) {
+    router.send(0, 99, 512, 0, s);  // opposite corners of the 10x10 grid
+  }
+  f.simulator.run_until(120.0);
+  // The final packet may stay held by the m-set (no successor arrives);
+  // every earlier packet must reach D, via first or second step.
+  EXPECT_GE(router.stats().data_delivered, kPackets - 1);
+}
+
+TEST(Alert, CountermeasureProducesSecondStepBroadcasts) {
+  AlertConfig cfg = quiet_config();
+  cfg.intersection_countermeasure = true;
+  ProtocolFixture f(grid_topology(10, 95.0));
+  AlertRouter router(*f.network, *f.location, cfg);
+  f.warm_up();
+  for (std::uint32_t s = 0; s < 5; ++s) router.send(0, 99, 512, 0, s);
+  f.simulator.run_until(60.0);
+  // Broadcast count exceeds packet count: first steps + hold-release
+  // second steps.
+  EXPECT_GT(router.stats().broadcasts, 5u);
+}
+
+TEST(Alert, HigherHMeansMorePartitions) {
+  double partitions_h3 = 0.0, partitions_h6 = 0.0;
+  for (const int h : {3, 6}) {
+    AlertConfig cfg = quiet_config();
+    cfg.partitions_h = h;
+    ProtocolFixture f(grid_topology());
+    AlertRouter router(*f.network, *f.location, cfg);
+    f.warm_up();
+    for (std::uint32_t s = 0; s < 10; ++s) router.send(0, 48, 512, 0, s);
+    f.simulator.run_until(60.0);
+    const double per_packet =
+        static_cast<double>(router.stats().partitions) /
+        static_cast<double>(router.stats().data_sent);
+    (h == 3 ? partitions_h3 : partitions_h6) = per_packet;
+  }
+  EXPECT_GT(partitions_h6, partitions_h3);
+}
+
+TEST(Alert, RelayDestinationAcceptsSilently) {
+  // If D happens to relay its own packet en route it accepts without
+  // behaving differently; delivery is still counted exactly once.
+  ProtocolFixture f(grid_topology());
+  AlertRouter router(*f.network, *f.location, quiet_config());
+  f.warm_up();
+  for (std::uint32_t s = 0; s < 20; ++s) {
+    router.send(0, 24, 512, 0, s);  // centre node: often en route
+  }
+  f.simulator.run_until(120.0);
+  EXPECT_EQ(router.stats().data_delivered, 20u);
+}
+
+
+TEST(Alert, FirstHopTtlSealedAndStripped) {
+  // Sec. 2.6: with notify-and-go active, the source's first transmission
+  // carries a TTL sealed under the next relay's public key; onward hops
+  // travel without it (only the camouflaged hop needs the disguise).
+  class TtlObserver final : public net::TraceListener {
+   public:
+    void on_transmit(const net::Node&, const net::Packet& pkt,
+                     sim::Time) override {
+      if (pkt.kind != net::PacketKind::Data || !pkt.alert) return;
+      if (pkt.hop_count == 1) {
+        first_hops++;
+        first_hops_sealed += pkt.alert->ttl_enc ? 1 : 0;
+      } else if (pkt.hop_count > 1) {
+        later_hops++;
+        later_hops_sealed += pkt.alert->ttl_enc ? 1 : 0;
+      }
+    }
+    int first_hops = 0, first_hops_sealed = 0;
+    int later_hops = 0, later_hops_sealed = 0;
+  };
+
+  AlertConfig cfg = quiet_config();
+  cfg.notify_and_go = true;
+  ProtocolFixture f(grid_topology());
+  AlertRouter router(*f.network, *f.location, cfg);
+  TtlObserver ttl;
+  f.network->add_listener(&ttl);
+  f.warm_up();
+  for (std::uint32_t s = 0; s < 5; ++s) router.send(0, 48, 512, 0, s);
+  f.simulator.run_until(60.0);
+  EXPECT_GT(ttl.first_hops, 0);
+  EXPECT_EQ(ttl.first_hops_sealed, ttl.first_hops);
+  EXPECT_GT(ttl.later_hops, 0);
+  EXPECT_EQ(ttl.later_hops_sealed, 0);
+  EXPECT_EQ(router.stats().data_delivered, 5u);  // seal verifies en route
+}
+
+}  // namespace
+}  // namespace alert::routing

@@ -1,0 +1,156 @@
+/// Property sweeps over random static topologies: on connected unit-disk
+/// graphs, GPSR (greedy + perimeter) and ALERT must deliver the large
+/// majority of packets; and what travels on air under ALERT must be
+/// ciphertext, never the plaintext payload.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "protocol_fixture.hpp"
+#include "routing/alert_router.hpp"
+#include "routing/gpsr.hpp"
+
+namespace alert::routing {
+namespace {
+
+using testing::ProtocolFixture;
+
+/// Uniform random static positions whose unit-disk graph is connected
+/// (rejection-sampled by seed advance).
+std::vector<util::Vec2> connected_topology(std::uint64_t seed,
+                                           std::size_t n, double range) {
+  util::Rng rng(seed);
+  const util::Rect field{0.0, 0.0, 1000.0, 1000.0};
+  for (;;) {
+    std::vector<util::Vec2> pos;
+    for (std::size_t i = 0; i < n; ++i) pos.push_back(rng.point_in(field));
+    // BFS connectivity check.
+    std::vector<bool> seen(n, false);
+    std::queue<std::size_t> q;
+    q.push(0);
+    seen[0] = true;
+    std::size_t visited = 1;
+    while (!q.empty()) {
+      const std::size_t u = q.front();
+      q.pop();
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!seen[v] && util::distance(pos[u], pos[v]) <= range) {
+          seen[v] = true;
+          q.push(v);
+          ++visited;
+        }
+      }
+    }
+    if (visited == n) return pos;
+  }
+}
+
+class DeliverySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeliverySweep, GpsrDeliversOnConnectedStaticGraphs) {
+  const auto pos = connected_topology(GetParam(), 60, 250.0);
+  ProtocolFixture f(pos, 250.0);
+  GpsrRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  util::Rng rng(GetParam() ^ 0xF00D);
+  int sent = 0;
+  for (std::uint32_t k = 0; k < 10; ++k) {
+    const auto src = static_cast<net::NodeId>(rng.below(60));
+    auto dst = src;
+    while (dst == src) dst = static_cast<net::NodeId>(rng.below(60));
+    router.send(src, dst, 512, k, 0);
+    ++sent;
+  }
+  f.simulator.run_until(60.0);
+  EXPECT_GE(router.stats().data_delivered * 10, static_cast<std::uint64_t>(8 * sent))
+      << "delivered " << router.stats().data_delivered << "/" << sent;
+}
+
+TEST_P(DeliverySweep, AlertDeliversOnConnectedStaticGraphs) {
+  const auto pos = connected_topology(GetParam() + 100, 60, 250.0);
+  ProtocolFixture f(pos, 250.0);
+  AlertConfig cfg;
+  cfg.partitions_h = 4;
+  cfg.notify_and_go = false;
+  cfg.send_confirmation = true;
+  cfg.confirm_timeout_s = 3.0;
+  cfg.max_retransmissions = 2;
+  AlertRouter router(*f.network, *f.location, cfg);
+  f.warm_up();
+  util::Rng rng(GetParam() ^ 0xBEEF);
+  int sent = 0;
+  for (std::uint32_t k = 0; k < 10; ++k) {
+    const auto src = static_cast<net::NodeId>(rng.below(60));
+    auto dst = src;
+    while (dst == src) dst = static_cast<net::NodeId>(rng.below(60));
+    router.send(src, dst, 512, k, 0);
+    ++sent;
+  }
+  f.simulator.run_until(60.0);
+  EXPECT_GE(router.stats().data_delivered * 10, static_cast<std::uint64_t>(8 * sent))
+      << "delivered " << router.stats().data_delivered << "/" << sent;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeliverySweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+/// On-air confidentiality: an eavesdropper never sees the plaintext
+/// payload pattern of an ALERT data packet.
+class SnoopingListener final : public net::TraceListener {
+ public:
+  void on_transmit(const net::Node&, const net::Packet& pkt,
+                   sim::Time) override {
+    if (pkt.kind != net::PacketKind::Data || pkt.payload.empty()) return;
+    ++frames;
+    // The plaintext is seq-patterned (every byte == seq); count frames
+    // whose on-air payload still shows it.
+    const auto expected = static_cast<std::uint8_t>(pkt.seq);
+    bool all_match = true;
+    for (const std::uint8_t b : pkt.payload) {
+      if (b != expected) {
+        all_match = false;
+        break;
+      }
+    }
+    plaintext_frames += all_match ? 1 : 0;
+  }
+  int frames = 0;
+  int plaintext_frames = 0;
+};
+
+TEST(Confidentiality, PayloadIsCiphertextOnAir) {
+  const auto pos = connected_topology(7, 60, 250.0);
+  ProtocolFixture f(pos, 250.0);
+  AlertConfig cfg;
+  cfg.partitions_h = 4;
+  cfg.notify_and_go = false;
+  AlertRouter router(*f.network, *f.location, cfg);
+  SnoopingListener snoop;
+  f.network->add_listener(&snoop);
+  f.warm_up();
+  for (std::uint32_t s = 0; s < 10; ++s) router.send(0, 59, 512, 0, s);
+  f.simulator.run_until(60.0);
+  EXPECT_GT(snoop.frames, 10);
+  EXPECT_EQ(snoop.plaintext_frames, 0);
+  // ...and the destination still recovered every plaintext (delivery
+  // verification inside accept_at_destination requires it).
+  EXPECT_GT(router.stats().data_delivered, 5u);
+}
+
+TEST(Confidentiality, GpsrBaselineSendsPlaintext) {
+  // The contrast case: the non-anonymous baseline has no payload crypto.
+  const auto pos = connected_topology(8, 60, 250.0);
+  ProtocolFixture f(pos, 250.0);
+  GpsrRouter router(*f.network, *f.location, {});
+  SnoopingListener snoop;
+  f.network->add_listener(&snoop);
+  f.warm_up();
+  router.send(0, 59, 512, 0, 0);
+  f.simulator.run_until(10.0);
+  EXPECT_GT(snoop.frames, 0);
+  EXPECT_EQ(snoop.plaintext_frames, snoop.frames);  // all-zero payloads
+}
+
+}  // namespace
+}  // namespace alert::routing

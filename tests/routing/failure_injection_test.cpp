@@ -1,0 +1,115 @@
+/// Failure-injection tests: the protocols must degrade gracefully, never
+/// crash, when infrastructure fails — all location-service replicas down,
+/// handler-less nodes, empty networks of one node.
+
+#include <gtest/gtest.h>
+
+#include "protocol_fixture.hpp"
+#include "routing/alert_router.hpp"
+#include "routing/ao2p.hpp"
+#include "routing/gpsr.hpp"
+#include "routing/zap.hpp"
+
+namespace alert::routing {
+namespace {
+
+using testing::line_topology;
+using testing::ProtocolFixture;
+
+TEST(FailureInjection, AlertSendWithDeadLocationServiceIsNoop) {
+  ProtocolFixture f(line_topology(4, 200.0));
+  for (std::size_t s = 0; s < f.location->server_count(); ++s) {
+    f.location->fail_server(s);
+  }
+  AlertRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  router.send(0, 3, 512, 0, 0);  // must not crash or emit anything
+  f.simulator.run_until(10.0);
+  EXPECT_EQ(router.stats().data_sent, 0u);
+  EXPECT_EQ(f.log.count_at_true_dest(0), 0u);
+}
+
+TEST(FailureInjection, AlertRecoversWhenReplicaRestored) {
+  ProtocolFixture f(line_topology(4, 200.0));
+  for (std::size_t s = 0; s < f.location->server_count(); ++s) {
+    f.location->fail_server(s);
+  }
+  AlertConfig cfg;
+  cfg.partitions_h = 3;
+  cfg.notify_and_go = false;
+  AlertRouter router(*f.network, *f.location, cfg);
+  f.warm_up();
+  router.send(0, 3, 512, 0, 0);
+  EXPECT_EQ(router.stats().data_sent, 0u);
+  f.location->restore_server(0);  // one replica suffices (Sec. 2.2)
+  router.send(0, 3, 512, 0, 1);
+  f.simulator.run_until(20.0);
+  EXPECT_EQ(router.stats().data_sent, 1u);
+  EXPECT_EQ(router.stats().data_delivered, 1u);
+}
+
+TEST(FailureInjection, GpsrSendWithDeadLocationServiceIsNoop) {
+  ProtocolFixture f(line_topology(3, 200.0));
+  for (std::size_t s = 0; s < f.location->server_count(); ++s) {
+    f.location->fail_server(s);
+  }
+  GpsrRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  router.send(0, 2, 512, 0, 0);
+  f.simulator.run_until(5.0);
+  EXPECT_EQ(router.stats().data_sent, 0u);
+}
+
+TEST(FailureInjection, Ao2pAndZapSurviveDeadService) {
+  ProtocolFixture f(line_topology(3, 200.0));
+  for (std::size_t s = 0; s < f.location->server_count(); ++s) {
+    f.location->fail_server(s);
+  }
+  Ao2pRouter ao2p(*f.network, *f.location, {});
+  f.warm_up();
+  ao2p.send(0, 2, 512, 0, 0);
+  EXPECT_EQ(ao2p.stats().data_sent, 0u);
+
+  ProtocolFixture g(line_topology(3, 200.0));
+  for (std::size_t s = 0; s < g.location->server_count(); ++s) {
+    g.location->fail_server(s);
+  }
+  ZapRouter zap(*g.network, *g.location, {});
+  g.warm_up();
+  zap.send(0, 2, 512, 0, 0);
+  EXPECT_EQ(zap.stats().data_sent, 0u);
+}
+
+TEST(FailureInjection, SingleNodeNetworkSendsToNowhere) {
+  ProtocolFixture f(std::vector<util::Vec2>{{500.0, 500.0}, {900.0, 100.0}});
+  AlertConfig cfg;
+  cfg.notify_and_go = false;
+  cfg.send_confirmation = false;
+  AlertRouter router(*f.network, *f.location, cfg);
+  f.warm_up();
+  router.send(0, 1, 512, 0, 0);  // destination unreachable by radio
+  f.simulator.run_until(10.0);
+  EXPECT_EQ(router.stats().data_delivered, 0u);
+  EXPECT_GE(router.stats().data_dropped, 1u);
+}
+
+TEST(FailureInjection, PacketToHandlerlessNodeDoesNotCrash) {
+  // Raw network with no protocol attached to the receiver.
+  sim::Simulator simulator;
+  net::NetworkConfig cfg;
+  cfg.node_count = 2;
+  net::Network network(
+      simulator, cfg,
+      std::make_unique<net::StaticPlacement>(
+          std::vector<util::Vec2>{{0.0, 0.0}, {100.0, 0.0}}),
+      util::Rng(1), 10.0);
+  net::Packet pkt;
+  pkt.kind = net::PacketKind::Data;
+  pkt.size_bytes = 64;
+  network.unicast(network.node(0), network.node(1).pseudonym(), pkt);
+  simulator.run_until(5.0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace alert::routing

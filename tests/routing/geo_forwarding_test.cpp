@@ -1,0 +1,113 @@
+#include "routing/geo_forwarding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace alert::routing {
+namespace {
+
+net::Node make_node() {
+  util::Rng rng(1);
+  return net::Node(0, 0, crypto::generate_keypair(rng));
+}
+
+void add_neighbor(net::Node& n, net::Pseudonym p, util::Vec2 pos) {
+  n.observe_neighbor({p, pos, {}, 0.0}, 0.0);
+}
+
+TEST(Greedy, PicksNeighborClosestToTarget) {
+  net::Node n = make_node();
+  add_neighbor(n, 1, {100.0, 0.0});
+  add_neighbor(n, 2, {200.0, 0.0});
+  add_neighbor(n, 3, {150.0, 10.0});
+  const auto* next = greedy_next_hop(n, {0.0, 0.0}, {300.0, 0.0});
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(next->pseudonym, 2u);
+}
+
+TEST(Greedy, RequiresStrictProgress) {
+  net::Node n = make_node();
+  add_neighbor(n, 1, {-50.0, 0.0});   // behind us
+  add_neighbor(n, 2, {0.0, 120.0});   // sideways, farther from target
+  EXPECT_EQ(greedy_next_hop(n, {0.0, 0.0}, {100.0, 0.0}), nullptr);
+}
+
+TEST(Greedy, EmptyNeighborTableIsLocalMax) {
+  net::Node n = make_node();
+  EXPECT_EQ(greedy_next_hop(n, {0.0, 0.0}, {1.0, 1.0}), nullptr);
+}
+
+TEST(Greedy, NeighborAtTargetWins) {
+  net::Node n = make_node();
+  add_neighbor(n, 1, {99.0, 0.0});
+  add_neighbor(n, 2, {100.0, 0.0});
+  const auto* next = greedy_next_hop(n, {0.0, 0.0}, {100.0, 0.0});
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(next->pseudonym, 2u);
+}
+
+TEST(Gabriel, KeepsDirectEdgesWithoutWitness) {
+  net::Node n = make_node();
+  add_neighbor(n, 1, {100.0, 0.0});
+  add_neighbor(n, 2, {0.0, 100.0});
+  const auto planar = gabriel_neighbors(n, {0.0, 0.0});
+  EXPECT_EQ(planar.size(), 2u);
+}
+
+TEST(Gabriel, RemovesEdgeWithWitnessInsideDiameterCircle) {
+  net::Node n = make_node();
+  add_neighbor(n, 1, {100.0, 0.0});   // far neighbour
+  add_neighbor(n, 2, {50.0, 10.0});   // witness inside circle(self, 1)
+  const auto planar = gabriel_neighbors(n, {0.0, 0.0});
+  ASSERT_EQ(planar.size(), 1u);
+  EXPECT_EQ(planar[0]->pseudonym, 2u);
+}
+
+TEST(Gabriel, CollinearChainKeepsOnlyNearest) {
+  net::Node n = make_node();
+  add_neighbor(n, 1, {50.0, 0.0});
+  add_neighbor(n, 2, {100.0, 0.0});
+  add_neighbor(n, 3, {150.0, 0.0});
+  const auto planar = gabriel_neighbors(n, {0.0, 0.0});
+  ASSERT_EQ(planar.size(), 1u);
+  EXPECT_EQ(planar[0]->pseudonym, 1u);
+}
+
+TEST(Perimeter, RightHandRulePicksFirstCcwEdge) {
+  net::Node n = make_node();
+  add_neighbor(n, 1, {100.0, 0.0});    // east
+  add_neighbor(n, 2, {0.0, 100.0});    // north
+  add_neighbor(n, 3, {-100.0, 0.0});   // west
+  // Arriving from the south: the first edge counterclockwise from south
+  // is east.
+  const auto* next = perimeter_next_hop(n, {0.0, 0.0}, {0.0, -100.0});
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(next->pseudonym, 1u);
+}
+
+TEST(Perimeter, SweepsPastReferenceDirection) {
+  net::Node n = make_node();
+  add_neighbor(n, 1, {0.0, 100.0});   // north only
+  const auto* next = perimeter_next_hop(n, {0.0, 0.0}, {100.0, 0.0});
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(next->pseudonym, 1u);
+}
+
+TEST(Perimeter, NoNeighborsReturnsNull) {
+  net::Node n = make_node();
+  EXPECT_EQ(perimeter_next_hop(n, {0.0, 0.0}, {1.0, 0.0}), nullptr);
+}
+
+TEST(Perimeter, BackEdgeIsLastResort) {
+  net::Node n = make_node();
+  add_neighbor(n, 1, {100.0, 0.0});  // only the node we came from
+  const auto* next = perimeter_next_hop(n, {0.0, 0.0}, {100.0, 0.0});
+  // The only edge is the reverse edge; the sweep wraps all the way around
+  // and returns it (delta = 2*pi).
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(next->pseudonym, 1u);
+}
+
+}  // namespace
+}  // namespace alert::routing

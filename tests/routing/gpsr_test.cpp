@@ -1,0 +1,147 @@
+#include "routing/gpsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "protocol_fixture.hpp"
+
+namespace alert::routing {
+namespace {
+
+using testing::line_topology;
+using testing::ProtocolFixture;
+
+TEST(Gpsr, DeliversAlongLineTopology) {
+  ProtocolFixture f(line_topology(5, 200.0));
+  GpsrRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  router.send(0, 4, 512, /*flow=*/0, /*seq=*/0);
+  f.simulator.run_until(10.0);
+  EXPECT_EQ(f.log.count_at_true_dest(0), 1u);
+  EXPECT_EQ(router.stats().data_delivered, 1u);
+  EXPECT_EQ(router.stats().data_sent, 1u);
+}
+
+TEST(Gpsr, HopCountMatchesTopology) {
+  ProtocolFixture f(line_topology(5, 200.0));
+  GpsrRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  router.send(0, 4, 512, 0, 0);
+  f.simulator.run_until(10.0);
+  for (const auto& d : f.log.deliveries) {
+    if (d.was_true_dest && d.kind == net::PacketKind::Data) {
+      EXPECT_EQ(d.hops, 4);  // 4 hops over the 5-node line
+    }
+  }
+}
+
+TEST(Gpsr, DirectNeighborIsOneHop) {
+  ProtocolFixture f(line_topology(2, 150.0));
+  GpsrRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  router.send(0, 1, 512, 0, 0);
+  f.simulator.run_until(5.0);
+  ASSERT_EQ(f.log.count_at_true_dest(0), 1u);
+  for (const auto& d : f.log.deliveries) {
+    if (d.was_true_dest) {
+      EXPECT_EQ(d.hops, 1);
+    }
+  }
+}
+
+TEST(Gpsr, TtlBoundsPathLength) {
+  GpsrConfig cfg;
+  cfg.max_hops = 2;
+  ProtocolFixture f(line_topology(5, 200.0));
+  GpsrRouter router(*f.network, *f.location, cfg);
+  f.warm_up();
+  router.send(0, 4, 512, 0, 0);  // needs 4 hops; TTL=2 kills it
+  f.simulator.run_until(10.0);
+  EXPECT_EQ(f.log.count_at_true_dest(0), 0u);
+  EXPECT_EQ(router.stats().data_dropped, 1u);
+}
+
+TEST(Gpsr, PerimeterRoutesAroundVoid) {
+  // A "C"-shaped void: greedy from the left tip stalls; perimeter walks
+  // around the gap.
+  std::vector<util::Vec2> pos{
+      {100.0, 500.0},  // 0: source
+      {250.0, 500.0},  // 1: greedy local max (void ahead)
+      {250.0, 650.0},  // 2: detour up
+      {400.0, 680.0},  // 3
+      {550.0, 650.0},  // 4
+      {600.0, 500.0},  // 5: destination
+  };
+  ProtocolFixture f(pos, /*range=*/200.0);
+  GpsrRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  router.send(0, 5, 512, 0, 0);
+  f.simulator.run_until(10.0);
+  EXPECT_EQ(f.log.count_at_true_dest(0), 1u);
+}
+
+TEST(Gpsr, PerimeterDisabledDropsAtVoid) {
+  std::vector<util::Vec2> pos{
+      {100.0, 500.0}, {250.0, 500.0}, {250.0, 650.0},
+      {400.0, 680.0}, {550.0, 650.0}, {600.0, 500.0},
+  };
+  GpsrConfig cfg;
+  cfg.use_perimeter = false;
+  ProtocolFixture f(pos, 200.0);
+  GpsrRouter router(*f.network, *f.location, cfg);
+  f.warm_up();
+  router.send(0, 5, 512, 0, 0);
+  f.simulator.run_until(10.0);
+  EXPECT_EQ(f.log.count_at_true_dest(0), 0u);
+  EXPECT_GE(router.stats().data_dropped, 1u);
+}
+
+TEST(Gpsr, UnreachableDestinationNotDelivered) {
+  // Destination isolated beyond radio range of everyone.
+  std::vector<util::Vec2> pos{{100.0, 100.0}, {250.0, 100.0},
+                              {900.0, 900.0}};
+  ProtocolFixture f(pos, 200.0);
+  GpsrRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  router.send(0, 2, 512, 0, 0);
+  f.simulator.run_until(10.0);
+  EXPECT_EQ(f.log.count_at_true_dest(0), 0u);
+}
+
+TEST(Gpsr, MultiplePacketsAllDelivered) {
+  ProtocolFixture f(line_topology(4, 200.0));
+  GpsrRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  for (std::uint32_t s = 0; s < 10; ++s) router.send(0, 3, 512, 0, s);
+  f.simulator.run_until(20.0);
+  EXPECT_EQ(f.log.count_at_true_dest(0), 10u);
+}
+
+TEST(Gpsr, RouteIsStableAcrossPackets) {
+  // GPSR's weakness (Sec. 3.1): the same S-D pair uses the same path.
+  ProtocolFixture f(line_topology(5, 200.0));
+  GpsrRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  router.send(0, 4, 512, 0, 0);
+  router.send(0, 4, 512, 0, 1);
+  f.simulator.run_until(20.0);
+  std::set<net::NodeId> path0, path1;
+  for (const auto& d : f.log.deliveries) {
+    if (d.kind != net::PacketKind::Data) continue;
+    (d.seq == 0 ? path0 : path1).insert(d.receiver);
+  }
+  EXPECT_EQ(path0, path1);
+}
+
+TEST(Gpsr, StatsCountForwards) {
+  ProtocolFixture f(line_topology(5, 200.0));
+  GpsrRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  router.send(0, 4, 512, 0, 0);
+  f.simulator.run_until(10.0);
+  EXPECT_EQ(router.stats().forwards, 4u);
+}
+
+}  // namespace
+}  // namespace alert::routing

@@ -1,0 +1,107 @@
+#pragma once
+
+/// Shared fixture for protocol integration tests: a network on a fixed or
+/// mobile topology with location service, pseudonyms, and a delivery-
+/// recording listener.
+
+#include <memory>
+#include <vector>
+
+#include "loc/location_service.hpp"
+#include "loc/pseudonym.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace alert::routing::testing {
+
+class DeliveryLog final : public net::TraceListener {
+ public:
+  struct Delivery {
+    net::NodeId receiver;
+    std::uint64_t uid;
+    std::uint32_t flow, seq;
+    int hops;
+    double latency;
+    net::PacketKind kind;
+    bool was_true_dest;
+  };
+
+  void on_deliver(const net::Node& receiver, const net::Packet& pkt,
+                  sim::Time when) override {
+    deliveries.push_back({receiver.id(), pkt.uid, pkt.flow, pkt.seq,
+                          pkt.hop_count, when - pkt.app_send_time, pkt.kind,
+                          receiver.id() == pkt.true_dest});
+  }
+
+  [[nodiscard]] std::size_t count_at_true_dest(std::uint32_t flow) const {
+    std::size_t n = 0;
+    std::set<std::uint64_t> uids;
+    for (const auto& d : deliveries) {
+      if (d.was_true_dest && d.flow == flow &&
+          d.kind == net::PacketKind::Data && uids.insert(d.uid).second) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  std::vector<Delivery> deliveries;
+};
+
+struct ProtocolFixture {
+  /// Static topology from explicit positions.
+  explicit ProtocolFixture(std::vector<util::Vec2> positions,
+                           double range = 250.0, double horizon = 300.0,
+                           util::Rect field = {0.0, 0.0, 1000.0, 1000.0}) {
+    net::NetworkConfig cfg;
+    cfg.field = field;
+    cfg.node_count = positions.size();
+    cfg.radio_range_m = range;
+    build(cfg, std::make_unique<net::StaticPlacement>(std::move(positions)),
+          horizon);
+  }
+
+  /// Mobile topology.
+  ProtocolFixture(std::size_t nodes, double speed, double horizon,
+                  util::Rect field = {0.0, 0.0, 1000.0, 1000.0}) {
+    net::NetworkConfig cfg;
+    cfg.field = field;
+    cfg.node_count = nodes;
+    build(cfg, std::make_unique<net::RandomWaypoint>(field, speed), horizon);
+  }
+
+  void build(const net::NetworkConfig& cfg,
+             std::unique_ptr<net::MobilityModel> mobility, double horizon) {
+    network = std::make_unique<net::Network>(simulator, cfg,
+                                             std::move(mobility),
+                                             util::Rng(1234), horizon);
+    pseudonyms = std::make_unique<loc::PseudonymManager>(
+        loc::PseudonymPolicy{}, util::Rng(5678));
+    network->set_pseudonym_provider(pseudonyms.get());
+    location = std::make_unique<loc::LocationService>(
+        *network, loc::LocationServiceConfig{}, horizon);
+    network->add_listener(&log);
+  }
+
+  /// Run hellos long enough for neighbour tables to fill.
+  void warm_up(double seconds = 3.0) { simulator.run_until(seconds); }
+
+  sim::Simulator simulator;
+  std::unique_ptr<net::Network> network;
+  std::unique_ptr<loc::PseudonymManager> pseudonyms;
+  std::unique_ptr<loc::LocationService> location;
+  DeliveryLog log;
+};
+
+/// A line of nodes spaced `gap` apart starting at x0.
+inline std::vector<util::Vec2> line_topology(std::size_t count, double gap,
+                                             double x0 = 50.0,
+                                             double y = 500.0) {
+  std::vector<util::Vec2> pos;
+  for (std::size_t i = 0; i < count; ++i) {
+    pos.push_back({x0 + gap * static_cast<double>(i), y});
+  }
+  return pos;
+}
+
+}  // namespace alert::routing::testing

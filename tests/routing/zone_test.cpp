@@ -1,0 +1,173 @@
+#include "routing/zone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace alert::routing {
+namespace {
+
+using util::Axis;
+using util::Rect;
+using util::Vec2;
+
+TEST(Zone, PartitionsForAnonymityFormula) {
+  // H = log2(rho G / k) = log2(N / k), Sec. 2.4.
+  EXPECT_EQ(partitions_for_anonymity(200, 6.25), 5);
+  EXPECT_EQ(partitions_for_anonymity(256, 16), 4);
+  EXPECT_EQ(partitions_for_anonymity(100, 50), 1);
+  EXPECT_EQ(partitions_for_anonymity(10, 100), 1);  // clamped
+}
+
+TEST(Zone, ExpectedZonePopulation) {
+  EXPECT_DOUBLE_EQ(expected_zone_population(200, 5), 6.25);
+  EXPECT_DOUBLE_EQ(expected_zone_population(256, 4), 16.0);
+}
+
+TEST(Zone, PaperWorkedExample) {
+  // Sec. 2.4: network of size G=8 with positions (0,0) and (4,2), H=3,
+  // destination at (0.5, 0.8) -> destination zone (0,0)-(1,1), size 1.
+  const Rect field{0.0, 0.0, 4.0, 2.0};
+  const Rect zd = destination_zone(field, {0.5, 0.8}, 3);
+  EXPECT_EQ(zd, Rect(0.0, 0.0, 1.0, 1.0));
+  EXPECT_DOUBLE_EQ(zd.area(), 1.0);
+  EXPECT_DOUBLE_EQ(field.area() / std::exp2(3), 1.0);
+}
+
+TEST(Zone, DestinationZoneAlwaysContainsDestination) {
+  const Rect field{0.0, 0.0, 1000.0, 1000.0};
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 d = rng.point_in(field);
+    for (int H = 1; H <= 8; ++H) {
+      EXPECT_TRUE(destination_zone(field, d, H).contains(d));
+    }
+  }
+}
+
+TEST(Zone, DestinationZoneSizeIsGOver2H) {
+  const Rect field{0.0, 0.0, 1000.0, 1000.0};
+  for (int H = 0; H <= 10; ++H) {
+    const Rect zd = destination_zone(field, {123.0, 456.0}, H);
+    EXPECT_NEAR(zd.area(), field.area() / std::exp2(H), 1e-6);
+  }
+}
+
+TEST(Zone, SideLengthsMatchEquations1And2) {
+  // Vertical-first partitioning: width halves on odd steps, height on even.
+  const Rect field{0.0, 0.0, 1000.0, 800.0};
+  const Rect z5 = destination_zone(field, {1.0, 1.0}, 5);
+  EXPECT_DOUBLE_EQ(z5.width(), 1000.0 / 8.0);   // ceil(5/2)=3 halvings
+  EXPECT_DOUBLE_EQ(z5.height(), 800.0 / 4.0);   // floor(5/2)=2 halvings
+}
+
+TEST(Zone, HorizontalFirstSwapsAxes) {
+  const Rect field{0.0, 0.0, 1000.0, 800.0};
+  const Rect z = destination_zone(field, {1.0, 1.0}, 3, Axis::Horizontal);
+  EXPECT_DOUBLE_EQ(z.height(), 800.0 / 4.0);
+  EXPECT_DOUBLE_EQ(z.width(), 1000.0 / 2.0);
+}
+
+TEST(Zone, ZeroPartitionsIsWholeField) {
+  const Rect field{0.0, 0.0, 10.0, 10.0};
+  EXPECT_EQ(destination_zone(field, {3.0, 3.0}, 0), field);
+}
+
+TEST(Partition, ReturnsNulloptWhenSelfInsideDestZone) {
+  const Rect field{0.0, 0.0, 1000.0, 1000.0};
+  const Rect zd = destination_zone(field, {100.0, 100.0}, 4);
+  const Vec2 self = zd.center();
+  EXPECT_FALSE(partition_until_separated(field, self, zd, Axis::Vertical, 10)
+                   .has_value());
+}
+
+TEST(Partition, SeparatesDistantEndpointsInOneSplit) {
+  const Rect field{0.0, 0.0, 1000.0, 1000.0};
+  const Rect zd = destination_zone(field, {900.0, 900.0}, 5);
+  const auto step = partition_until_separated(field, {50.0, 50.0}, zd,
+                                              Axis::Vertical, 5);
+  ASSERT_TRUE(step.has_value());
+  EXPECT_EQ(step->splits_performed, 1);
+  EXPECT_TRUE(step->own_half.contains(Vec2{50.0, 50.0}));
+  EXPECT_TRUE(step->other_half.contains(zd));
+}
+
+TEST(Partition, NearbyEndpointsNeedMoreSplits) {
+  const Rect field{0.0, 0.0, 1000.0, 1000.0};
+  // Destination and self in the same quadrant: several splits needed.
+  const Rect zd = destination_zone(field, {100.0, 100.0}, 6);
+  const auto step = partition_until_separated(field, {300.0, 300.0}, zd,
+                                              Axis::Vertical, 6);
+  ASSERT_TRUE(step.has_value());
+  EXPECT_GT(step->splits_performed, 1);
+}
+
+TEST(Partition, RespectsSplitBudget) {
+  const Rect field{0.0, 0.0, 1000.0, 1000.0};
+  const Rect zd = destination_zone(field, {100.0, 100.0}, 8);
+  // Self very close to the zone: separation needs many splits; budget 1
+  // cannot do it.
+  const Vec2 self{zd.max.x + 1.0, zd.max.y + 1.0};
+  EXPECT_FALSE(
+      partition_until_separated(field, self, zd, Axis::Vertical, 1)
+          .has_value());
+}
+
+TEST(Partition, AlternatesAxes) {
+  const Rect field{0.0, 0.0, 1000.0, 1000.0};
+  const Rect zd = destination_zone(field, {900.0, 100.0}, 6);
+  const auto step = partition_until_separated(field, {850.0, 80.0}, zd,
+                                              Axis::Vertical, 6);
+  ASSERT_TRUE(step.has_value());
+  // last_axis parity follows the starting axis and split count.
+  const Axis expected = (step->splits_performed % 2 == 1)
+                            ? Axis::Vertical
+                            : Axis::Horizontal;
+  EXPECT_EQ(step->last_axis, expected);
+}
+
+TEST(Partition, TemporaryDestinationInOtherHalf) {
+  const Rect field{0.0, 0.0, 1000.0, 1000.0};
+  const Rect zd = destination_zone(field, {900.0, 900.0}, 5);
+  const auto step = partition_until_separated(field, {50.0, 50.0}, zd,
+                                              Axis::Vertical, 5);
+  ASSERT_TRUE(step.has_value());
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Vec2 td = choose_temporary_destination(*step, rng);
+    EXPECT_TRUE(step->other_half.contains(td));
+    EXPECT_FALSE(step->own_half.contains(td) &&
+                 !step->other_half.contains(td));
+  }
+}
+
+/// Property sweep over random S/D placements: the partition step always
+/// (a) keeps self in own_half, (b) puts some of Z_D in other_half, and
+/// (c) moving to the other half reduces the distance to the zone.
+class PartitionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionSweep, InvariantsHoldForRandomPlacements) {
+  const Rect field{0.0, 0.0, 1000.0, 1000.0};
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  constexpr int kH = 5;
+  for (int i = 0; i < 100; ++i) {
+    const Vec2 d = rng.point_in(field);
+    const Rect zd = destination_zone(field, d, kH);
+    Vec2 self = rng.point_in(field);
+    if (zd.contains(self)) continue;
+    const Axis axis = rng.bernoulli(0.5) ? Axis::Horizontal : Axis::Vertical;
+    const auto step = partition_until_separated(field, self, zd, axis, kH);
+    if (!step) continue;  // budget exhausted (rare, misaligned grids)
+    EXPECT_TRUE(step->own_half.contains(self));
+    EXPECT_TRUE(step->other_half.intersects(zd));
+    EXPECT_FALSE(step->own_half.intersects(step->other_half) &&
+                 step->own_half == step->other_half);
+    EXPECT_LE(step->splits_performed, kH);
+    EXPECT_GE(step->splits_performed, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionSweep, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace alert::routing

@@ -1,0 +1,182 @@
+#include "util/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace alert::util {
+namespace {
+
+TEST(Vec2, ArithmeticOperators) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -4.0};
+  EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Vec2(1.5, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += Vec2{2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= Vec2{1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+}
+
+TEST(Vec2, NormAndDistance) {
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({1.0, 1.0}, {4.0, 5.0}), 25.0);
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 0.0}, b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.cross(a), -1.0);
+}
+
+TEST(Vec2, NormalizedUnitLength) {
+  const Vec2 v = Vec2{3.0, 4.0}.normalized();
+  EXPECT_NEAR(v.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(v.x, 0.6, 1e-12);
+}
+
+TEST(Vec2, NormalizedZeroVectorIsZero) {
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Vec2, Angle) {
+  EXPECT_NEAR(Vec2(1.0, 0.0).angle(), 0.0, 1e-12);
+  EXPECT_NEAR(Vec2(0.0, 1.0).angle(), M_PI / 2, 1e-12);
+  EXPECT_NEAR(Vec2(-1.0, 0.0).angle(), M_PI, 1e-12);
+}
+
+TEST(Rect, BasicDimensions) {
+  const Rect r{0.0, 0.0, 4.0, 2.0};
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 2.0);
+  EXPECT_DOUBLE_EQ(r.area(), 8.0);
+  EXPECT_EQ(r.center(), Vec2(2.0, 1.0));
+}
+
+TEST(Rect, ContainsPointIncludesBoundary) {
+  const Rect r{0.0, 0.0, 1.0, 1.0};
+  EXPECT_TRUE(r.contains(Vec2{0.5, 0.5}));
+  EXPECT_TRUE(r.contains(Vec2{0.0, 0.0}));
+  EXPECT_TRUE(r.contains(Vec2{1.0, 1.0}));
+  EXPECT_FALSE(r.contains(Vec2{1.0001, 0.5}));
+  EXPECT_FALSE(r.contains(Vec2{0.5, -0.0001}));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect outer{0.0, 0.0, 10.0, 10.0};
+  EXPECT_TRUE(outer.contains(Rect{1.0, 1.0, 9.0, 9.0}));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Rect{-1.0, 0.0, 5.0, 5.0}));
+  EXPECT_FALSE(outer.contains(Rect{5.0, 5.0, 11.0, 6.0}));
+}
+
+TEST(Rect, Intersects) {
+  const Rect a{0.0, 0.0, 2.0, 2.0};
+  EXPECT_TRUE(a.intersects(Rect{1.0, 1.0, 3.0, 3.0}));
+  EXPECT_TRUE(a.intersects(Rect{2.0, 2.0, 3.0, 3.0}));  // shared corner
+  EXPECT_FALSE(a.intersects(Rect{2.1, 0.0, 3.0, 1.0}));
+}
+
+TEST(Rect, ClampPullsPointsInside) {
+  const Rect r{0.0, 0.0, 1.0, 1.0};
+  EXPECT_EQ(r.clamp(Vec2{2.0, -1.0}), Vec2(1.0, 0.0));
+  EXPECT_EQ(r.clamp(Vec2{0.5, 0.5}), Vec2(0.5, 0.5));
+}
+
+TEST(Rect, VerticalSplitHalvesWidth) {
+  const Rect r{0.0, 0.0, 4.0, 2.0};
+  const RectSplit s = r.split(Axis::Vertical);
+  EXPECT_EQ(s.first, Rect(0.0, 0.0, 2.0, 2.0));
+  EXPECT_EQ(s.second, Rect(2.0, 0.0, 4.0, 2.0));
+}
+
+TEST(Rect, HorizontalSplitHalvesHeight) {
+  const Rect r{0.0, 0.0, 4.0, 2.0};
+  const RectSplit s = r.split(Axis::Horizontal);
+  EXPECT_EQ(s.first, Rect(0.0, 0.0, 4.0, 1.0));
+  EXPECT_EQ(s.second, Rect(0.0, 1.0, 4.0, 2.0));
+}
+
+TEST(Rect, SplitPreservesArea) {
+  const Rect r{-3.0, 2.0, 5.0, 9.0};
+  for (const Axis axis : {Axis::Horizontal, Axis::Vertical}) {
+    const RectSplit s = r.split(axis);
+    EXPECT_DOUBLE_EQ(s.first.area() + s.second.area(), r.area());
+    EXPECT_DOUBLE_EQ(s.first.area(), s.second.area());
+  }
+}
+
+TEST(Rect, HalfContainingPicksCorrectSide) {
+  const Rect r{0.0, 0.0, 2.0, 2.0};
+  EXPECT_EQ(r.half_containing(Axis::Vertical, {0.5, 1.0}),
+            Rect(0.0, 0.0, 1.0, 2.0));
+  EXPECT_EQ(r.half_containing(Axis::Vertical, {1.5, 1.0}),
+            Rect(1.0, 0.0, 2.0, 2.0));
+  EXPECT_EQ(r.half_containing(Axis::Horizontal, {1.0, 1.7}),
+            Rect(0.0, 1.0, 2.0, 2.0));
+}
+
+TEST(Rect, HalfContainingBoundaryGoesToFirstHalf) {
+  const Rect r{0.0, 0.0, 2.0, 2.0};
+  EXPECT_EQ(r.half_containing(Axis::Vertical, {1.0, 1.0}),
+            Rect(0.0, 0.0, 1.0, 2.0));
+}
+
+TEST(Axis, FlipAlternates) {
+  EXPECT_EQ(flip(Axis::Horizontal), Axis::Vertical);
+  EXPECT_EQ(flip(Axis::Vertical), Axis::Horizontal);
+}
+
+TEST(Segments, ProperCrossing) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+}
+
+TEST(Segments, NoCrossing) {
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+}
+
+TEST(Segments, SharedEndpointCounts) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(Segments, CollinearOverlap) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+/// Property sweep: splitting any rectangle and recombining the halves
+/// always covers the original — every point lies in exactly one half
+/// (boundary points in at least one).
+class RectSplitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RectSplitSweep, HalvesPartitionTheRect) {
+  const int i = GetParam();
+  const Rect r{static_cast<double>(-i), 0.0, static_cast<double>(i + 1),
+               static_cast<double>(2 * i + 1)};
+  for (const Axis axis : {Axis::Horizontal, Axis::Vertical}) {
+    const RectSplit s = r.split(axis);
+    EXPECT_TRUE(r.contains(s.first));
+    EXPECT_TRUE(r.contains(s.second));
+    // Sample a grid of points.
+    for (int gx = 0; gx <= 4; ++gx) {
+      for (int gy = 0; gy <= 4; ++gy) {
+        const Vec2 p{r.min.x + r.width() * gx / 4.0,
+                     r.min.y + r.height() * gy / 4.0};
+        EXPECT_TRUE(s.first.contains(p) || s.second.contains(p));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RectSplitSweep, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace alert::util

@@ -1,0 +1,46 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alert::util {
+namespace {
+
+TEST(Logging, DefaultLevelIsSilent) {
+  EXPECT_EQ(log_level(), LogLevel::None);
+}
+
+TEST(Logging, SetAndGetLevel) {
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::None);
+  EXPECT_EQ(log_level(), LogLevel::None);
+}
+
+TEST(Logging, MacrosCompileAndRespectThreshold) {
+  // With the level at None, the macro body must not evaluate vlog; with
+  // Debug, all levels emit (to stderr — not captured, just must not
+  // crash and must handle format arguments).
+  set_log_level(LogLevel::None);
+  ALERT_LOG_ERROR("suppressed %d", 1);
+  set_log_level(LogLevel::Debug);
+  ALERT_LOG_DEBUG("debug %s %d", "x", 2);
+  ALERT_LOG_INFO("info");
+  ALERT_LOG_WARN("warn %.2f", 3.14);
+  ALERT_LOG_ERROR("error");
+  set_log_level(LogLevel::None);
+  SUCCEED();
+}
+
+TEST(Logging, LevelOrdering) {
+  EXPECT_LT(static_cast<int>(LogLevel::None),
+            static_cast<int>(LogLevel::Error));
+  EXPECT_LT(static_cast<int>(LogLevel::Error),
+            static_cast<int>(LogLevel::Warn));
+  EXPECT_LT(static_cast<int>(LogLevel::Warn),
+            static_cast<int>(LogLevel::Info));
+  EXPECT_LT(static_cast<int>(LogLevel::Info),
+            static_cast<int>(LogLevel::Debug));
+}
+
+}  // namespace
+}  // namespace alert::util

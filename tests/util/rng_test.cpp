@@ -1,0 +1,187 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace alert::util {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const std::uint64_t first = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, ForkIndependentOfParentProgress) {
+  Rng a(99);
+  Rng child1 = a.fork(5);
+  // Forking is keyed by stream id and parent state, so the same fork from
+  // an identical parent yields the same child.
+  Rng b(99);
+  Rng child2 = b.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child1.next(), child2.next());
+}
+
+TEST(Rng, ForkDifferentStreamsDiffer) {
+  Rng a(99);
+  Rng c1 = a.fork(1), c2 = a.fork(2);
+  EXPECT_NE(c1.next(), c2.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatesHalf) {
+  Rng r(5);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(6);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(7), 7u);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng r(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BelowApproximatelyUniform) {
+  Rng r(9);
+  constexpr int kBuckets = 10;
+  constexpr int kN = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kN; ++i) ++counts[r.below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kN / kBuckets, kN / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng r(10);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = r.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(12);
+  int heads = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) heads += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng r(13);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = r.exponential(4.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(14);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = r.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(Rng, PointInRectStaysInside) {
+  Rng r(15);
+  const Rect box{-10.0, 5.0, 10.0, 25.0};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(box.contains(r.point_in(box)));
+  }
+}
+
+/// Property sweep: for several n, Lemire bounded generation is unbiased
+/// enough that each residue appears within 3 sigma of its expectation.
+class BelowSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BelowSweep, ResidueFrequencies) {
+  const std::uint64_t n = GetParam();
+  Rng r(n * 977 + 1);
+  constexpr int kN = 60000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < kN; ++i) ++counts[r.below(n)];
+  const double expect = static_cast<double>(kN) / static_cast<double>(n);
+  const double sigma = std::sqrt(expect * (1.0 - 1.0 / static_cast<double>(n)));
+  for (const int c : counts) EXPECT_NEAR(c, expect, 4.0 * sigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, BelowSweep,
+                         ::testing::Values(2, 3, 5, 8, 13, 64, 100));
+
+}  // namespace
+}  // namespace alert::util

@@ -1,0 +1,126 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace alert::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.ci95_halfwidth(), 0.0);
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator a;
+  a.add(42.0);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 42.0);
+  EXPECT_DOUBLE_EQ(a.max(), 42.0);
+}
+
+TEST(Accumulator, KnownMeanAndVariance) {
+  Accumulator a;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  // Sample variance of the classic data set: 32 / 7.
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeEqualsCombinedStream) {
+  Accumulator left, right, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 == 0 ? left : right).add(x);
+    all.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmptyIsIdentity) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Accumulator, Ci95MatchesHandComputation) {
+  Accumulator a;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) a.add(x);
+  // stddev = sqrt(2.5), se = sqrt(2.5/5), t(4) = 2.776.
+  const double se = std::sqrt(2.5 / 5.0);
+  EXPECT_NEAR(a.ci95_halfwidth(), 2.776 * se, 1e-9);
+}
+
+TEST(StudentT, TableValues) {
+  EXPECT_DOUBLE_EQ(student_t_975(1), 12.706);
+  EXPECT_DOUBLE_EQ(student_t_975(29), 2.045);  // the paper's 30-run case
+  EXPECT_DOUBLE_EQ(student_t_975(1000), 1.96);
+  EXPECT_DOUBLE_EQ(student_t_975(0), 0.0);
+}
+
+TEST(StudentT, MonotoneDecreasing) {
+  for (std::size_t dof = 1; dof < 30; ++dof) {
+    EXPECT_GE(student_t_975(dof), student_t_975(dof + 1));
+  }
+}
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(5.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampedToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(Histogram, QuantileOrdering) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+}
+
+TEST(Histogram, BinLowValues) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 18.0);
+}
+
+TEST(SeriesTable, PrintsWithoutCrashing) {
+  Series s1{"ALERT", {{1.0, 2.0, 0.5}, {2.0, 3.0, 0.0}}};
+  Series s2{"GPSR", {{1.0, 1.5, 0.1}}};
+  print_series_table("smoke", "x", "y", {s1, s2});
+}
+
+}  // namespace
+}  // namespace alert::util
