@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_h_tradeoff.dir/ablation_h_tradeoff.cpp.o"
+  "CMakeFiles/ablation_h_tradeoff.dir/ablation_h_tradeoff.cpp.o.d"
+  "ablation_h_tradeoff"
+  "ablation_h_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_h_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_intersection.dir/ablation_intersection.cpp.o"
+  "CMakeFiles/ablation_intersection.dir/ablation_intersection.cpp.o.d"
+  "ablation_intersection"
+  "ablation_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_notify_and_go.dir/ablation_notify_and_go.cpp.o"
+  "CMakeFiles/ablation_notify_and_go.dir/ablation_notify_and_go.cpp.o.d"
+  "ablation_notify_and_go"
+  "ablation_notify_and_go.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_notify_and_go.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

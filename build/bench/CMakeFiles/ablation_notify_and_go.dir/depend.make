@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_notify_and_go.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pseudonym_period.dir/ablation_pseudonym_period.cpp.o"
+  "CMakeFiles/ablation_pseudonym_period.dir/ablation_pseudonym_period.cpp.o.d"
+  "ablation_pseudonym_period"
+  "ablation_pseudonym_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pseudonym_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_per_packet.dir/energy_per_packet.cpp.o"
+  "CMakeFiles/energy_per_packet.dir/energy_per_packet.cpp.o.d"
+  "energy_per_packet"
+  "energy_per_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_per_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07a_possible_nodes.dir/fig07a_possible_nodes.cpp.o"
+  "CMakeFiles/fig07a_possible_nodes.dir/fig07a_possible_nodes.cpp.o.d"
+  "fig07a_possible_nodes"
+  "fig07a_possible_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07a_possible_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

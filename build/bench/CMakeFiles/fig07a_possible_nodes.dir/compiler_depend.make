@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07a_possible_nodes.
+# This may be replaced when dependencies are built.

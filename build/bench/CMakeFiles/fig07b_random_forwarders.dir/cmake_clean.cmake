@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07b_random_forwarders.dir/fig07b_random_forwarders.cpp.o"
+  "CMakeFiles/fig07b_random_forwarders.dir/fig07b_random_forwarders.cpp.o.d"
+  "fig07b_random_forwarders"
+  "fig07b_random_forwarders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07b_random_forwarders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09a_remaining_analytical.dir/fig09a_remaining_analytical.cpp.o"
+  "CMakeFiles/fig09a_remaining_analytical.dir/fig09a_remaining_analytical.cpp.o.d"
+  "fig09a_remaining_analytical"
+  "fig09a_remaining_analytical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09a_remaining_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

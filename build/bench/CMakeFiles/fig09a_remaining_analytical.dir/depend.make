@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09a_remaining_analytical.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09b_remaining_speed.dir/fig09b_remaining_speed.cpp.o"
+  "CMakeFiles/fig09b_remaining_speed.dir/fig09b_remaining_speed.cpp.o.d"
+  "fig09b_remaining_speed"
+  "fig09b_remaining_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09b_remaining_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

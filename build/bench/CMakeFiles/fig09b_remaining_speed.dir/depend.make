@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09b_remaining_speed.
+# This may be replaced when dependencies are built.

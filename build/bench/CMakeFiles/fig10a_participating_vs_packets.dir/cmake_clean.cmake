@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_participating_vs_packets.dir/fig10a_participating_vs_packets.cpp.o"
+  "CMakeFiles/fig10a_participating_vs_packets.dir/fig10a_participating_vs_packets.cpp.o.d"
+  "fig10a_participating_vs_packets"
+  "fig10a_participating_vs_packets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_participating_vs_packets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

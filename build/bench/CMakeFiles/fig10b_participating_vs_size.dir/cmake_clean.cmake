@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_participating_vs_size.dir/fig10b_participating_vs_size.cpp.o"
+  "CMakeFiles/fig10b_participating_vs_size.dir/fig10b_participating_vs_size.cpp.o.d"
+  "fig10b_participating_vs_size"
+  "fig10b_participating_vs_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_participating_vs_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

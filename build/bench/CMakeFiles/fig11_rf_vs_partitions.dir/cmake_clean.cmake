@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_rf_vs_partitions.dir/fig11_rf_vs_partitions.cpp.o"
+  "CMakeFiles/fig11_rf_vs_partitions.dir/fig11_rf_vs_partitions.cpp.o.d"
+  "fig11_rf_vs_partitions"
+  "fig11_rf_vs_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_rf_vs_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

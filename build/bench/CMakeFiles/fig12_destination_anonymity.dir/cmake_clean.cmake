@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_destination_anonymity.dir/fig12_destination_anonymity.cpp.o"
+  "CMakeFiles/fig12_destination_anonymity.dir/fig12_destination_anonymity.cpp.o.d"
+  "fig12_destination_anonymity"
+  "fig12_destination_anonymity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_destination_anonymity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13a_speed_partitions.dir/fig13a_speed_partitions.cpp.o"
+  "CMakeFiles/fig13a_speed_partitions.dir/fig13a_speed_partitions.cpp.o.d"
+  "fig13a_speed_partitions"
+  "fig13a_speed_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13a_speed_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

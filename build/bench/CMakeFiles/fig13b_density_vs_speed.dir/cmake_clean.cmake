@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13b_density_vs_speed.dir/fig13b_density_vs_speed.cpp.o"
+  "CMakeFiles/fig13b_density_vs_speed.dir/fig13b_density_vs_speed.cpp.o.d"
+  "fig13b_density_vs_speed"
+  "fig13b_density_vs_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_density_vs_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

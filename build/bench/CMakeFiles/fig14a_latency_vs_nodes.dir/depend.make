@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14a_latency_vs_nodes.
+# This may be replaced when dependencies are built.

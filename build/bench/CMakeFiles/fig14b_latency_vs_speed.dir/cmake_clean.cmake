@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14b_latency_vs_speed.dir/fig14b_latency_vs_speed.cpp.o"
+  "CMakeFiles/fig14b_latency_vs_speed.dir/fig14b_latency_vs_speed.cpp.o.d"
+  "fig14b_latency_vs_speed"
+  "fig14b_latency_vs_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14b_latency_vs_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

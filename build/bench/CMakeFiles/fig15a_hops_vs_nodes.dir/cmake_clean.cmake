@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15a_hops_vs_nodes.dir/fig15a_hops_vs_nodes.cpp.o"
+  "CMakeFiles/fig15a_hops_vs_nodes.dir/fig15a_hops_vs_nodes.cpp.o.d"
+  "fig15a_hops_vs_nodes"
+  "fig15a_hops_vs_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15a_hops_vs_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15a_hops_vs_nodes.
+# This may be replaced when dependencies are built.

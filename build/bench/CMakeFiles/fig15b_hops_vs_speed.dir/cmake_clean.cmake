@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15b_hops_vs_speed.dir/fig15b_hops_vs_speed.cpp.o"
+  "CMakeFiles/fig15b_hops_vs_speed.dir/fig15b_hops_vs_speed.cpp.o.d"
+  "fig15b_hops_vs_speed"
+  "fig15b_hops_vs_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15b_hops_vs_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

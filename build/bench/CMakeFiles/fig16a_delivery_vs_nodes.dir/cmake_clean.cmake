@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16a_delivery_vs_nodes.dir/fig16a_delivery_vs_nodes.cpp.o"
+  "CMakeFiles/fig16a_delivery_vs_nodes.dir/fig16a_delivery_vs_nodes.cpp.o.d"
+  "fig16a_delivery_vs_nodes"
+  "fig16a_delivery_vs_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16a_delivery_vs_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16b_delivery_vs_speed.dir/fig16b_delivery_vs_speed.cpp.o"
+  "CMakeFiles/fig16b_delivery_vs_speed.dir/fig16b_delivery_vs_speed.cpp.o.d"
+  "fig16b_delivery_vs_speed"
+  "fig16b_delivery_vs_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16b_delivery_vs_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

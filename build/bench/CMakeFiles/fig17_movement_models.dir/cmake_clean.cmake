@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_movement_models.dir/fig17_movement_models.cpp.o"
+  "CMakeFiles/fig17_movement_models.dir/fig17_movement_models.cpp.o.d"
+  "fig17_movement_models"
+  "fig17_movement_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_movement_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec31_interception.dir/sec31_interception.cpp.o"
+  "CMakeFiles/sec31_interception.dir/sec31_interception.cpp.o.d"
+  "sec31_interception"
+  "sec31_interception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec31_interception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

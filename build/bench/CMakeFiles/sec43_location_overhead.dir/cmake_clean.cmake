@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec43_location_overhead.dir/sec43_location_overhead.cpp.o"
+  "CMakeFiles/sec43_location_overhead.dir/sec43_location_overhead.cpp.o.d"
+  "sec43_location_overhead"
+  "sec43_location_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec43_location_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alertsim_cli.dir/alertsim_cli.cpp.o"
+  "CMakeFiles/alertsim_cli.dir/alertsim_cli.cpp.o.d"
+  "alertsim_cli"
+  "alertsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alertsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

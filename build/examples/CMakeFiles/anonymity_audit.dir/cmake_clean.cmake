@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymity_audit.dir/anonymity_audit.cpp.o"
+  "CMakeFiles/anonymity_audit.dir/anonymity_audit.cpp.o.d"
+  "anonymity_audit"
+  "anonymity_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymity_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alert_analysis.dir/theory.cpp.o"
+  "CMakeFiles/alert_analysis.dir/theory.cpp.o.d"
+  "libalert_analysis.a"
+  "libalert_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alert_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

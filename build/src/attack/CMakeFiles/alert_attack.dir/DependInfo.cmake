@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/compromise.cpp" "src/attack/CMakeFiles/alert_attack.dir/compromise.cpp.o" "gcc" "src/attack/CMakeFiles/alert_attack.dir/compromise.cpp.o.d"
+  "/root/repo/src/attack/intersection_attack.cpp" "src/attack/CMakeFiles/alert_attack.dir/intersection_attack.cpp.o" "gcc" "src/attack/CMakeFiles/alert_attack.dir/intersection_attack.cpp.o.d"
+  "/root/repo/src/attack/observer.cpp" "src/attack/CMakeFiles/alert_attack.dir/observer.cpp.o" "gcc" "src/attack/CMakeFiles/alert_attack.dir/observer.cpp.o.d"
+  "/root/repo/src/attack/route_tracer.cpp" "src/attack/CMakeFiles/alert_attack.dir/route_tracer.cpp.o" "gcc" "src/attack/CMakeFiles/alert_attack.dir/route_tracer.cpp.o.d"
+  "/root/repo/src/attack/timing_attack.cpp" "src/attack/CMakeFiles/alert_attack.dir/timing_attack.cpp.o" "gcc" "src/attack/CMakeFiles/alert_attack.dir/timing_attack.cpp.o.d"
+  "/root/repo/src/attack/trace_writer.cpp" "src/attack/CMakeFiles/alert_attack.dir/trace_writer.cpp.o" "gcc" "src/attack/CMakeFiles/alert_attack.dir/trace_writer.cpp.o.d"
+  "/root/repo/src/attack/zone_residency.cpp" "src/attack/CMakeFiles/alert_attack.dir/zone_residency.cpp.o" "gcc" "src/attack/CMakeFiles/alert_attack.dir/zone_residency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/alert_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alert_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/alert_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/alert_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alert_attack.dir/compromise.cpp.o"
+  "CMakeFiles/alert_attack.dir/compromise.cpp.o.d"
+  "CMakeFiles/alert_attack.dir/intersection_attack.cpp.o"
+  "CMakeFiles/alert_attack.dir/intersection_attack.cpp.o.d"
+  "CMakeFiles/alert_attack.dir/observer.cpp.o"
+  "CMakeFiles/alert_attack.dir/observer.cpp.o.d"
+  "CMakeFiles/alert_attack.dir/route_tracer.cpp.o"
+  "CMakeFiles/alert_attack.dir/route_tracer.cpp.o.d"
+  "CMakeFiles/alert_attack.dir/timing_attack.cpp.o"
+  "CMakeFiles/alert_attack.dir/timing_attack.cpp.o.d"
+  "CMakeFiles/alert_attack.dir/trace_writer.cpp.o"
+  "CMakeFiles/alert_attack.dir/trace_writer.cpp.o.d"
+  "CMakeFiles/alert_attack.dir/zone_residency.cpp.o"
+  "CMakeFiles/alert_attack.dir/zone_residency.cpp.o.d"
+  "libalert_attack.a"
+  "libalert_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alert_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

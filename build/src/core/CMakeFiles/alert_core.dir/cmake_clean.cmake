@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alert_core.dir/experiment.cpp.o"
+  "CMakeFiles/alert_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/alert_core.dir/scenario.cpp.o"
+  "CMakeFiles/alert_core.dir/scenario.cpp.o.d"
+  "libalert_core.a"
+  "libalert_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alert_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

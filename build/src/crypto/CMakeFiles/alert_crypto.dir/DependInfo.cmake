@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bitmap.cpp" "src/crypto/CMakeFiles/alert_crypto.dir/bitmap.cpp.o" "gcc" "src/crypto/CMakeFiles/alert_crypto.dir/bitmap.cpp.o.d"
+  "/root/repo/src/crypto/cost_model.cpp" "src/crypto/CMakeFiles/alert_crypto.dir/cost_model.cpp.o" "gcc" "src/crypto/CMakeFiles/alert_crypto.dir/cost_model.cpp.o.d"
+  "/root/repo/src/crypto/pubkey.cpp" "src/crypto/CMakeFiles/alert_crypto.dir/pubkey.cpp.o" "gcc" "src/crypto/CMakeFiles/alert_crypto.dir/pubkey.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/alert_crypto.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/alert_crypto.dir/sha1.cpp.o.d"
+  "/root/repo/src/crypto/symmetric.cpp" "src/crypto/CMakeFiles/alert_crypto.dir/symmetric.cpp.o" "gcc" "src/crypto/CMakeFiles/alert_crypto.dir/symmetric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/alert_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alert_crypto.dir/bitmap.cpp.o"
+  "CMakeFiles/alert_crypto.dir/bitmap.cpp.o.d"
+  "CMakeFiles/alert_crypto.dir/cost_model.cpp.o"
+  "CMakeFiles/alert_crypto.dir/cost_model.cpp.o.d"
+  "CMakeFiles/alert_crypto.dir/pubkey.cpp.o"
+  "CMakeFiles/alert_crypto.dir/pubkey.cpp.o.d"
+  "CMakeFiles/alert_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/alert_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/alert_crypto.dir/symmetric.cpp.o"
+  "CMakeFiles/alert_crypto.dir/symmetric.cpp.o.d"
+  "libalert_crypto.a"
+  "libalert_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alert_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loc/location_service.cpp" "src/loc/CMakeFiles/alert_loc.dir/location_service.cpp.o" "gcc" "src/loc/CMakeFiles/alert_loc.dir/location_service.cpp.o.d"
+  "/root/repo/src/loc/pseudonym.cpp" "src/loc/CMakeFiles/alert_loc.dir/pseudonym.cpp.o" "gcc" "src/loc/CMakeFiles/alert_loc.dir/pseudonym.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/alert_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/alert_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alert_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/alert_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

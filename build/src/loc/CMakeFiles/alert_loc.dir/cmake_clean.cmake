@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alert_loc.dir/location_service.cpp.o"
+  "CMakeFiles/alert_loc.dir/location_service.cpp.o.d"
+  "CMakeFiles/alert_loc.dir/pseudonym.cpp.o"
+  "CMakeFiles/alert_loc.dir/pseudonym.cpp.o.d"
+  "libalert_loc.a"
+  "libalert_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alert_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

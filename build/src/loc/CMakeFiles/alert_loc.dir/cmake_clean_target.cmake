@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalert_loc.a"
+)

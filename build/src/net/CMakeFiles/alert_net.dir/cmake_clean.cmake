@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alert_net.dir/mac.cpp.o"
+  "CMakeFiles/alert_net.dir/mac.cpp.o.d"
+  "CMakeFiles/alert_net.dir/mobility.cpp.o"
+  "CMakeFiles/alert_net.dir/mobility.cpp.o.d"
+  "CMakeFiles/alert_net.dir/network.cpp.o"
+  "CMakeFiles/alert_net.dir/network.cpp.o.d"
+  "CMakeFiles/alert_net.dir/node.cpp.o"
+  "CMakeFiles/alert_net.dir/node.cpp.o.d"
+  "CMakeFiles/alert_net.dir/packet.cpp.o"
+  "CMakeFiles/alert_net.dir/packet.cpp.o.d"
+  "libalert_net.a"
+  "libalert_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alert_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/alarm.cpp" "src/routing/CMakeFiles/alert_routing.dir/alarm.cpp.o" "gcc" "src/routing/CMakeFiles/alert_routing.dir/alarm.cpp.o.d"
+  "/root/repo/src/routing/alert_router.cpp" "src/routing/CMakeFiles/alert_routing.dir/alert_router.cpp.o" "gcc" "src/routing/CMakeFiles/alert_routing.dir/alert_router.cpp.o.d"
+  "/root/repo/src/routing/ao2p.cpp" "src/routing/CMakeFiles/alert_routing.dir/ao2p.cpp.o" "gcc" "src/routing/CMakeFiles/alert_routing.dir/ao2p.cpp.o.d"
+  "/root/repo/src/routing/geo_forwarding.cpp" "src/routing/CMakeFiles/alert_routing.dir/geo_forwarding.cpp.o" "gcc" "src/routing/CMakeFiles/alert_routing.dir/geo_forwarding.cpp.o.d"
+  "/root/repo/src/routing/gpsr.cpp" "src/routing/CMakeFiles/alert_routing.dir/gpsr.cpp.o" "gcc" "src/routing/CMakeFiles/alert_routing.dir/gpsr.cpp.o.d"
+  "/root/repo/src/routing/zap.cpp" "src/routing/CMakeFiles/alert_routing.dir/zap.cpp.o" "gcc" "src/routing/CMakeFiles/alert_routing.dir/zap.cpp.o.d"
+  "/root/repo/src/routing/zone.cpp" "src/routing/CMakeFiles/alert_routing.dir/zone.cpp.o" "gcc" "src/routing/CMakeFiles/alert_routing.dir/zone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/alert_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/loc/CMakeFiles/alert_loc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/alert_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alert_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/alert_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alert_routing.dir/alarm.cpp.o"
+  "CMakeFiles/alert_routing.dir/alarm.cpp.o.d"
+  "CMakeFiles/alert_routing.dir/alert_router.cpp.o"
+  "CMakeFiles/alert_routing.dir/alert_router.cpp.o.d"
+  "CMakeFiles/alert_routing.dir/ao2p.cpp.o"
+  "CMakeFiles/alert_routing.dir/ao2p.cpp.o.d"
+  "CMakeFiles/alert_routing.dir/geo_forwarding.cpp.o"
+  "CMakeFiles/alert_routing.dir/geo_forwarding.cpp.o.d"
+  "CMakeFiles/alert_routing.dir/gpsr.cpp.o"
+  "CMakeFiles/alert_routing.dir/gpsr.cpp.o.d"
+  "CMakeFiles/alert_routing.dir/zap.cpp.o"
+  "CMakeFiles/alert_routing.dir/zap.cpp.o.d"
+  "CMakeFiles/alert_routing.dir/zone.cpp.o"
+  "CMakeFiles/alert_routing.dir/zone.cpp.o.d"
+  "libalert_routing.a"
+  "libalert_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alert_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

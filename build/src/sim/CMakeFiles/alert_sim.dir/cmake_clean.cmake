@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alert_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/alert_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/alert_sim.dir/simulator.cpp.o"
+  "CMakeFiles/alert_sim.dir/simulator.cpp.o.d"
+  "libalert_sim.a"
+  "libalert_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alert_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alert_util.dir/cli.cpp.o"
+  "CMakeFiles/alert_util.dir/cli.cpp.o.d"
+  "CMakeFiles/alert_util.dir/geometry.cpp.o"
+  "CMakeFiles/alert_util.dir/geometry.cpp.o.d"
+  "CMakeFiles/alert_util.dir/logging.cpp.o"
+  "CMakeFiles/alert_util.dir/logging.cpp.o.d"
+  "CMakeFiles/alert_util.dir/rng.cpp.o"
+  "CMakeFiles/alert_util.dir/rng.cpp.o.d"
+  "CMakeFiles/alert_util.dir/stats.cpp.o"
+  "CMakeFiles/alert_util.dir/stats.cpp.o.d"
+  "CMakeFiles/alert_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/alert_util.dir/thread_pool.cpp.o.d"
+  "libalert_util.a"
+  "libalert_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alert_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alarm_ao2p_test.dir/routing/alarm_ao2p_test.cpp.o"
+  "CMakeFiles/alarm_ao2p_test.dir/routing/alarm_ao2p_test.cpp.o.d"
+  "alarm_ao2p_test"
+  "alarm_ao2p_test.pdb"
+  "alarm_ao2p_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alarm_ao2p_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

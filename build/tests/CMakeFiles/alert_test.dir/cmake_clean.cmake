@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alert_test.dir/routing/alert_test.cpp.o"
+  "CMakeFiles/alert_test.dir/routing/alert_test.cpp.o.d"
+  "alert_test"
+  "alert_test.pdb"
+  "alert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compromise_test.dir/attack/compromise_test.cpp.o"
+  "CMakeFiles/compromise_test.dir/attack/compromise_test.cpp.o.d"
+  "compromise_test"
+  "compromise_test.pdb"
+  "compromise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compromise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delivery_sweep_test.dir/routing/delivery_sweep_test.cpp.o"
+  "CMakeFiles/delivery_sweep_test.dir/routing/delivery_sweep_test.cpp.o.d"
+  "delivery_sweep_test"
+  "delivery_sweep_test.pdb"
+  "delivery_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delivery_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_forwarding_test.dir/routing/geo_forwarding_test.cpp.o"
+  "CMakeFiles/geo_forwarding_test.dir/routing/geo_forwarding_test.cpp.o.d"
+  "geo_forwarding_test"
+  "geo_forwarding_test.pdb"
+  "geo_forwarding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_forwarding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpsr_test.dir/routing/gpsr_test.cpp.o"
+  "CMakeFiles/gpsr_test.dir/routing/gpsr_test.cpp.o.d"
+  "gpsr_test"
+  "gpsr_test.pdb"
+  "gpsr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpsr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

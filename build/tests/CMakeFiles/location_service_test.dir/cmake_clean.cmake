@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/location_service_test.dir/loc/location_service_test.cpp.o"
+  "CMakeFiles/location_service_test.dir/loc/location_service_test.cpp.o.d"
+  "location_service_test"
+  "location_service_test.pdb"
+  "location_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/location_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pseudonym_test.dir/loc/pseudonym_test.cpp.o"
+  "CMakeFiles/pseudonym_test.dir/loc/pseudonym_test.cpp.o.d"
+  "pseudonym_test"
+  "pseudonym_test.pdb"
+  "pseudonym_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pseudonym_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

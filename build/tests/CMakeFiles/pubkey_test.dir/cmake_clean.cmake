@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubkey_test.dir/crypto/pubkey_test.cpp.o"
+  "CMakeFiles/pubkey_test.dir/crypto/pubkey_test.cpp.o.d"
+  "pubkey_test"
+  "pubkey_test.pdb"
+  "pubkey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubkey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetric_test.dir/crypto/symmetric_test.cpp.o"
+  "CMakeFiles/symmetric_test.dir/crypto/symmetric_test.cpp.o.d"
+  "symmetric_test"
+  "symmetric_test.pdb"
+  "symmetric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

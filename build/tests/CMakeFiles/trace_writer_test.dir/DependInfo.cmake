@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attack/trace_writer_test.cpp" "tests/CMakeFiles/trace_writer_test.dir/attack/trace_writer_test.cpp.o" "gcc" "tests/CMakeFiles/trace_writer_test.dir/attack/trace_writer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/alert_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/alert_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/alert_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/alert_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/loc/CMakeFiles/alert_loc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/alert_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/alert_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/alert_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alert_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

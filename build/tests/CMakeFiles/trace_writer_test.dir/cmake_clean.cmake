@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_writer_test.dir/attack/trace_writer_test.cpp.o"
+  "CMakeFiles/trace_writer_test.dir/attack/trace_writer_test.cpp.o.d"
+  "trace_writer_test"
+  "trace_writer_test.pdb"
+  "trace_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

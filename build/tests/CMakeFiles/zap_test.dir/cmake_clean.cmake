@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zap_test.dir/routing/zap_test.cpp.o"
+  "CMakeFiles/zap_test.dir/routing/zap_test.cpp.o.d"
+  "zap_test"
+  "zap_test.pdb"
+  "zap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
