@@ -13,6 +13,7 @@
 #include "loc/pseudonym.hpp"
 #include "routing/zone.hpp"
 #include "sim/simulator.hpp"
+#include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace alert::core {
@@ -244,7 +245,16 @@ RunResult run_once(const ScenarioConfig& config,
 
   simulator.run_until(config.duration_s);
 
+  // Lifecycle audit: whatever the horizon cut off mid-flight is Expired;
+  // afterwards every uid the run created must have exactly one fate.
+  network.ledger().expire_open(simulator.now());
+  ALERT_ASSERT(network.ledger().balanced(),
+               "packet ledger out of balance at end of replication");
+
   RunResult result;
+  result.trace_digest = simulator.trace_digest();
+  result.packets_opened = network.ledger().totals().opened;
+  result.packets_expired = network.ledger().totals().expired;
   result.sent = sent;
   result.delivered = delivery.delivered();
   result.mean_latency_s = delivery.mean_latency();

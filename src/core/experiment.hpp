@@ -47,6 +47,10 @@ struct RunResult {
   double energy_crypto_j = 0.0;       ///< crypto share
   double energy_per_delivered_j = 0.0;
   double energy_max_node_j = 0.0;     ///< battery-death hotspot
+  // Correctness instrumentation (see sim/simulator.hpp, net/packet_ledger.hpp):
+  std::uint64_t trace_digest = 0;     ///< seed-deterministic event-trace hash
+  std::uint64_t packets_opened = 0;   ///< uids created by this replication
+  std::uint64_t packets_expired = 0;  ///< still in flight at the horizon
 
   [[nodiscard]] double delivery_rate() const {
     return sent == 0 ? 0.0

@@ -152,6 +152,10 @@ void Network::send_hello(Node& node) {
 void Network::unicast(Node& from, Pseudonym to, Packet pkt,
                       double processing_delay) {
   pkt.prev_hop = from.id();
+  // Fold the transmission into the determinism audit: uid, kind and sender
+  // are all seed-deterministic words (never addresses or wall-clock).
+  sim_.audit((pkt.uid << 8) ^ static_cast<std::uint64_t>(pkt.kind));
+  sim_.audit(from.id());
   const sim::Time now = sim_.now();
   const util::Vec2 pos = from.position(now);
   const std::size_t contenders =
@@ -174,6 +178,8 @@ void Network::unicast(Node& from, Pseudonym to, Packet pkt,
 
 void Network::broadcast(Node& from, Packet pkt, double processing_delay) {
   pkt.prev_hop = from.id();
+  sim_.audit((pkt.uid << 8) ^ static_cast<std::uint64_t>(pkt.kind));
+  sim_.audit(from.id());
   const sim::Time now = sim_.now();
   const util::Vec2 pos = from.position(now);
   const std::size_t contenders =

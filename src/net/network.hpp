@@ -18,6 +18,7 @@
 #include "net/mobility.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "net/packet_ledger.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -125,8 +126,17 @@ class Network {
   /// Broadcast to every node in radio range at delivery time.
   void broadcast(Node& from, Packet pkt, double processing_delay = 0.0);
 
-  /// Fresh application-packet uid.
-  std::uint64_t next_uid() { return next_uid_++; }
+  /// Fresh application-packet uid, registered with the packet ledger: the
+  /// caller owns getting it to a terminal fate (see packet_ledger.hpp).
+  std::uint64_t next_uid() {
+    const std::uint64_t uid = next_uid_++;
+    ledger_.open(uid, sim_.now());
+    return uid;
+  }
+
+  /// Lifecycle ledger for every uid-carrying packet in this network.
+  [[nodiscard]] PacketLedger& ledger() { return ledger_; }
+  [[nodiscard]] const PacketLedger& ledger() const { return ledger_; }
 
   /// Immediately rotate one node's pseudonym (also runs periodically).
   void rotate_pseudonym(Node& node);
@@ -165,6 +175,7 @@ class Network {
   std::unique_ptr<PseudonymProvider> default_provider_;
   std::uint64_t next_uid_ = 1;
   std::uint64_t hello_count_ = 0;
+  PacketLedger ledger_;
 };
 
 }  // namespace alert::net

@@ -76,6 +76,7 @@ void AlarmRouter::handle(net::Node& self, const net::Packet& pkt) {
   if (pkt.kind != net::PacketKind::Data) return;
   if (net_.resolve_pseudonym(pkt.dst_pseudonym) == self.id()) {
     ++stats_.data_delivered;
+    ledger_close(pkt, net::PacketFate::Delivered);
     return;
   }
   forward(self, pkt);
@@ -84,6 +85,7 @@ void AlarmRouter::handle(net::Node& self, const net::Packet& pkt) {
 void AlarmRouter::forward(net::Node& self, net::Packet pkt) {
   if (pkt.hops_remaining <= 0) {
     ++stats_.data_dropped;
+    ledger_close(pkt, net::PacketFate::Dropped);
     return;
   }
   --pkt.hops_remaining;
@@ -117,6 +119,7 @@ void AlarmRouter::forward(net::Node& self, net::Packet pkt) {
     return;
   }
   ++stats_.data_dropped;
+  ledger_close(pkt, net::PacketFate::Dropped);
 }
 
 }  // namespace alert::routing

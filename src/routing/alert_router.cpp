@@ -231,6 +231,8 @@ void AlertRouter::resend(std::uint32_t flow, std::uint32_t seq) {
   auto it = pending_.find(key);
   if (it == pending_.end()) return;  // confirmed in the meantime
   if (it->second.retries_left <= 0) {
+    // Out of retries: the application packet is now definitively given up.
+    ledger_close(it->second.packet, net::PacketFate::Dropped);
     pending_.erase(it);
     return;
   }
@@ -320,6 +322,7 @@ void AlertRouter::forward(net::Node& self, net::Packet pkt,
                           bool force_partition) {
   if (pkt.hops_remaining <= 0) {
     ++stats_.data_dropped;
+    ledger_close(pkt, net::PacketFate::Dropped);
     return;
   }
   const util::Vec2 self_pos = self.position(net_.now());
@@ -417,6 +420,7 @@ void AlertRouter::fallback_leg(net::Node& self, net::Packet pkt) {
     }
     if (!config_.use_perimeter_fallback) {
       ++stats_.data_dropped;
+      ledger_close(pkt, net::PacketFate::Dropped);
       return;
     }
     pkt.geo->perimeter_mode = true;
@@ -431,6 +435,7 @@ void AlertRouter::fallback_leg(net::Node& self, net::Packet pkt) {
   const auto* next = perimeter_next_hop(self, self_pos, from);
   if (next == nullptr) {
     ++stats_.data_dropped;
+    ledger_close(pkt, net::PacketFate::Dropped);
     return;
   }
   const net::NodeId next_id = net_.resolve_pseudonym(next->pseudonym);
@@ -438,6 +443,7 @@ void AlertRouter::fallback_leg(net::Node& self, net::Packet pkt) {
     pkt.geo->perimeter_first_hop = next_id;
   } else if (next_id == pkt.geo->perimeter_first_hop) {
     ++stats_.data_dropped;  // walked the whole face: zone unreachable
+    ledger_close(pkt, net::PacketFate::Dropped);
     return;
   }
   ++stats_.forwards;
@@ -540,6 +546,7 @@ void AlertRouter::on_zone_broadcast(net::Node& self, const net::Packet& pkt) {
       break;
     case net::PacketKind::Confirm: {
       pending_.erase(confirm_key(pkt.flow, pkt.seq));
+      ledger_close(pkt, net::PacketFate::Delivered);
       break;
     }
     case net::PacketKind::Nak: {
@@ -547,6 +554,7 @@ void AlertRouter::on_zone_broadcast(net::Node& self, const net::Packet& pkt) {
       const std::uint64_t key = confirm_key(pkt.flow, pkt.seq);
       if (pending_.contains(key)) resend(pkt.flow, pkt.seq);
       ++stats_.naks;
+      ledger_close(pkt, net::PacketFate::Delivered);
       break;
     }
     default:
@@ -593,6 +601,7 @@ void AlertRouter::accept_at_destination(net::Node& self,
 
   delivered_marks_.insert(mark);
   ++stats_.data_delivered;
+  ledger_close(pkt, net::PacketFate::Delivered);
 
   if (config_.use_nak) {
     if (pkt.seq > ds.expected_seq) {

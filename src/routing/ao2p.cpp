@@ -51,6 +51,7 @@ void Ao2pRouter::handle(net::Node& self, const net::Packet& pkt) {
   if (pkt.kind != net::PacketKind::Data) return;
   if (net_.resolve_pseudonym(pkt.dst_pseudonym) == self.id()) {
     ++stats_.data_delivered;
+    ledger_close(pkt, net::PacketFate::Delivered);
     return;
   }
   forward(self, pkt);
@@ -59,6 +60,7 @@ void Ao2pRouter::handle(net::Node& self, const net::Packet& pkt) {
 void Ao2pRouter::forward(net::Node& self, net::Packet pkt) {
   if (pkt.hops_remaining <= 0) {
     ++stats_.data_dropped;
+    ledger_close(pkt, net::PacketFate::Dropped);
     return;
   }
   --pkt.hops_remaining;
@@ -100,6 +102,7 @@ void Ao2pRouter::forward(net::Node& self, net::Packet pkt) {
     return;
   }
   ++stats_.data_dropped;
+  ledger_close(pkt, net::PacketFate::Dropped);
 }
 
 }  // namespace alert::routing

@@ -42,6 +42,7 @@ void GpsrRouter::handle(net::Node& self, const net::Packet& pkt) {
   if (pkt.kind != net::PacketKind::Data) return;
   if (net_.resolve_pseudonym(pkt.dst_pseudonym) == self.id()) {
     ++stats_.data_delivered;
+    ledger_close(pkt, net::PacketFate::Delivered);
     return;
   }
   forward(self, pkt);
@@ -50,6 +51,7 @@ void GpsrRouter::handle(net::Node& self, const net::Packet& pkt) {
 void GpsrRouter::forward(net::Node& self, net::Packet pkt) {
   if (pkt.hops_remaining <= 0) {
     ++stats_.data_dropped;
+    ledger_close(pkt, net::PacketFate::Dropped);
     return;
   }
   --pkt.hops_remaining;
@@ -79,6 +81,7 @@ void GpsrRouter::forward(net::Node& self, net::Packet pkt) {
     }
     if (!config_.use_perimeter) {
       ++stats_.data_dropped;
+      ledger_close(pkt, net::PacketFate::Dropped);
       return;
     }
     // Enter perimeter mode at this local maximum.
@@ -97,6 +100,7 @@ void GpsrRouter::forward(net::Node& self, net::Packet pkt) {
   const auto* next = perimeter_next_hop(self, self_pos, from);
   if (next == nullptr) {
     ++stats_.data_dropped;
+    ledger_close(pkt, net::PacketFate::Dropped);
     return;
   }
   const net::NodeId next_id = net_.resolve_pseudonym(next->pseudonym);
@@ -105,6 +109,7 @@ void GpsrRouter::forward(net::Node& self, net::Packet pkt) {
   } else if (next_id == pkt.geo->perimeter_first_hop) {
     // Completed the face without getting closer: unreachable.
     ++stats_.data_dropped;
+    ledger_close(pkt, net::PacketFate::Dropped);
     return;
   }
   ++stats_.forwards;

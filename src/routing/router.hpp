@@ -53,6 +53,13 @@ class Protocol : public net::PacketHandler {
     net_.charge_crypto(node.id(), seconds);
   }
 
+  /// Record a packet's terminal fate on the network's lifecycle ledger.
+  /// Call exactly where the protocol decides the packet is done (delivered
+  /// at its destination / given up on); duplicate closes are ignored.
+  void ledger_close(const net::Packet& pkt, net::PacketFate fate) {
+    if (pkt.uid != 0) net_.ledger().close(pkt.uid, fate, net_.now());
+  }
+
   /// Attach this protocol as the handler of every node.
   void attach_to_all() {
     for (net::NodeId id = 0; id < net_.size(); ++id) {

@@ -65,6 +65,7 @@ void ZapRouter::handle(net::Node& self, const net::Packet& pkt) {
     if (net_.resolve_pseudonym(pkt.dst_pseudonym) == self.id() &&
         delivered_uids_.insert(pkt.uid).second) {
       ++stats_.data_delivered;
+      ledger_close(pkt, net::PacketFate::Delivered);
       // D must keep rebroadcasting like every other zone member, or its
       // silence would single it out.
     }
@@ -87,6 +88,7 @@ void ZapRouter::handle(net::Node& self, const net::Packet& pkt) {
 void ZapRouter::forward(net::Node& self, net::Packet pkt) {
   if (pkt.hops_remaining <= 0) {
     ++stats_.data_dropped;
+    ledger_close(pkt, net::PacketFate::Dropped);
     return;
   }
   const util::Vec2 self_pos = self.position(net_.now());
@@ -114,6 +116,7 @@ void ZapRouter::forward(net::Node& self, net::Packet pkt) {
     return;
   }
   ++stats_.data_dropped;
+  ledger_close(pkt, net::PacketFate::Dropped);
 }
 
 void ZapRouter::zone_flood(net::Node& self, net::Packet pkt) {
@@ -129,6 +132,7 @@ void ZapRouter::zone_flood(net::Node& self, net::Packet pkt) {
   if (net_.resolve_pseudonym(local.dst_pseudonym) == self.id() &&
       delivered_uids_.insert(local.uid).second) {
     ++stats_.data_delivered;
+    ledger_close(local, net::PacketFate::Delivered);
   }
 }
 

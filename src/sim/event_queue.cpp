@@ -1,15 +1,18 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.hpp"
 
 namespace alert::sim {
 
 EventId EventQueue::schedule(Time when, Action action) {
+  ALERT_INVARIANT(when == when, "scheduling at NaN time");
   const EventId id = next_id_++;
   heap_.push_back(Entry{when, next_seq_++, id, std::move(action)});
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   ++live_count_;
+  if (++ops_since_audit_ >= kAuditPeriod) audit();
   return id;
 }
 
@@ -28,31 +31,71 @@ bool EventQueue::cancel(EventId id) {
                   [id](const Entry& e) { return e.id == id; });
   if (!pending) return false;
   cancelled_.push_back(id);
+  ALERT_INVARIANT(live_count_ > 0, "cancel with no live events");
   --live_count_;
   return true;
 }
 
 void EventQueue::skip_cancelled() const {
-  while (!heap_.empty() && is_cancelled(heap_.front().id)) {
+  while (!heap_.empty()) {
+    const auto it =
+        std::find(cancelled_.begin(), cancelled_.end(), heap_.front().id);
+    if (it == cancelled_.end()) break;
+    // Reclaim the tombstone with the heap entry, so a drained queue always
+    // has an empty tombstone list (the no-stale-event invariant below).
+    cancelled_.erase(it);
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
     heap_.pop_back();
   }
+  ALERT_INVARIANT(!heap_.empty() || cancelled_.empty(),
+                  "tombstones for events no longer in the heap");
 }
 
 Time EventQueue::next_time() const {
   skip_cancelled();
-  assert(!heap_.empty());
+  ALERT_INVARIANT(!heap_.empty(), "next_time() on an empty queue");
   return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   skip_cancelled();
-  assert(!heap_.empty());
+  ALERT_INVARIANT(!heap_.empty(), "pop() on an empty queue");
+  ALERT_INVARIANT(!is_cancelled(heap_.front().id),
+                  "stale (cancelled) event about to fire");
   std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
   Entry e = std::move(heap_.back());
   heap_.pop_back();
   --live_count_;
-  return Fired{e.time, std::move(e.action)};
+  ALERT_INVARIANT(e.time >= last_popped_,
+                  "event-queue monotonicity violated: time went backwards");
+  last_popped_ = e.time;
+  if (++ops_since_audit_ >= kAuditPeriod) audit();
+  return Fired{e.time, e.seq, std::move(e.action)};
+}
+
+void EventQueue::audit() const {
+  ops_since_audit_ = 0;
+#if ALERT_CHECKED_BUILD
+  // Every tombstone must refer to an entry still in the heap, and the live
+  // count must equal heap entries minus tombstones.
+  std::size_t tombstoned = 0;
+  for (const EventId id : cancelled_) {
+    const bool present =
+        std::any_of(heap_.begin(), heap_.end(),
+                    [id](const Entry& e) { return e.id == id; });
+    ALERT_ASSERT(present, "tombstone for an event missing from the heap");
+    ++tombstoned;
+  }
+  ALERT_ASSERT(heap_.size() >= tombstoned,
+               "more tombstones than heap entries");
+  ALERT_ASSERT(live_count_ == heap_.size() - tombstoned,
+               "live_count_ out of sync with heap/tombstone bookkeeping");
+  // Heap property (min-heap via operator>).
+  for (std::size_t i = 1; i < heap_.size(); ++i) {
+    ALERT_ASSERT(!(heap_[(i - 1) / 2] > heap_[i]),
+                 "binary heap property violated");
+  }
+#endif
 }
 
 }  // namespace alert::sim

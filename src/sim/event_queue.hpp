@@ -4,9 +4,18 @@
 /// The pending-event set of the discrete-event engine: a binary min-heap
 /// ordered by (time, sequence). The sequence number makes simultaneous
 /// events fire in scheduling order, which keeps runs deterministic.
+///
+/// Invariant instrumentation (see util/check.hpp):
+///  - pop monotonicity: extraction times never decrease (ALERT_INVARIANT);
+///  - no stale events: a cancelled event is never returned by pop(), and
+///    its tombstone is reclaimed the moment the heap entry is skipped;
+///  - checked builds additionally audit the heap/tombstone bookkeeping
+///    (live_count_ consistency, tombstones always refer to heap entries)
+///    every `kAuditPeriod` mutations (ALERT_ASSERT).
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 namespace alert::sim {
@@ -38,9 +47,14 @@ class EventQueue {
   /// cancelled entries. Precondition: !empty().
   struct Fired {
     Time time;
+    std::uint64_t seq;  ///< scheduling order, for trace auditing
     Action action;
   };
   [[nodiscard]] Fired pop();
+
+  /// Time returned by the most recent pop(); -inf before the first pop.
+  /// Exposed so the simulator can cross-check clock monotonicity.
+  [[nodiscard]] Time last_popped_time() const { return last_popped_; }
 
  private:
   struct Entry {
@@ -54,12 +68,17 @@ class EventQueue {
   };
 
   void skip_cancelled() const;
+  void audit() const;  ///< full bookkeeping scan (checked builds, amortized)
+
+  static constexpr std::uint64_t kAuditPeriod = 1024;
 
   mutable std::vector<Entry> heap_;  // std::push_heap/pop_heap with greater
-  std::vector<EventId> cancelled_;   // sorted-on-demand lazy tombstones
+  mutable std::vector<EventId> cancelled_;  // lazy tombstones
   mutable std::size_t live_count_ = 0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
+  Time last_popped_ = -std::numeric_limits<Time>::infinity();
+  mutable std::uint64_t ops_since_audit_ = 0;
 
   [[nodiscard]] bool is_cancelled(EventId id) const;
 };

@@ -1,41 +1,58 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
 #include <memory>
 #include <utility>
+
+#include "util/check.hpp"
 
 namespace alert::sim {
 
 EventId Simulator::schedule_in(Time delay, EventQueue::Action action) {
-  assert(delay >= 0.0);
+  ALERT_INVARIANT(delay >= 0.0, "negative scheduling delay");
   return queue_.schedule(now_ + delay, std::move(action));
 }
 
 EventId Simulator::schedule_at(Time when, EventQueue::Action action) {
-  assert(when >= now_);
+  ALERT_INVARIANT(when >= now_, "scheduling into the past");
   return queue_.schedule(when, std::move(action));
 }
 
+namespace {
+
+// Self-rescheduling functor for schedule_periodic. Each firing enqueues a
+// fresh copy of itself, so ownership of the user action follows the queue
+// entry — no reference cycle, and draining or destroying the queue releases
+// the action. (A lambda capturing a shared_ptr to its own std::function
+// keeps itself alive forever.)
+struct PeriodicTick {
+  Simulator* sim;
+  std::shared_ptr<std::function<void()>> action;  // shared: copies stay cheap
+  Time period;
+
+  void operator()() const {
+    (*action)();
+    sim->schedule_in(period, PeriodicTick{*this});
+  }
+};
+
+}  // namespace
+
 void Simulator::schedule_periodic(Time start, Time period,
                                   std::function<void()> action) {
-  assert(period > 0.0);
+  ALERT_INVARIANT(period > 0.0, "periodic event with non-positive period");
   auto shared = std::make_shared<std::function<void()>>(std::move(action));
-  // The recursive lambda owns only a shared_ptr to the user action; `this`
-  // outlives the queue so capturing it is safe.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, shared, tick, period] {
-    (*shared)();
-    schedule_in(period, *tick);
-  };
-  schedule_at(start, *tick);
+  // `this` outlives the queue, so the raw back-pointer is safe.
+  schedule_at(start, PeriodicTick{this, std::move(shared), period});
 }
 
 std::uint64_t Simulator::run_until(Time horizon) {
   std::uint64_t count = 0;
   while (!queue_.empty() && queue_.next_time() <= horizon) {
     auto fired = queue_.pop();
-    assert(fired.time + 1e-12 >= now_);
+    ALERT_INVARIANT(fired.time >= now_,
+                    "simulation clock would move backwards");
     now_ = fired.time;
+    audit_fired(fired);
     fired.action();
     ++executed_;
     ++count;
@@ -47,7 +64,10 @@ std::uint64_t Simulator::run_until(Time horizon) {
 bool Simulator::step() {
   if (queue_.empty()) return false;
   auto fired = queue_.pop();
+  ALERT_INVARIANT(fired.time >= now_,
+                  "simulation clock would move backwards");
   now_ = fired.time;
+  audit_fired(fired);
   fired.action();
   ++executed_;
   return true;

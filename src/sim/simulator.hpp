@@ -5,7 +5,14 @@
 /// mobility, traffic and protocol activity is expressed as events. One
 /// Simulator instance per experiment replication; instances share nothing,
 /// so replications parallelize trivially.
+///
+/// Determinism auditing: every executed event folds its (time, scheduling
+/// sequence) pair into a running 64-bit digest, and components may fold
+/// domain words of their own through audit(). Two runs of the same scenario
+/// with the same seed must end with identical digests — the determinism
+/// tests and the cross-run comparisons in EXPERIMENTS.md rely on this.
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -45,10 +52,37 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] bool idle() const { return queue_.empty(); }
 
+  // --- determinism auditing ----------------------------------------------
+  /// Fold a caller-chosen word into the trace digest (e.g. packet uids,
+  /// drop reasons). Deterministic components folding deterministic words
+  /// keep the digest seed-reproducible; never fold addresses or wall-clock.
+  void audit(std::uint64_t word) { digest_ = mix(digest_ ^ word); }
+
+  /// Order-sensitive hash of every event executed (time bits + scheduling
+  /// seq) and every word audited so far. Equal seeds must yield equal
+  /// digests; see tests/sim/determinism_test.cpp.
+  [[nodiscard]] std::uint64_t trace_digest() const { return digest_; }
+
  private:
+  /// SplitMix64 finalizer — full 64-bit avalanche, so single-bit input
+  /// differences (one extra event, one changed timestamp) flip ~half the
+  /// digest.
+  static constexpr std::uint64_t mix(std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  void audit_fired(const EventQueue::Fired& fired) {
+    audit(std::bit_cast<std::uint64_t>(fired.time));
+    audit(fired.seq);
+  }
+
   EventQueue queue_;
   Time now_ = 0.0;
   std::uint64_t executed_ = 0;
+  std::uint64_t digest_ = 0x414c4552542d3130ULL;  // "ALERT-10"
 };
 
 }  // namespace alert::sim

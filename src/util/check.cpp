@@ -1,0 +1,63 @@
+#include "util/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace alert::util::check {
+
+namespace {
+
+[[noreturn]] void default_handler(const FailureInfo& info) {
+  std::fprintf(stderr,
+               "\nALERT invariant violated: %s\n  at %s:%d\n%s%s%s",
+               info.expression, info.file, info.line,
+               info.message.empty() ? "" : "  ",
+               info.message.c_str(), info.message.empty() ? "" : "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Raw pointer in an atomic: handlers are stateless function pointers so a
+// racy install (tests run single-threaded anyway) cannot tear.
+std::atomic<FailureHandler> g_handler{nullptr};
+std::atomic<std::uint64_t> g_failures{0};
+
+void throwing_handler(const FailureInfo& info) { throw CheckFailure(info); }
+
+}  // namespace
+
+CheckFailure::CheckFailure(const FailureInfo& info)
+    : std::runtime_error(std::string("check failed: ") + info.expression +
+                         " at " + info.file + ":" + std::to_string(info.line) +
+                         (info.message.empty() ? "" : " — " + info.message)),
+      info_(info) {}
+
+FailureHandler set_failure_handler(FailureHandler handler) {
+  return g_handler.exchange(handler);
+}
+
+ScopedFailureHandler::ScopedFailureHandler(FailureHandler handler)
+    : previous_(set_failure_handler(handler != nullptr ? handler
+                                                       : &throwing_handler)) {}
+
+ScopedFailureHandler::~ScopedFailureHandler() {
+  set_failure_handler(previous_);
+}
+
+void fail(const char* expression, const char* file, int line,
+          const std::string& message) {
+  const FailureInfo info{expression, file, line, message};
+  if (FailureHandler h = g_handler.load()) {
+    g_failures.fetch_add(1, std::memory_order_relaxed);
+    h(info);  // may throw or exit;
+    std::abort();  // handler returned: violations are never recoverable
+  }
+  default_handler(info);
+}
+
+std::uint64_t failure_count() {
+  return g_failures.load(std::memory_order_relaxed);
+}
+
+}  // namespace alert::util::check

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file check.hpp
+/// Runtime invariant layer.
+///
+/// Two macro tiers, both carrying expression text, location and an optional
+/// message to the failure handler:
+///
+///   ALERT_INVARIANT(cond, "msg")  — cheap O(1) checks, compiled into every
+///                                   build type. Use for conditions whose
+///                                   violation means the simulation state is
+///                                   already corrupt (heap ordering, time
+///                                   monotonicity, index validity).
+///   ALERT_ASSERT(cond, "msg")     — expensive checks (whole-container
+///                                   scans, ledger audits). Compiled only
+///                                   when ALERTSIM_CHECKED is defined (the
+///                                   Debug-checked build / `checked`,
+///                                   `asan-ubsan` and `tsan` presets); the
+///                                   condition is NOT evaluated otherwise.
+///
+/// The default failure handler prints the violation and aborts — violations
+/// must never be recoverable in production. Tests install a throwing handler
+/// (ScopedFailureHandler) to observe violations without dying.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace alert::util::check {
+
+/// Everything known about a failed check, handed to the failure handler.
+struct FailureInfo {
+  const char* expression;  ///< stringified condition
+  const char* file;
+  int line;
+  std::string message;  ///< optional context ("" when none given)
+};
+
+/// Thrown by the test handler installed via ScopedFailureHandler.
+class CheckFailure : public std::runtime_error {
+ public:
+  explicit CheckFailure(const FailureInfo& info);
+  [[nodiscard]] const FailureInfo& info() const { return info_; }
+
+ private:
+  FailureInfo info_;
+};
+
+using FailureHandler = void (*)(const FailureInfo&);
+
+/// Replace the process-wide failure handler; returns the previous one.
+/// Passing nullptr restores the default print-and-abort handler. If a
+/// custom handler returns normally the process still aborts.
+FailureHandler set_failure_handler(FailureHandler handler);
+
+/// RAII: route check failures into CheckFailure exceptions for the scope's
+/// lifetime (unit tests asserting that a violation is detected).
+class ScopedFailureHandler {
+ public:
+  explicit ScopedFailureHandler(FailureHandler handler = nullptr);
+  ~ScopedFailureHandler();
+  ScopedFailureHandler(const ScopedFailureHandler&) = delete;
+  ScopedFailureHandler& operator=(const ScopedFailureHandler&) = delete;
+
+ private:
+  FailureHandler previous_;
+};
+
+/// Invoked by the macros; dispatches to the installed handler and aborts if
+/// the handler declines to throw or exit.
+void fail(const char* expression, const char* file, int line,
+          const std::string& message);
+
+/// Number of check failures routed through non-default handlers since
+/// process start (test instrumentation).
+[[nodiscard]] std::uint64_t failure_count();
+
+}  // namespace alert::util::check
+
+// Always-on cheap invariants.
+#define ALERT_INVARIANT(cond, ...)                                        \
+  do {                                                                    \
+    if (!(cond)) [[unlikely]] {                                           \
+      ::alert::util::check::fail(#cond, __FILE__, __LINE__,               \
+                                 ::std::string{__VA_ARGS__});             \
+    }                                                                     \
+  } while (false)
+
+// Expensive checks: only in the Debug-checked build; the condition is not
+// evaluated (and must not be relied on for side effects) otherwise.
+#if defined(ALERTSIM_CHECKED) && ALERTSIM_CHECKED
+#define ALERT_ASSERT(cond, ...) ALERT_INVARIANT(cond, __VA_ARGS__)
+#define ALERT_CHECKED_BUILD 1
+#else
+#define ALERT_ASSERT(cond, ...) ((void)0)
+#define ALERT_CHECKED_BUILD 0
+#endif

@@ -1,0 +1,110 @@
+#include "net/packet_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/mobility.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace alert {
+namespace {
+
+using net::PacketFate;
+using net::PacketLedger;
+
+TEST(PacketLedger, LifecycleAccounting) {
+  PacketLedger ledger;
+  ledger.open(1, 0.0);
+  ledger.open(2, 0.5);
+  ledger.open(3, 1.0);
+  EXPECT_EQ(ledger.open_count(), 3u);
+  EXPECT_TRUE(ledger.balanced());
+
+  ledger.close(1, PacketFate::Delivered, 2.0);
+  ledger.close(2, PacketFate::Dropped, 2.5);
+  EXPECT_EQ(ledger.open_count(), 1u);
+  EXPECT_EQ(ledger.totals().delivered, 1u);
+  EXPECT_EQ(ledger.totals().dropped, 1u);
+  EXPECT_TRUE(ledger.is_open(3));
+  EXPECT_TRUE(ledger.balanced());
+}
+
+TEST(PacketLedger, FirstCloseWins) {
+  PacketLedger ledger;
+  ledger.open(7, 0.0);
+  ledger.close(7, PacketFate::Delivered, 1.0);
+  // A late duplicate copy being dropped must not overwrite the fate.
+  ledger.close(7, PacketFate::Dropped, 2.0);
+  EXPECT_EQ(ledger.totals().delivered, 1u);
+  EXPECT_EQ(ledger.totals().dropped, 0u);
+  EXPECT_TRUE(ledger.balanced());
+}
+
+TEST(PacketLedger, DeliberateLeakIsCaught) {
+  // The headline guarantee: a packet that is opened and never given a fate
+  // shows up in leaked() once nothing can still be in flight.
+  PacketLedger ledger;
+  ledger.open(1, 0.0);
+  ledger.open(2, 0.0);
+  ledger.close(1, PacketFate::Delivered, 3.0);
+  // uid 2 is deliberately forgotten.
+  const auto leaks = ledger.leaked();
+  ASSERT_EQ(leaks.size(), 1u);
+  EXPECT_EQ(leaks[0].uid, 2u);
+  EXPECT_EQ(leaks[0].fate, PacketFate::InFlight);
+}
+
+TEST(PacketLedger, ExpireOpenResolvesInFlightPackets) {
+  PacketLedger ledger;
+  ledger.open(1, 0.0);
+  ledger.open(2, 0.0);
+  ledger.close(1, PacketFate::Delivered, 1.0);
+  EXPECT_EQ(ledger.expire_open(100.0), 1u);
+  EXPECT_TRUE(ledger.leaked().empty());
+  EXPECT_EQ(ledger.totals().expired, 1u);
+  EXPECT_EQ(ledger.open_count(), 0u);
+  EXPECT_TRUE(ledger.balanced());
+}
+
+TEST(PacketLedger, ClosingUnknownUidViolatesInvariant) {
+  util::check::ScopedFailureHandler guard;
+  PacketLedger ledger;
+  EXPECT_THROW(ledger.close(42, PacketFate::Delivered, 0.0),
+               util::check::CheckFailure);
+}
+
+TEST(PacketLedger, DoubleOpenViolatesInvariant) {
+  util::check::ScopedFailureHandler guard;
+  PacketLedger ledger;
+  ledger.open(5, 0.0);
+  EXPECT_THROW(ledger.open(5, 1.0), util::check::CheckFailure);
+}
+
+// End-to-end: every uid a live Network hands out is tracked from birth, and
+// a run that ends with the queue drained accounts for every packet.
+TEST(PacketLedger, NetworkOpensEveryUid) {
+  sim::Simulator simulator;
+  net::NetworkConfig config;
+  config.node_count = 4;
+  net::Network network(simulator, config,
+                       std::make_unique<net::StaticPlacement>(config.field),
+                       util::Rng(123), /*horizon=*/1.0);
+  const std::uint64_t a = network.next_uid();
+  const std::uint64_t b = network.next_uid();
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(network.ledger().is_open(a));
+  EXPECT_TRUE(network.ledger().is_open(b));
+  EXPECT_EQ(network.ledger().leaked().size(), 2u);
+
+  network.ledger().close(a, PacketFate::Delivered, simulator.now());
+  network.ledger().close(b, PacketFate::Dropped, simulator.now());
+  EXPECT_TRUE(network.ledger().leaked().empty());
+  EXPECT_TRUE(network.ledger().balanced());
+}
+
+}  // namespace
+}  // namespace alert

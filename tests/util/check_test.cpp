@@ -1,0 +1,66 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace check = alert::util::check;
+
+TEST(Check, PassingInvariantIsSilent) {
+  check::ScopedFailureHandler guard;  // would throw on violation
+  ALERT_INVARIANT(1 + 1 == 2, "arithmetic works");
+  ALERT_INVARIANT(true);
+}
+
+TEST(Check, FailingInvariantReachesHandler) {
+  check::ScopedFailureHandler guard;
+  EXPECT_THROW(ALERT_INVARIANT(false, "deliberate"), check::CheckFailure);
+}
+
+TEST(Check, FailureCarriesLocationAndMessage) {
+  check::ScopedFailureHandler guard;
+  try {
+    ALERT_INVARIANT(2 < 1, "two is not less than one");
+    FAIL() << "should have thrown";
+  } catch (const check::CheckFailure& e) {
+    EXPECT_STREQ(e.info().expression, "2 < 1");
+    EXPECT_EQ(e.info().message, "two is not less than one");
+    EXPECT_NE(std::string(e.info().file).find("check_test.cpp"),
+              std::string::npos);
+    EXPECT_GT(e.info().line, 0);
+  }
+}
+
+TEST(Check, HandlerRestoredOnScopeExit) {
+  {
+    check::ScopedFailureHandler guard;
+    EXPECT_THROW(ALERT_INVARIANT(false), check::CheckFailure);
+  }
+  // Outside the scope the default (aborting) handler is back; installing a
+  // fresh scoped handler must still work.
+  check::ScopedFailureHandler guard2;
+  EXPECT_THROW(ALERT_INVARIANT(false), check::CheckFailure);
+}
+
+TEST(Check, AssertTierMatchesBuildConfiguration) {
+  check::ScopedFailureHandler guard;
+#if ALERT_CHECKED_BUILD
+  EXPECT_THROW(ALERT_ASSERT(false, "checked build evaluates"),
+               check::CheckFailure);
+#else
+  // Release: the condition must not even be evaluated.
+  bool evaluated = false;
+  ALERT_ASSERT([&] {
+    evaluated = true;
+    return false;
+  }(), "must not run");
+  EXPECT_FALSE(evaluated);
+#endif
+}
+
+TEST(Check, FailureCountIncrements) {
+  check::ScopedFailureHandler guard;
+  const std::uint64_t before = check::failure_count();
+  EXPECT_THROW(ALERT_INVARIANT(false), check::CheckFailure);
+  EXPECT_EQ(check::failure_count(), before + 1);
+}

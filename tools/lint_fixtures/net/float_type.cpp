@@ -1,0 +1,12 @@
+// Fixture: float in a position/latency directory (net/). Two lines
+// flagged (one report per line); the waived one and identifiers merely
+// containing "float" pass.
+// EXPECT: float-type 2
+float bad_latency = 0.0f;
+struct BadPos { float x; float y; };
+
+float waived_ok = 1.0f;  // alert-lint: allow(float-type)
+
+// "float" inside words must not match:
+int floatify_count = 0;
+int a_float_free_zone(double not_a_float) { return static_cast<int>(not_a_float); }

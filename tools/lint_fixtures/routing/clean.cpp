@@ -1,0 +1,23 @@
+// Fixture: idiomatic alertsim code — zero findings expected. Exercises the
+// patterns closest to each rule's false-positive edge: seeded Rng use,
+// sim::Time arithmetic, doubles, erase-before/after-loop, digit separators.
+#include <cstdint>
+#include <vector>
+
+namespace fake {
+struct Rng {
+  std::uint64_t next() { return state_ += 0x9e3779b97f4a7c15ULL; }
+  std::uint64_t state_ = 100'000'000;  // digit separators, not char literals
+};
+}  // namespace fake
+
+double simulated_latency(double now, double then) { return now - then; }
+
+void erase_outside_loop(std::vector<int>& v) {
+  int victim = -1;
+  for (const int& e : v) {
+    if (e < 0) victim = e;  // remember, mutate after the loop
+  }
+  if (victim != -1) v.erase(v.begin());
+  v.push_back(victim);
+}

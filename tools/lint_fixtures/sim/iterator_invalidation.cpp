@@ -1,0 +1,37 @@
+// Fixture: container mutation inside a range-for over the same container —
+// the event-loop-callback UB pattern. Two violations; mutating a *different*
+// container, or a waived line, is fine.
+// EXPECT: iterator-invalidation 2
+#include <vector>
+
+struct Queue {
+  std::vector<int> events_;
+  std::vector<int> done_;
+
+  void bad_erase() {
+    for (int& e : events_) {
+      if (e < 0) events_.erase(events_.begin());
+    }
+  }
+
+  void bad_grow() {
+    for (const int& e : events_) {
+      events_.push_back(e);
+    }
+  }
+
+  void ok_other_container() {
+    for (const int& e : events_) {
+      done_.push_back(e);
+    }
+  }
+
+  void ok_waived() {
+    for (const int& e : events_) {
+      if (e == 0) {
+        events_.clear();  // alert-lint: allow(iterator-invalidation)
+        break;
+      }
+    }
+  }
+};

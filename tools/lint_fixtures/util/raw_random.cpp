@@ -1,0 +1,16 @@
+// Fixture: every banned randomness source, outside util/rng — each line
+// must be flagged. A line-level waiver must silence the rule.
+// EXPECT: raw-random 4
+#include <cstdlib>
+#include <random>
+
+int bad_c_rand() { return rand(); }
+void bad_c_srand() { srand(42); }
+int bad_device() { return static_cast<int>(std::random_device{}()); }
+std::mt19937 bad_engine;
+
+// Waived line — must NOT count:
+std::mt19937 waived_engine;  // alert-lint: allow(raw-random)
+
+// Mentions in comments must not count: rand(), std::random_device.
+const char* not_code = "srand(1); std::mt19937 in a string";
