@@ -7,19 +7,20 @@
 #include "analysis/theory.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("H/k tradeoff", "anonymity vs cost as H grows");
-  const std::size_t reps = core::bench_replications();
+  bench::Figure fig(argc, argv, "ablation_h_tradeoff",
+                    "H/k tradeoff", "anonymity vs cost as H grows");
+  const std::size_t reps = fig.reps();
 
   util::Series rfs{"RFs/packet (route anon.)", {}};
   util::Series zone_pop{"zone population k (dest anon.)", {}};
   util::Series hops{"hops/packet (cost)", {}};
   util::Series latency{"latency ms (cost)", {}};
   for (int H = 2; H <= 7; ++H) {
-    core::ScenarioConfig cfg = bench::default_scenario();
+    core::ScenarioConfig cfg = fig.scenario();
     cfg.alert.partitions_h = H;
-    const core::ExperimentResult r = core::run_experiment(cfg, reps);
+    const core::ExperimentResult r = fig.run(cfg);
     rfs.points.push_back(bench::point(H, r.rf_per_packet));
     hops.points.push_back(bench::point(H, r.hops));
     latency.points.push_back({static_cast<double>(H),
@@ -29,7 +30,7 @@ int main() {
         {static_cast<double>(H),
          routing::expected_zone_population(200.0, H), 0.0});
   }
-  util::print_series_table("H/k tradeoff (200 nodes)", "partitions H",
+  fig.table("H/k tradeoff (200 nodes)", "partitions H",
                            "see column names",
                            {rfs, zone_pop, hops, latency});
   std::printf(
@@ -38,5 +39,5 @@ int main() {
       "for choosing H so that k stays a 'reasonable number' (H=5 at 200\n"
       "nodes -> k ~ 6). (reps per point: %zu)\n",
       reps);
-  return 0;
+  return fig.finish();
 }

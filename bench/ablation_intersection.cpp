@@ -7,11 +7,12 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Sec. 3.3 ablation",
+  bench::Figure fig(argc, argv, "ablation_intersection",
+                    "Sec. 3.3 ablation",
                 "intersection attack vs countermeasure");
-  const std::size_t reps = core::bench_replications();
+  const std::size_t reps = fig.reps();
 
   std::vector<util::Series> series;
   for (const bool countermeasure : {false, true}) {
@@ -22,11 +23,11 @@ int main() {
                             (countermeasure ? "ON" : "OFF"),
                         {}};
     for (const double duration : {20.0, 40.0, 60.0, 100.0}) {
-      core::ScenarioConfig cfg = bench::default_scenario();
+      core::ScenarioConfig cfg = fig.scenario();
       cfg.duration_s = duration;
       cfg.run_attacks = true;
       cfg.alert.intersection_countermeasure = countermeasure;
-      const core::ExperimentResult r = core::run_experiment(cfg, reps);
+      const core::ExperimentResult r = fig.run(cfg);
       freq.points.push_back(
           bench::point(duration, r.intersection_frequency));
       strict.points.push_back(
@@ -35,9 +36,9 @@ int main() {
     series.push_back(std::move(freq));
     series.push_back(std::move(strict));
   }
-  util::print_series_table(
+  fig.table(
       "Sec. 3.3 — intersection attack success vs session length",
       "session (s)", "attack success", series);
   std::printf("\n(reps per point: %zu)\n", reps);
-  return 0;
+  return fig.finish();
 }

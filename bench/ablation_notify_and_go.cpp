@@ -6,10 +6,11 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Sec. 2.6 ablation", "notify-and-go window sweep");
-  const std::size_t reps = core::bench_replications();
+  bench::Figure fig(argc, argv, "ablation_notify_and_go",
+                    "Sec. 2.6 ablation", "notify-and-go window sweep");
+  const std::size_t reps = fig.reps();
 
   util::Series attack{"timing src-id rate", {}};
   util::Series latency{"latency (ms)", {}};
@@ -17,23 +18,23 @@ int main() {
 
   // t0 = 0 disables the mechanism entirely (the paper's baseline).
   for (const double t0_ms : {0.0, 1.0, 2.0, 4.0, 8.0, 16.0}) {
-    core::ScenarioConfig cfg = bench::default_scenario();
+    core::ScenarioConfig cfg = fig.scenario();
     cfg.run_attacks = true;
     if (t0_ms == 0.0) {
       cfg.alert.notify_and_go = false;
     } else {
       cfg.alert.notify_t0_s = t0_ms * 1e-3;
     }
-    const core::ExperimentResult r = core::run_experiment(cfg, reps);
+    const core::ExperimentResult r = fig.run(cfg);
     attack.points.push_back(bench::point(t0_ms, r.timing_source_rate));
     latency.points.push_back({t0_ms, r.latency_s.mean() * 1e3,
                               r.latency_s.ci95_halfwidth() * 1e3});
     covers.points.push_back(bench::point(t0_ms, r.cover_per_data));
   }
-  util::print_series_table("notify-and-go: anonymity vs latency",
+  fig.table("notify-and-go: anonymity vs latency",
                            "t0 (ms)", "see column names",
                            {attack, latency, covers});
   std::printf("\n(reps per point: %zu; t0 = 0 row is the mechanism "
               "disabled)\n", reps);
-  return 0;
+  return fig.finish();
 }

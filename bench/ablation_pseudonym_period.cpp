@@ -7,22 +7,23 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Sec. 2.2 ablation", "pseudonym rotation period sweep");
-  const std::size_t reps = core::bench_replications();
+  bench::Figure fig(argc, argv, "ablation_pseudonym_period",
+                    "Sec. 2.2 ablation", "pseudonym rotation period sweep");
+  const std::size_t reps = fig.reps();
 
   util::Series delivery{"delivery rate", {}};
   util::Series latency{"latency (ms)", {}};
   for (const double period : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
-    core::ScenarioConfig cfg = bench::default_scenario();
+    core::ScenarioConfig cfg = fig.scenario();
     cfg.pseudonym_period_s = period;
-    const core::ExperimentResult r = core::run_experiment(cfg, reps);
+    const core::ExperimentResult r = fig.run(cfg);
     delivery.points.push_back(bench::point(period, r.delivery_rate));
     latency.points.push_back({period, r.latency_s.mean() * 1e3,
                               r.latency_s.ci95_halfwidth() * 1e3});
   }
-  util::print_series_table(
+  fig.table(
       "pseudonym rotation: routing health vs linkability window",
       "rotation period (s)", "see column names", {delivery, latency});
   std::printf(
@@ -30,5 +31,5 @@ int main() {
       "expired pseudonyms); long periods hand the adversary a long\n"
       "linkability window. (reps per point: %zu)\n",
       reps);
-  return 0;
+  return fig.finish();
 }

@@ -1,16 +1,34 @@
 #pragma once
 
-/// Shared helpers for the figure-reproduction benches. Every fig*_ binary
+/// Shared runner for the figure-reproduction benches. Every fig*_ binary
 /// regenerates one figure of the paper's evaluation (Sec. 4 analysis
-/// figures or Sec. 5 simulation figures) as a textual series table:
-/// one row per x value, one column per curve, values `mean (+/- 95% CI)`.
+/// figures or Sec. 5 simulation figures); bench::Figure gives all of them
+/// one output path:
 ///
-/// Replications default to 10 per point; set ALERTSIM_REPS=30 to match the
-/// paper's averaging exactly (3x slower).
+///   * the textual series table (one row per x value, one column per curve,
+///     values `mean (+/- 95% CI)`) on stdout, exactly as before;
+///   * a run manifest — config, seed, git version, per-replication
+///     determinism digests, merged metrics snapshot, wall-clock
+///     self-profile, result series — as one JSON document via
+///     --metrics-out=FILE (schema alertsim-run-manifest/1, validated by
+///     tools/check_manifest.py);
+///   * a structured per-event trace of the first replication via
+///     --trace-out=FILE (.jsonl / .csv / else Chrome trace_event JSON that
+///     loads in chrome://tracing and ui.perfetto.dev).
+///
+/// Replications default to 10 per point; set ALERTSIM_REPS=30 (or pass
+/// --reps=30) to match the paper's averaging exactly (3x slower).
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
 
 #include "core/experiment.hpp"
+#include "obs/manifest.hpp"
+#include "obs/series.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
 #include "util/stats.hpp"
 
 namespace alert::bench {
@@ -35,11 +53,145 @@ inline util::SeriesPoint point(double x, const util::Accumulator& acc) {
   return {x, acc.mean(), acc.ci95_halfwidth()};
 }
 
-inline void header(const char* fig, const char* what) {
-  std::printf("# %s — %s\n", fig, what);
-  std::printf("# defaults: 1000x1000 m, 200 nodes, 2 m/s, 250 m range, "
-              "10 flows, 512 B CBR every 2 s, 100 s, H=5\n");
-  std::fflush(stdout);
-}
+/// One figure bench: parses the shared observability flags, runs experiment
+/// points through run(), collects series via table(), and emits the
+/// manifest in finish(). Typical shape:
+///
+///   int main(int argc, char** argv) {
+///     bench::Figure fig(argc, argv, "fig14a_latency_vs_nodes",
+///                       "Fig. 14a", "latency per packet vs nodes");
+///     for (...) {
+///       core::ScenarioConfig cfg = fig.scenario();
+///       ...
+///       const core::ExperimentResult r = fig.run(cfg);
+///       ...
+///     }
+///     fig.table("Fig. 14a — latency per packet", "total nodes",
+///               "latency (ms)", series);
+///     return fig.finish();
+///   }
+class Figure {
+ public:
+  Figure(int argc, char** argv, std::string name, const std::string& label,
+         const std::string& what, std::size_t fallback_reps = 10) {
+    manifest_.name = std::move(name);
+    manifest_.title = label + " — " + what;
+
+    std::string error;
+    const auto args = util::CliArgs::parse(argc, argv, &error);
+    if (!args) {
+      std::fprintf(stderr, "%s: %s\n", manifest_.name.c_str(),
+                   error.c_str());
+      std::exit(2);
+    }
+    flags_ = util::CommonFlags::from(*args);
+    for (const auto& key : args->unused()) {
+      std::fprintf(stderr, "%s: unknown flag --%s\n", manifest_.name.c_str(),
+                   key.c_str());
+      std::exit(2);
+    }
+    if (const auto level = util::parse_log_level(flags_.log_level)) {
+      util::set_log_level(*level);
+    } else {
+      std::fprintf(stderr, "%s: bad --log-level=%s\n",
+                   manifest_.name.c_str(), flags_.log_level.c_str());
+      std::exit(2);
+    }
+    reps_ = flags_.reps > 0 ? static_cast<std::size_t>(flags_.reps)
+                            : core::bench_replications(fallback_reps);
+
+    const core::ScenarioConfig defaults = default_scenario();
+    manifest_.seed = defaults.seed;
+    manifest_.replications = reps_;
+    manifest_.add_param("node_count", std::to_string(defaults.node_count));
+    manifest_.add_param("speed_mps", std::to_string(defaults.speed_mps));
+    manifest_.add_param("radio_range_m",
+                        std::to_string(defaults.radio_range_m));
+    manifest_.add_param("flow_count", std::to_string(defaults.flow_count));
+    manifest_.add_param("packet_interval_s",
+                        std::to_string(defaults.packet_interval_s));
+    manifest_.add_param("payload_bytes",
+                        std::to_string(defaults.payload_bytes));
+    manifest_.add_param("duration_s", std::to_string(defaults.duration_s));
+    manifest_.add_param("partitions_h",
+                        std::to_string(defaults.alert.partitions_h));
+
+    std::printf("# %s\n", manifest_.title.c_str());
+    std::printf("# defaults: 1000x1000 m, 200 nodes, 2 m/s, 250 m range, "
+                "10 flows, 512 B CBR every 2 s, 100 s, H=5\n");
+    std::fflush(stdout);
+  }
+
+  /// Paper-default scenario with this run's observability options applied
+  /// (benches always self-profile; the cost is two clock reads per scope).
+  [[nodiscard]] core::ScenarioConfig scenario() const {
+    core::ScenarioConfig cfg = default_scenario();
+    cfg.obs.profile = true;
+    return cfg;
+  }
+
+  [[nodiscard]] std::size_t reps() const { return reps_; }
+
+  /// Run one experiment point and fold its metrics, self-profile and
+  /// determinism digests into the manifest. The structured trace sink is
+  /// attached only to the first run() (one file holds one replication's
+  /// events, not every point of a sweep interleaved).
+  core::ExperimentResult run(core::ScenarioConfig cfg) {
+    cfg.obs.profile = true;
+    if (!traced_ && !flags_.trace_out.empty()) {
+      cfg.obs.trace_out = flags_.trace_out;
+      traced_ = true;
+    }
+    core::ExperimentResult r = core::run_experiment(cfg, reps_);
+    manifest_.metrics.merge(r.metrics);
+    manifest_.profile.merge(r.profile);
+    manifest_.trace_digests.insert(manifest_.trace_digests.end(),
+                                   r.trace_digests.begin(),
+                                   r.trace_digests.end());
+    return r;
+  }
+
+  /// Print the figure's series table (same format as always) and record
+  /// the series + labels in the manifest. Drop-in replacement for the old
+  /// direct util::print_series_table call.
+  void table(const std::string& title, const std::string& x_label,
+             const std::string& y_label, std::vector<util::Series> series) {
+    obs::print_series_table(title, x_label, y_label, series);
+    manifest_.title = title;
+    manifest_.x_label = x_label;
+    manifest_.y_label = y_label;
+    for (auto& s : series) manifest_.series.push_back(std::move(s));
+  }
+
+  void add(util::Series s) { manifest_.series.push_back(std::move(s)); }
+  void note(std::string n) { manifest_.notes.push_back(std::move(n)); }
+  void param(std::string key, std::string value) {
+    manifest_.add_param(std::move(key), std::move(value));
+  }
+
+  /// Manifest to --metrics-out when given; profile summary to stderr at
+  /// --log-level=info+. Returns the process exit code (non-zero if the
+  /// manifest could not be written).
+  int finish() {
+    if (util::log_level() >= util::LogLevel::Info &&
+        !manifest_.profile.scopes.empty()) {
+      std::fputs(manifest_.profile.summary().c_str(), stderr);
+    }
+    if (!flags_.metrics_out.empty()) {
+      if (!manifest_.write_file(flags_.metrics_out)) return 1;
+      std::printf("manifest: %s\n", flags_.metrics_out.c_str());
+    }
+    if (!flags_.trace_out.empty()) {
+      std::printf("trace: %s\n", flags_.trace_out.c_str());
+    }
+    return 0;
+  }
+
+ private:
+  obs::RunManifest manifest_;
+  util::CommonFlags flags_;
+  std::size_t reps_ = 0;
+  bool traced_ = false;
+};
 
 }  // namespace alert::bench

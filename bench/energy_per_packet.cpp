@@ -8,10 +8,11 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Energy", "energy per delivered packet by protocol");
-  const std::size_t reps = core::bench_replications();
+  bench::Figure fig(argc, argv, "energy_per_packet",
+                    "Energy", "energy per delivered packet by protocol");
+  const std::size_t reps = fig.reps();
 
   util::Series per_pkt{"J per delivered packet", {}};
   util::Series crypto_share{"crypto share of total J", {}};
@@ -21,9 +22,9 @@ int main() {
   for (const core::ProtocolKind proto :
        {core::ProtocolKind::Alert, core::ProtocolKind::Gpsr,
         core::ProtocolKind::Alarm, core::ProtocolKind::Ao2p}) {
-    core::ScenarioConfig cfg = bench::default_scenario();
+    core::ScenarioConfig cfg = fig.scenario();
     cfg.protocol = proto;
-    const core::ExperimentResult r = core::run_experiment(cfg, reps);
+    const core::ExperimentResult r = fig.run(cfg);
     per_pkt.points.push_back(bench::point(x, r.energy_per_delivered_j));
     const double share =
         r.energy_total_j.mean() > 0.0
@@ -34,7 +35,7 @@ int main() {
     labels.push_back(core::protocol_name(proto));
     x += 1.0;
   }
-  util::print_series_table("energy accounting (x: 0=ALERT 1=GPSR 2=ALARM "
+  fig.table("energy accounting (x: 0=ALERT 1=GPSR 2=ALARM "
                            "3=AO2P)",
                            "protocol idx", "see column names",
                            {per_pkt, crypto_share, hotspot});
@@ -42,5 +43,5 @@ int main() {
               "above GPSR (longer routes, covers, one symmetric op) and\n"
               "far below ALARM/AO2P, whose totals are crypto-dominated.\n"
               "(reps per point: %zu)\n", reps);
-  return 0;
+  return fig.finish();
 }

@@ -6,9 +6,10 @@
 #include "analysis/theory.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Fig. 7a", "estimated possible participating nodes (Eq. 7)");
+  bench::Figure fig(argc, argv, "fig07a_possible_nodes",
+                    "Fig. 7a", "estimated possible participating nodes (Eq. 7)");
 
   std::vector<util::Series> series;
   for (const double n : {100.0, 200.0, 400.0}) {
@@ -22,7 +23,7 @@ int main() {
     }
     series.push_back(std::move(s));
   }
-  util::print_series_table("Fig. 7a — possible participating nodes",
+  fig.table("Fig. 7a — possible participating nodes",
                            "partitions H", "expected nodes N_e", series);
-  return 0;
+  return fig.finish();
 }

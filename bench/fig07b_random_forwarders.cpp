@@ -6,16 +6,17 @@
 #include "analysis/theory.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Fig. 7b", "estimated random forwarders (Eq. 10)");
+  bench::Figure fig(argc, argv, "fig07b_random_forwarders",
+                    "Fig. 7b", "estimated random forwarders (Eq. 10)");
 
   util::Series s{"E[N_RF]", {}};
   for (int H = 1; H <= 10; ++H) {
     s.points.push_back(
         {static_cast<double>(H), analysis::expected_rfs(H), 0.0});
   }
-  util::print_series_table("Fig. 7b — expected random forwarders",
+  fig.table("Fig. 7b — expected random forwarders",
                            "partitions H", "E[N_RF]", {s});
 
   // Linearity check printed for EXPERIMENTS.md: successive differences.
@@ -24,5 +25,5 @@ int main() {
     std::printf("  H=%d -> %d: %+0.4f\n", H - 1, H,
                 analysis::expected_rfs(H) - analysis::expected_rfs(H - 1));
   }
-  return 0;
+  return fig.finish();
 }

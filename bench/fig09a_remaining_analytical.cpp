@@ -6,9 +6,10 @@
 #include "analysis/theory.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Fig. 9a", "analytical remaining nodes vs time (Eq. 15)");
+  bench::Figure fig(argc, argv, "fig09a_remaining_analytical",
+                    "Fig. 9a", "analytical remaining nodes vs time (Eq. 15)");
 
   constexpr int kH = 5;
   constexpr double kSpeed = 2.0;
@@ -23,8 +24,8 @@ int main() {
     }
     series.push_back(std::move(s));
   }
-  util::print_series_table(
+  fig.table(
       "Fig. 9a — remaining nodes in destination zone (v = 2 m/s, H = 5)",
       "time (s)", "N_r(t)", series);
-  return 0;
+  return fig.finish();
 }

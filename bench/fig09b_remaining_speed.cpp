@@ -5,9 +5,10 @@
 #include "analysis/theory.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Fig. 9b", "analytical remaining nodes vs time by speed");
+  bench::Figure fig(argc, argv, "fig09b_remaining_speed",
+                    "Fig. 9b", "analytical remaining nodes vs time by speed");
 
   constexpr int kH = 5;
   const analysis::NetworkShape net{1000.0, 1000.0, 200.0};
@@ -20,7 +21,7 @@ int main() {
     }
     series.push_back(std::move(s));
   }
-  util::print_series_table(
+  fig.table(
       "Fig. 9b — remaining nodes in destination zone (200 nodes, H = 5)",
       "time (s)", "N_r(t)", series);
 
@@ -31,5 +32,5 @@ int main() {
     std::printf("  v=%.0f m/s: beta = %.1f s\n", v,
                 analysis::beta_square_zone(analysis::side_a(kH, 1000.0), v));
   }
-  return 0;
+  return fig.finish();
 }

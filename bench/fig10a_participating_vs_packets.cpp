@@ -7,21 +7,22 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Fig. 10a", "cumulative participating nodes vs packets");
-  const std::size_t reps = core::bench_replications();
+  bench::Figure fig(argc, argv, "fig10a_participating_vs_packets",
+                    "Fig. 10a", "cumulative participating nodes vs packets");
+  const std::size_t reps = fig.reps();
 
   constexpr std::size_t kPackets = 20;
   std::vector<util::Series> series;
   for (const std::size_t n : {100u, 200u}) {
     for (const core::ProtocolKind proto :
          {core::ProtocolKind::Alert, core::ProtocolKind::Gpsr}) {
-      core::ScenarioConfig cfg = bench::default_scenario();
+      core::ScenarioConfig cfg = fig.scenario();
       cfg.node_count = n;
       cfg.protocol = proto;
       cfg.packets_per_flow = kPackets;
-      const core::ExperimentResult r = core::run_experiment(cfg, reps);
+      const core::ExperimentResult r = fig.run(cfg);
       util::Series s;
       s.name = std::string(core::protocol_name(proto)) + " " +
                std::to_string(n) + "n";
@@ -33,10 +34,10 @@ int main() {
       series.push_back(std::move(s));
     }
   }
-  util::print_series_table(
+  fig.table(
       "Fig. 10a — cumulative actual participating nodes per flow",
       "packets", "distinct nodes", series);
   std::printf("\n(reps per point: %zu; ALARM/AO2P track the GPSR curve)\n",
               reps);
-  return 0;
+  return fig.finish();
 }

@@ -5,10 +5,11 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Fig. 10b", "participating nodes after 20 packets vs N");
-  const std::size_t reps = core::bench_replications();
+  bench::Figure fig(argc, argv, "fig10b_participating_vs_size",
+                    "Fig. 10b", "participating nodes after 20 packets vs N");
+  const std::size_t reps = fig.reps();
 
   std::vector<util::Series> series;
   for (const core::ProtocolKind proto :
@@ -16,19 +17,19 @@ int main() {
         core::ProtocolKind::Alarm, core::ProtocolKind::Ao2p}) {
     util::Series s{core::protocol_name(proto), {}};
     for (const std::size_t n : {50u, 100u, 150u, 200u}) {
-      core::ScenarioConfig cfg = bench::default_scenario();
+      core::ScenarioConfig cfg = fig.scenario();
       cfg.node_count = n;
       cfg.protocol = proto;
       cfg.packets_per_flow = 20;
-      const core::ExperimentResult r = core::run_experiment(cfg, reps);
+      const core::ExperimentResult r = fig.run(cfg);
       s.points.push_back(
           bench::point(static_cast<double>(n), r.participants));
     }
     series.push_back(std::move(s));
   }
-  util::print_series_table(
+  fig.table(
       "Fig. 10b — actual participating nodes per flow (20 packets)",
       "total nodes", "distinct nodes", series);
   std::printf("\n(reps per point: %zu)\n", reps);
-  return 0;
+  return fig.finish();
 }

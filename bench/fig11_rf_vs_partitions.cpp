@@ -6,26 +6,27 @@
 #include "analysis/theory.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Fig. 11", "random forwarders per packet vs partitions");
-  const std::size_t reps = core::bench_replications();
+  bench::Figure fig(argc, argv, "fig11_rf_vs_partitions",
+                    "Fig. 11", "random forwarders per packet vs partitions");
+  const std::size_t reps = fig.reps();
 
   util::Series sim{"ALERT (simulated)", {}};
   util::Series theory{"Eq. 10 (analysis)", {}};
   for (int H = 1; H <= 7; ++H) {
-    core::ScenarioConfig cfg = bench::default_scenario();
+    core::ScenarioConfig cfg = fig.scenario();
     cfg.alert.partitions_h = H;
     cfg.packets_per_flow = 20;
-    const core::ExperimentResult r = core::run_experiment(cfg, reps);
+    const core::ExperimentResult r = fig.run(cfg);
     sim.points.push_back(bench::point(H, r.rf_per_packet));
     theory.points.push_back({static_cast<double>(H),
                              analysis::expected_rfs(H), 0.0});
   }
-  util::print_series_table("Fig. 11 — random forwarders per packet",
+  fig.table("Fig. 11 — random forwarders per packet",
                            "partitions H", "RFs/packet", {sim, theory});
   std::printf("\n(reps per point: %zu; simulated counts sit above the\n"
               " idealized analysis because voids en route also create RFs)\n",
               reps);
-  return 0;
+  return fig.finish();
 }

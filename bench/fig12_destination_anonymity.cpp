@@ -5,18 +5,19 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Fig. 12", "simulated destination-zone residency");
-  const std::size_t reps = core::bench_replications();
+  bench::Figure fig(argc, argv, "fig12_destination_anonymity",
+                    "Fig. 12", "simulated destination-zone residency");
+  const std::size_t reps = fig.reps();
 
   std::vector<util::Series> series;
   for (const std::size_t n : {100u, 150u, 200u}) {
-    core::ScenarioConfig cfg = bench::default_scenario();
+    core::ScenarioConfig cfg = fig.scenario();
     cfg.node_count = n;
     cfg.duration_s = 45.0;
     cfg.residency_sample_period_s = 5.0;
-    const core::ExperimentResult r = core::run_experiment(cfg, reps);
+    const core::ExperimentResult r = fig.run(cfg);
     util::Series s{std::to_string(n) + " nodes", {}};
     for (std::size_t i = 0; i < r.remaining_by_sample.size(); ++i) {
       s.points.push_back(bench::point(
@@ -25,9 +26,9 @@ int main() {
     }
     series.push_back(std::move(s));
   }
-  util::print_series_table(
+  fig.table(
       "Fig. 12 — remaining nodes in destination zone (H = 5, v = 2 m/s)",
       "time (s)", "remaining nodes", series);
   std::printf("\n(reps per point: %zu)\n", reps);
-  return 0;
+  return fig.finish();
 }

@@ -5,21 +5,22 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Fig. 13a", "residency vs speed and partitions");
-  const std::size_t reps = core::bench_replications();
+  bench::Figure fig(argc, argv, "fig13a_speed_partitions",
+                    "Fig. 13a", "residency vs speed and partitions");
+  const std::size_t reps = fig.reps();
 
   std::vector<util::Series> series;
   for (const int H : {4, 5}) {
     for (const double v : {0.0, 2.0, 4.0}) {
-      core::ScenarioConfig cfg = bench::default_scenario();
+      core::ScenarioConfig cfg = fig.scenario();
       cfg.alert.partitions_h = H;
       cfg.speed_mps = v;
       if (v == 0.0) cfg.mobility = core::MobilityKind::Static;
       cfg.duration_s = 45.0;
       cfg.residency_sample_period_s = 5.0;
-      const core::ExperimentResult r = core::run_experiment(cfg, reps);
+      const core::ExperimentResult r = fig.run(cfg);
       util::Series s;
       s.name = "H=" + std::to_string(H) + " v=" +
                std::to_string(static_cast<int>(v));
@@ -31,9 +32,9 @@ int main() {
       series.push_back(std::move(s));
     }
   }
-  util::print_series_table(
+  fig.table(
       "Fig. 13a — remaining nodes: partitions x speed (200 nodes)",
       "time (s)", "remaining nodes", series);
   std::printf("\n(reps per point: %zu)\n", reps);
-  return 0;
+  return fig.finish();
 }

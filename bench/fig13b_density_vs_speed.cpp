@@ -8,10 +8,11 @@
 #include "analysis/theory.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Fig. 13b", "required density vs speed for fixed k");
-  const std::size_t reps = core::bench_replications();
+  bench::Figure fig(argc, argv, "fig13b_density_vs_speed",
+                    "Fig. 13b", "required density vs speed for fixed k");
+  const std::size_t reps = fig.reps();
 
   constexpr int kH = 5;
   constexpr double kRequired = 6.0;
@@ -25,22 +26,22 @@ int main() {
         analysis::required_node_count(base, kH, v, kAfterS, kRequired);
     predicted.points.push_back({v, needed, 0.0});
 
-    core::ScenarioConfig cfg = bench::default_scenario();
+    core::ScenarioConfig cfg = fig.scenario();
     cfg.node_count = static_cast<std::size_t>(needed + 0.5);
     cfg.speed_mps = v;
     cfg.duration_s = cfg.traffic_start_s + kAfterS + 1.0;
     cfg.residency_sample_period_s = kAfterS;
-    const core::ExperimentResult r = core::run_experiment(cfg, reps);
+    const core::ExperimentResult r = fig.run(cfg);
     // Sample index 1 is t = +10 s after session start.
     const auto& acc = r.remaining_by_sample.size() > 1
                           ? r.remaining_by_sample[1]
                           : r.remaining_by_sample[0];
     validated.points.push_back(bench::point(v, acc));
   }
-  util::print_series_table(
+  fig.table(
       "Fig. 13b — density required for k = 6 remaining after 10 s (H = 5)",
       "speed (m/s)", "nodes", {predicted, validated});
   std::printf("\n(reps per point: %zu; validated column should sit near "
               "k = 6)\n", reps);
-  return 0;
+  return fig.finish();
 }

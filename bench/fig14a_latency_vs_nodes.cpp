@@ -7,10 +7,11 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Fig. 14a", "latency per packet vs number of nodes");
-  const std::size_t reps = core::bench_replications();
+  bench::Figure fig(argc, argv, "fig14a_latency_vs_nodes",
+                    "Fig. 14a", "latency per packet vs number of nodes");
+  const std::size_t reps = fig.reps();
 
   std::vector<util::Series> series;
   for (const core::ProtocolKind proto :
@@ -18,18 +19,18 @@ int main() {
         core::ProtocolKind::Alarm, core::ProtocolKind::Ao2p}) {
     util::Series s{std::string(core::protocol_name(proto)) + " (ms)", {}};
     for (const std::size_t n : {50u, 100u, 150u, 200u}) {
-      core::ScenarioConfig cfg = bench::default_scenario();
+      core::ScenarioConfig cfg = fig.scenario();
       cfg.node_count = n;
       cfg.protocol = proto;
-      const core::ExperimentResult r = core::run_experiment(cfg, reps);
+      const core::ExperimentResult r = fig.run(cfg);
       s.points.push_back({static_cast<double>(n),
                           r.latency_s.mean() * 1e3,
                           r.latency_s.ci95_halfwidth() * 1e3});
     }
     series.push_back(std::move(s));
   }
-  util::print_series_table("Fig. 14a — latency per packet",
+  fig.table("Fig. 14a — latency per packet",
                            "total nodes", "latency (ms)", series);
   std::printf("\n(reps per point: %zu)\n", reps);
-  return 0;
+  return fig.finish();
 }

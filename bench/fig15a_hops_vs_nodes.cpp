@@ -6,10 +6,11 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Fig. 15a", "hops per packet vs number of nodes");
-  const std::size_t reps = core::bench_replications();
+  bench::Figure fig(argc, argv, "fig15a_hops_vs_nodes",
+                    "Fig. 15a", "hops per packet vs number of nodes");
+  const std::size_t reps = fig.reps();
 
   std::vector<util::Series> series;
   util::Series alarm_diss{"ALARM (incl. dissemination)", {}};
@@ -18,10 +19,10 @@ int main() {
         core::ProtocolKind::Alarm, core::ProtocolKind::Ao2p}) {
     util::Series s{core::protocol_name(proto), {}};
     for (const std::size_t n : {50u, 100u, 150u, 200u}) {
-      core::ScenarioConfig cfg = bench::default_scenario();
+      core::ScenarioConfig cfg = fig.scenario();
       cfg.node_count = n;
       cfg.protocol = proto;
-      const core::ExperimentResult r = core::run_experiment(cfg, reps);
+      const core::ExperimentResult r = fig.run(cfg);
       s.points.push_back(bench::point(static_cast<double>(n), r.hops));
       if (proto == core::ProtocolKind::Alarm) {
         alarm_diss.points.push_back(
@@ -31,8 +32,8 @@ int main() {
     series.push_back(std::move(s));
   }
   series.push_back(std::move(alarm_diss));
-  util::print_series_table("Fig. 15a — hops per packet", "total nodes",
+  fig.table("Fig. 15a — hops per packet", "total nodes",
                            "hops", series);
   std::printf("\n(reps per point: %zu)\n", reps);
-  return 0;
+  return fig.finish();
 }

@@ -5,10 +5,11 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Fig. 15b", "hops per packet vs node speed");
-  const std::size_t reps = core::bench_replications();
+  bench::Figure fig(argc, argv, "fig15b_hops_vs_speed",
+                    "Fig. 15b", "hops per packet vs node speed");
+  const std::size_t reps = fig.reps();
 
   struct Variant {
     core::ProtocolKind proto;
@@ -29,11 +30,11 @@ int main() {
   for (const Variant& v : variants) {
     util::Series s{v.name, {}};
     for (double speed = 2.0; speed <= 8.0; speed += 2.0) {
-      core::ScenarioConfig cfg = bench::default_scenario();
+      core::ScenarioConfig cfg = fig.scenario();
       cfg.protocol = v.proto;
       cfg.speed_mps = speed;
       cfg.destination_update = v.update;
-      const core::ExperimentResult r = core::run_experiment(cfg, reps);
+      const core::ExperimentResult r = fig.run(cfg);
       s.points.push_back(bench::point(speed, r.hops));
       if (v.proto == core::ProtocolKind::Alarm) {
         alarm_diss.points.push_back(bench::point(speed, r.hops_with_control));
@@ -42,8 +43,8 @@ int main() {
     series.push_back(std::move(s));
   }
   series.push_back(std::move(alarm_diss));
-  util::print_series_table("Fig. 15b — hops per packet vs speed",
+  fig.table("Fig. 15b — hops per packet vs speed",
                            "speed (m/s)", "hops", series);
   std::printf("\n(reps per point: %zu)\n", reps);
-  return 0;
+  return fig.finish();
 }

@@ -4,10 +4,11 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Fig. 16a", "delivery rate vs number of nodes");
-  const std::size_t reps = core::bench_replications();
+  bench::Figure fig(argc, argv, "fig16a_delivery_vs_nodes",
+                    "Fig. 16a", "delivery rate vs number of nodes");
+  const std::size_t reps = fig.reps();
 
   std::vector<util::Series> series;
   for (const core::ProtocolKind proto :
@@ -15,17 +16,17 @@ int main() {
         core::ProtocolKind::Alarm, core::ProtocolKind::Ao2p}) {
     util::Series s{core::protocol_name(proto), {}};
     for (const std::size_t n : {50u, 100u, 150u, 200u}) {
-      core::ScenarioConfig cfg = bench::default_scenario();
+      core::ScenarioConfig cfg = fig.scenario();
       cfg.node_count = n;
       cfg.protocol = proto;
-      const core::ExperimentResult r = core::run_experiment(cfg, reps);
+      const core::ExperimentResult r = fig.run(cfg);
       s.points.push_back(
           bench::point(static_cast<double>(n), r.delivery_rate));
     }
     series.push_back(std::move(s));
   }
-  util::print_series_table("Fig. 16a — delivery rate (with dest. update)",
+  fig.table("Fig. 16a — delivery rate (with dest. update)",
                            "total nodes", "delivery rate", series);
   std::printf("\n(reps per point: %zu)\n", reps);
-  return 0;
+  return fig.finish();
 }

@@ -6,10 +6,11 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Fig. 16b", "delivery rate vs node speed");
-  const std::size_t reps = core::bench_replications();
+  bench::Figure fig(argc, argv, "fig16b_delivery_vs_speed",
+                    "Fig. 16b", "delivery rate vs node speed");
+  const std::size_t reps = fig.reps();
 
   struct Variant {
     core::ProtocolKind proto;
@@ -27,17 +28,17 @@ int main() {
   for (const Variant& v : variants) {
     util::Series s{v.name, {}};
     for (double speed = 2.0; speed <= 8.0; speed += 2.0) {
-      core::ScenarioConfig cfg = bench::default_scenario();
+      core::ScenarioConfig cfg = fig.scenario();
       cfg.protocol = v.proto;
       cfg.speed_mps = speed;
       cfg.destination_update = v.update;
-      const core::ExperimentResult r = core::run_experiment(cfg, reps);
+      const core::ExperimentResult r = fig.run(cfg);
       s.points.push_back(bench::point(speed, r.delivery_rate));
     }
     series.push_back(std::move(s));
   }
-  util::print_series_table("Fig. 16b — delivery rate vs speed",
+  fig.table("Fig. 16b — delivery rate vs speed",
                            "speed (m/s)", "delivery rate", series);
   std::printf("\n(reps per point: %zu)\n", reps);
-  return 0;
+  return fig.finish();
 }

@@ -5,10 +5,11 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Fig. 17", "ALERT delay under different movement models");
-  const std::size_t reps = core::bench_replications();
+  bench::Figure fig(argc, argv, "fig17_movement_models",
+                    "Fig. 17", "ALERT delay under different movement models");
+  const std::size_t reps = fig.reps();
 
   struct Model {
     core::MobilityKind kind;
@@ -27,7 +28,7 @@ int main() {
   for (const Model& m : models) {
     util::Series s{std::string(m.name) + " (ms)", {}};
     for (double speed = 2.0; speed <= 8.0; speed += 2.0) {
-      core::ScenarioConfig cfg = bench::default_scenario();
+      core::ScenarioConfig cfg = fig.scenario();
       cfg.mobility = m.kind;
       cfg.group_count = m.groups == 0 ? 1 : m.groups;
       cfg.group_range_m = m.range;
@@ -44,14 +45,14 @@ int main() {
       // (Sec. 2.3), so transient group partitions turn into delay rather
       // than silent loss.
       cfg.alert.max_retransmissions = 4;
-      const core::ExperimentResult r = core::run_experiment(cfg, reps);
+      const core::ExperimentResult r = fig.run(cfg);
       s.points.push_back({speed, r.e2e_delay_s.mean() * 1e3,
                           r.e2e_delay_s.ci95_halfwidth() * 1e3});
       delivery.push_back(r.delivery_rate.mean());
     }
     series.push_back(std::move(s));
   }
-  util::print_series_table("Fig. 17 — ALERT delay by movement model",
+  fig.table("Fig. 17 — ALERT delay by movement model",
                            "speed (m/s)", "end-to-end delay (ms)", series);
   std::printf("\nmean delivery rates per model/speed (context for the\n"
               "survivorship discussion in EXPERIMENTS.md):");
@@ -60,5 +61,5 @@ int main() {
     std::printf(" %.2f", delivery[i]);
   }
   std::printf("\n(reps per point: %zu)\n", reps);
-  return 0;
+  return fig.finish();
 }

@@ -61,9 +61,11 @@ std::vector<attack::ObservedEvent> record_run(core::ProtocolKind proto,
 
 }  // namespace
 
-int main() {
-  bench::header("Sec. 3.1", "flow blockage under node compromise");
-  const std::size_t reps = core::bench_replications(5);
+int main(int argc, char** argv) {
+  bench::Figure fig(argc, argv, "sec31_interception",
+                    "Sec. 3.1", "flow blockage under node compromise",
+                    /*fallback_reps=*/5);
+  const std::size_t reps = fig.reps();
 
   // The paper's scenario: the adversary watched packet i's route and
   // compromises up to c of its relays, hoping to catch packet i+1. A
@@ -100,7 +102,7 @@ int main() {
     series.push_back(std::move(targeted));
     series.push_back(std::move(blocked));
   }
-  util::print_series_table(
+  fig.table(
       "Sec. 3.1 — interception under node compromise (200 nodes)",
       "budget c", "fraction", series);
   std::printf(
@@ -109,5 +111,5 @@ int main() {
       "it over, ALERT's re-randomized route does not (Sec. 3.1).\n"
       "(reps per point: %zu)\n",
       reps);
-  return 0;
+  return fig.finish();
 }

@@ -9,9 +9,10 @@
 #include "analysis/theory.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Sec. 4.3", "location service overhead ratio");
+  bench::Figure fig(argc, argv, "sec43_location_overhead",
+                    "Sec. 4.3", "location service overhead ratio");
 
   std::vector<util::Series> series;
   for (const double f : {0.2, 1.0, 5.0}) {
@@ -24,7 +25,7 @@ int main() {
     }
     series.push_back(std::move(s));
   }
-  util::print_series_table(
+  fig.table(
       "overhead ratio (N = 200 nodes, regular traffic F = 0.5 Hz/node)",
       "location servers N_L", "(N_L(N_L-1)f + Nf) / (N F)", series);
   std::printf("\nsqrt(N) = %.1f servers — the paper's sizing rule; ratios\n"
@@ -32,7 +33,7 @@ int main() {
               std::sqrt(200.0));
 
   // Measured counters from one simulated run at the default deployment.
-  core::ScenarioConfig cfg = bench::default_scenario();
+  core::ScenarioConfig cfg = fig.scenario();
   const core::RunResult r = core::run_once(cfg, 0);
   std::printf("\nmeasured (one 100 s run, 14 servers, f = 1 Hz):\n"
               "  location update messages: %llu\n"
@@ -41,5 +42,5 @@ int main() {
               static_cast<unsigned long long>(r.location_update_messages),
               static_cast<unsigned long long>(r.hello_messages),
               static_cast<unsigned long long>(r.sent));
-  return 0;
+  return fig.finish();
 }

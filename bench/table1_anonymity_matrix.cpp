@@ -13,10 +13,12 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alert;
-  bench::header("Table 1", "measured anonymity property matrix");
-  const std::size_t reps = core::bench_replications(5);
+  bench::Figure fig(argc, argv, "table1_anonymity_matrix",
+                    "Table 1", "measured anonymity property matrix",
+                    /*fallback_reps=*/5);
+  const std::size_t reps = fig.reps();
 
   std::printf("\n%-8s  %-12s  %-12s  %-12s  %-12s  %s\n", "proto",
               "src(timing)", "dst(timing)", "dst(inter.)", "route-ovl",
@@ -25,7 +27,7 @@ int main() {
        {core::ProtocolKind::Alert, core::ProtocolKind::Gpsr,
         core::ProtocolKind::Alarm, core::ProtocolKind::Ao2p,
         core::ProtocolKind::Zap}) {
-    core::ScenarioConfig cfg = bench::default_scenario();
+    core::ScenarioConfig cfg = fig.scenario();
     cfg.protocol = proto;
     cfg.run_attacks = true;
     if (proto == core::ProtocolKind::Alert) {
@@ -33,7 +35,7 @@ int main() {
       // countermeasure (both on by default only for this bench).
       cfg.alert.intersection_countermeasure = true;
     }
-    const core::ExperimentResult r = core::run_experiment(cfg, reps);
+    const core::ExperimentResult r = fig.run(cfg);
     const double src = r.timing_source_rate.mean();
     const double dst_timing = r.timing_dest_rate.mean();
     const double dst_inter = r.intersection_success.mean();
@@ -58,5 +60,5 @@ int main() {
       "degrades ALERT's destination anonymity over very long sessions.\n"
       "(reps per row: %zu)\n",
       reps);
-  return 0;
+  return fig.finish();
 }

@@ -8,13 +8,17 @@
 ///                [--mobility rwp|group|static] [--groups 10]
 ///                [--group-range 150] [--no-dest-update]
 ///                [--countermeasure] [--seed 1]
+///                [--trace-out run.json] [--metrics-out manifest.json]
+///                [--log-level info] [--profile]
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "core/experiment.hpp"
+#include "obs/manifest.hpp"
 #include "util/cli.hpp"
+#include "util/logging.hpp"
 
 namespace {
 
@@ -57,6 +61,19 @@ int main(int argc, char** argv) {
   cfg.radio_range_m = args.get("range", 250.0);
   cfg.trace_path = args.get("trace", std::string());  // JSONL event dump
 
+  // Shared observability flags (see util/cli.hpp): structured trace sink,
+  // run-manifest output, log threshold.
+  const util::CommonFlags obs_flags = util::CommonFlags::from(args);
+  cfg.obs.trace_out = obs_flags.trace_out;
+  cfg.obs.profile = args.get("profile", false) || !obs_flags.metrics_out.empty();
+  if (const auto level = util::parse_log_level(obs_flags.log_level)) {
+    util::set_log_level(*level);
+  } else {
+    std::fprintf(stderr, "error: bad --log-level=%s\n",
+                 obs_flags.log_level.c_str());
+    return 2;
+  }
+
   const std::string mobility = args.get("mobility", std::string("rwp"));
   if (mobility == "group") {
     cfg.mobility = core::MobilityKind::Group;
@@ -74,6 +91,24 @@ int main(int argc, char** argv) {
   }
 
   const core::ExperimentResult r = core::run_experiment(cfg, reps);
+
+  if (!obs_flags.metrics_out.empty()) {
+    obs::RunManifest manifest;
+    manifest.name = "alertsim_cli";
+    manifest.title = std::string("alertsim_cli — ") +
+                     core::protocol_name(cfg.protocol);
+    manifest.seed = cfg.seed;
+    manifest.replications = reps;
+    manifest.add_param("protocol", core::protocol_name(cfg.protocol));
+    manifest.add_param("node_count", std::to_string(cfg.node_count));
+    manifest.add_param("speed_mps", std::to_string(cfg.speed_mps));
+    manifest.add_param("duration_s", std::to_string(cfg.duration_s));
+    manifest.add_param("flow_count", std::to_string(cfg.flow_count));
+    manifest.trace_digests = r.trace_digests;
+    manifest.metrics = r.metrics;
+    manifest.profile = r.profile;
+    if (!manifest.write_file(obs_flags.metrics_out)) return 1;
+  }
 
   if (csv) {
     std::printf(

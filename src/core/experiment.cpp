@@ -1,5 +1,6 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -10,7 +11,9 @@
 #include "attack/route_tracer.hpp"
 #include "attack/trace_writer.hpp"
 #include "attack/zone_residency.hpp"
+#include "core/obs_bridge.hpp"
 #include "loc/pseudonym.hpp"
+#include "obs/trace.hpp"
 #include "routing/zone.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
@@ -24,6 +27,12 @@ namespace {
 /// per application packet (uid): first radio arrival wins.
 class DeliveryCounter final : public net::TraceListener {
  public:
+  /// Optional per-delivery metric feeds (null = not collecting): latency
+  /// observations and a hop-count distribution for the run's snapshot.
+  DeliveryCounter(util::Accumulator* latency_sample,
+                  util::Histogram* hops_hist)
+      : latency_sample_(latency_sample), hops_hist_(hops_hist) {}
+
   void on_deliver(const net::Node& receiver, const net::Packet& pkt,
                   sim::Time when) override {
     if (pkt.kind != net::PacketKind::Data) return;
@@ -33,6 +42,12 @@ class DeliveryCounter final : public net::TraceListener {
     latency_sum_ += when - pkt.app_send_time;
     e2e_sum_ += when - pkt.first_send_time;
     hops_sum_ += pkt.hop_count;
+    if (latency_sample_ != nullptr) {
+      latency_sample_->add(when - pkt.app_send_time);
+    }
+    if (hops_hist_ != nullptr) {
+      hops_hist_->add(static_cast<double>(pkt.hop_count));
+    }
   }
 
   [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
@@ -58,6 +73,8 @@ class DeliveryCounter final : public net::TraceListener {
   double latency_sum_ = 0.0;
   double e2e_sum_ = 0.0;
   std::int64_t hops_sum_ = 0;
+  util::Accumulator* latency_sample_;
+  util::Histogram* hops_hist_;
 };
 
 std::unique_ptr<net::MobilityModel> make_mobility(
@@ -132,6 +149,11 @@ std::vector<int> disk_components(const net::Network& network, sim::Time t) {
 RunResult run_once(const ScenarioConfig& config,
                    std::uint64_t replication_index) {
   sim::Simulator simulator;
+  // The profiler must be attached before the Network is built: the Network
+  // constructor (and every router constructor) resolves its scope ids from
+  // sim.profiler() exactly once.
+  obs::Profiler profiler;
+  if (config.obs.profile) simulator.set_profiler(&profiler);
   util::Rng rng(config.seed + replication_index * 0x9E3779B97F4A7C15ULL);
 
   net::Network network(simulator, config.network_config(),
@@ -146,7 +168,27 @@ RunResult run_once(const ScenarioConfig& config,
 
   auto protocol = make_protocol(config, network, location);
 
-  DeliveryCounter delivery;
+  // Observability: a per-replication metrics registry plus, on replication
+  // 0 only, the structured trace sink (all replications would interleave
+  // into one file otherwise). None of this feeds the determinism digest.
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<obs::TraceSink> obs_sink;
+  obs::Tracer tracer;
+  if (!config.obs.trace_out.empty() && replication_index == 0) {
+    obs_sink = obs::make_trace_sink(config.obs.trace_out);
+    tracer = obs::Tracer(obs_sink.get());
+  }
+  std::unique_ptr<ObsBridge> obs_bridge;
+  if (config.obs.metrics || tracer.enabled()) {
+    obs_bridge = std::make_unique<ObsBridge>(metrics, tracer);
+    network.add_listener(obs_bridge.get());
+  }
+  if (config.obs.metrics) protocol->set_metrics(&metrics);
+
+  DeliveryCounter delivery(
+      config.obs.metrics ? &metrics.sample("app.latency_s") : nullptr,
+      config.obs.metrics ? &metrics.histogram("app.hop_count", 0.0, 40.0, 40)
+                         : nullptr);
   network.add_listener(&delivery);
   attack::PassiveObserver observer(network);
   network.add_listener(&observer);
@@ -317,6 +359,14 @@ RunResult run_once(const ScenarioConfig& config,
     result.intersection_identified = inter.identification_rate();
     result.intersection_frequency = inter.frequency_identification_rate();
   }
+
+  if (config.obs.metrics) {
+    export_protocol_stats(metrics, proto->stats());
+    export_run_totals(metrics, network);
+    result.metrics = metrics.snapshot();
+  }
+  if (config.obs.profile) result.profile = profiler.report();
+  if (obs_sink != nullptr) obs_sink->finish();
   return result;
 }
 
@@ -358,6 +408,9 @@ void ExperimentResult::add(const RunResult& run) {
   for (std::size_t i = 0; i < run.remaining_by_sample.size(); ++i) {
     remaining_by_sample[i].add(run.remaining_by_sample[i]);
   }
+  metrics.merge(run.metrics);
+  profile.merge(run.profile);
+  trace_digests.push_back(run.trace_digest);
 }
 
 ExperimentResult run_experiment(const ScenarioConfig& config,
@@ -371,6 +424,9 @@ ExperimentResult run_experiment(const ScenarioConfig& config,
     std::lock_guard lk(mutex);
     result.add(run);
   });
+  // Thread-pool completion order is nondeterministic; keep the digest list
+  // reproducible as a set.
+  std::sort(result.trace_digests.begin(), result.trace_digests.end());
   return result;
 }
 

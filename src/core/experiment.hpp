@@ -15,6 +15,8 @@
 #include "attack/intersection_attack.hpp"
 #include "attack/timing_attack.hpp"
 #include "core/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "util/stats.hpp"
 
 namespace alert::core {
@@ -51,6 +53,9 @@ struct RunResult {
   std::uint64_t trace_digest = 0;     ///< seed-deterministic event-trace hash
   std::uint64_t packets_opened = 0;   ///< uids created by this replication
   std::uint64_t packets_expired = 0;  ///< still in flight at the horizon
+  // Observability (config.obs): frozen per-replication registry + profile.
+  obs::MetricsSnapshot metrics;
+  obs::ProfileReport profile;
 
   [[nodiscard]] double delivery_rate() const {
     return sent == 0 ? 0.0
@@ -83,6 +88,11 @@ struct ExperimentResult {
   util::Accumulator intersection_frequency;
   std::vector<util::Accumulator> cumulative_participants;
   std::vector<util::Accumulator> remaining_by_sample;
+  obs::MetricsSnapshot metrics;   ///< ⊕-merged across replications
+  obs::ProfileReport profile;     ///< wall-clock self-profile (if enabled)
+  /// Per-replication determinism digests, sorted so the set is reproducible
+  /// regardless of thread-pool completion order.
+  std::vector<std::uint64_t> trace_digests;
 
   void add(const RunResult& run);
 };

@@ -23,6 +23,18 @@ enum class ProtocolKind : std::uint8_t { Alert, Gpsr, Alarm, Ao2p, Zap };
 
 enum class MobilityKind : std::uint8_t { RandomWaypoint, Group, Static };
 
+/// Observability wiring (src/obs). Metrics collection is one listener with
+/// pointer-indirect counter bumps and is on by default; profiling reads the
+/// host wall clock (it never feeds the determinism digest) and is opt-in;
+/// trace_out streams replication 0's structured TraceEvents to a file whose
+/// extension picks the sink (.jsonl / .csv / anything else → Chrome
+/// trace_event JSON for chrome://tracing and ui.perfetto.dev).
+struct ObsOptions {
+  bool metrics = true;
+  bool profile = false;
+  std::string trace_out;
+};
+
 struct ScenarioConfig {
   // Field and population (defaults: 1000 m x 1000 m, 200 nodes, Sec. 5.2).
   util::Rect field{0.0, 0.0, 1000.0, 1000.0};
@@ -79,6 +91,9 @@ struct ScenarioConfig {
   /// When non-empty, replication 0 streams every on-air event to this
   /// JSONL file (attack::JsonlTraceWriter) for offline visualization.
   std::string trace_path;
+
+  /// Structured observability (metrics / profiling / trace sinks).
+  ObsOptions obs;
 
   /// Derived NetworkConfig for net::Network.
   [[nodiscard]] net::NetworkConfig network_config() const;

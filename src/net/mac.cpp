@@ -8,6 +8,7 @@ namespace alert::net {
 
 MacGrant Mac::acquire(Node& node, std::size_t bytes, sim::Time earliest,
                       std::size_t contending_neighbors, util::Rng& rng) {
+  ALERT_OBS_TIMED(profiler_, acquire_scope_);
   const double backoff =
       cfg_.difs_s +
       cfg_.slot_s * rng.uniform() *

@@ -13,6 +13,7 @@
 /// DESIGN.md's substitution table records why this preserves the paper's
 /// latency comparison.
 
+#include "obs/profile.hpp"
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 
@@ -54,8 +55,17 @@ class Mac {
   MacGrant acquire(Node& node, std::size_t bytes, sim::Time earliest,
                    std::size_t contending_neighbors, util::Rng& rng);
 
+  /// Attach the owning network's self-profiler (scope "mac.acquire").
+  void set_profiler(obs::Profiler* profiler) {
+    profiler_ = profiler;
+    acquire_scope_ =
+        profiler_ != nullptr ? profiler_->scope("mac.acquire") : 0;
+  }
+
  private:
   MacConfig cfg_;
+  obs::Profiler* profiler_ = nullptr;  // non-owning
+  obs::ScopeId acquire_scope_ = 0;
 };
 
 }  // namespace alert::net

@@ -52,6 +52,11 @@ Network::Network(sim::Simulator& simulator, NetworkConfig config,
       mac_(config.mac),
       energy_(config.energy, config.node_count) {
   assert(mobility_ != nullptr);
+  if (obs::Profiler* profiler = sim_.profiler(); profiler != nullptr) {
+    tx_scope_ = profiler->scope("net.transmit");
+    deliver_scope_ = profiler->scope("net.deliver");
+    mac_.set_profiler(profiler);
+  }
   default_provider_ =
       std::make_unique<DefaultPseudonyms>(rng_.fork(0xA11CE).next());
   pseudonym_provider_ = default_provider_.get();
@@ -151,6 +156,7 @@ void Network::send_hello(Node& node) {
 
 void Network::unicast(Node& from, Pseudonym to, Packet pkt,
                       double processing_delay) {
+  ALERT_OBS_TIMED(sim_.profiler(), tx_scope_);
   pkt.prev_hop = from.id();
   // Fold the transmission into the determinism audit: uid, kind and sender
   // are all seed-deterministic words (never addresses or wall-clock).
@@ -177,6 +183,7 @@ void Network::unicast(Node& from, Pseudonym to, Packet pkt,
 }
 
 void Network::broadcast(Node& from, Packet pkt, double processing_delay) {
+  ALERT_OBS_TIMED(sim_.profiler(), tx_scope_);
   pkt.prev_hop = from.id();
   sim_.audit((pkt.uid << 8) ^ static_cast<std::uint64_t>(pkt.kind));
   sim_.audit(from.id());
@@ -203,6 +210,7 @@ void Network::broadcast(Node& from, Packet pkt, double processing_delay) {
 
 void Network::deliver_broadcast(NodeId sender, const Packet& pkt,
                                 util::Vec2 sender_pos) {
+  ALERT_OBS_TIMED(sim_.profiler(), deliver_scope_);
   const sim::Time now = sim_.now();
   for (const NodeId id :
        nodes_within(sender_pos, config_.radio_range_m, now)) {
@@ -225,6 +233,7 @@ void Network::deliver_broadcast(NodeId sender, const Packet& pkt,
 
 void Network::deliver_unicast(NodeId sender, NodeId receiver,
                               const Packet& pkt) {
+  ALERT_OBS_TIMED(sim_.profiler(), deliver_scope_);
   const sim::Time now = sim_.now();
   if (receiver == kInvalidNode) {
     for (auto* l : listeners_)

@@ -165,6 +165,11 @@ class Network {
   util::Rng rng_;
   sim::Time horizon_;
 
+  // Self-profiling scopes (ids resolved once from sim_.profiler(); null
+  // profiler → single branch per transmission).
+  obs::ScopeId tx_scope_ = 0;
+  obs::ScopeId deliver_scope_ = 0;
+
   Mac mac_;
   EnergyModel energy_;
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -1,0 +1,109 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace alert::obs {
+
+void JsonWriter::separator() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value belongs to the key just written; no comma
+  }
+  if (!wrote_element_.empty()) {
+    if (wrote_element_.back()) out_ << ',';
+    wrote_element_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  separator();
+  wrote_element_.push_back(false);
+  out_ << '{';
+}
+
+void JsonWriter::end_object() {
+  wrote_element_.pop_back();
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  separator();
+  wrote_element_.push_back(false);
+  out_ << '[';
+}
+
+void JsonWriter::end_array() {
+  wrote_element_.pop_back();
+  out_ << ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  separator();
+  out_ << escape(name) << ':';
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  separator();
+  out_ << escape(s);
+}
+
+void JsonWriter::value(double v) {
+  separator();
+  if (!std::isfinite(v)) {
+    out_ << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ << buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separator();
+  out_ << v;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separator();
+  out_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  separator();
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  separator();
+  out_ << "null";
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace alert::obs

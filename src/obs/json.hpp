@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal streaming JSON writer for the observability artifacts (metrics
+/// snapshots, run manifests, Chrome trace_event streams). No DOM, no
+/// allocation beyond the output buffer: callers emit tokens in document
+/// order and the writer tracks commas and nesting. Numbers are printed
+/// with enough digits to round-trip doubles (%.17g), NaN/Inf as null
+/// (JSON has no encoding for them).
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alert::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  // --- containers ---------------------------------------------------------
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emit `"name":` — must be followed by exactly one value or container.
+  void key(std::string_view name);
+
+  // --- values -------------------------------------------------------------
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  // --- shorthands ---------------------------------------------------------
+  template <typename T>
+  void field(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+
+  /// Escape `s` into a double-quoted JSON string literal.
+  static std::string escape(std::string_view s);
+
+ private:
+  void separator();
+
+  std::ostream& out_;
+  /// One entry per open container: true once the first element was written
+  /// (the next element needs a leading comma).
+  std::vector<bool> wrote_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace alert::obs

@@ -1,0 +1,68 @@
+#include "obs/manifest.hpp"
+
+#include <fstream>
+
+#include "obs/series.hpp"
+#include "util/logging.hpp"
+
+namespace alert::obs {
+
+const char* build_version() {
+#if defined(ALERTSIM_GIT_DESCRIBE)
+  return ALERTSIM_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+void RunManifest::write_json(std::ostream& out) const {
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", kManifestSchema);
+  w.field("name", name);
+  w.field("title", title);
+  w.field("x_label", x_label);
+  w.field("y_label", y_label);
+  w.field("version", build_version());
+  w.field("seed", seed);
+  w.field("replications", replications);
+
+  w.key("params");
+  w.begin_object();
+  for (const auto& [key, value] : params) w.field(key, value);
+  w.end_object();
+
+  w.key("trace_digests");
+  w.begin_array();
+  for (const std::uint64_t d : trace_digests) w.value(d);
+  w.end_array();
+
+  w.key("metrics");
+  metrics.write_json(w);
+
+  w.key("profile");
+  profile.write_json(w);
+
+  w.key("series");
+  write_series_json(w, series);
+
+  w.key("notes");
+  w.begin_array();
+  for (const std::string& n : notes) w.value(n);
+  w.end_array();
+
+  w.end_object();
+  out << '\n';
+}
+
+bool RunManifest::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    ALERT_LOG_ERROR("manifest: cannot open '%s' for writing", path.c_str());
+    return false;
+  }
+  write_json(out);
+  return out.good();
+}
+
+}  // namespace alert::obs

@@ -1,0 +1,207 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace alert::obs {
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Sample: return "sample";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "unknown";
+}
+
+const MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
+                                                     MetricKind kind,
+                                                     std::size_t next_index) {
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    ALERT_INVARIANT(it->second.kind == kind,
+                    "metric re-registered with a different kind");
+    return it->second;
+  }
+  return entries_
+      .emplace(std::string(name), Entry{std::string(name), kind, next_index})
+      .first->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const Entry& e = entry(name, MetricKind::Counter, counters_.size());
+  if (e.index == counters_.size()) counters_.emplace_back();
+  return counters_[e.index];
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const Entry& e = entry(name, MetricKind::Gauge, gauges_.size());
+  if (e.index == gauges_.size()) gauges_.emplace_back();
+  return gauges_[e.index];
+}
+
+util::Accumulator& MetricsRegistry::sample(std::string_view name) {
+  const Entry& e = entry(name, MetricKind::Sample, samples_.size());
+  if (e.index == samples_.size()) samples_.emplace_back();
+  return samples_[e.index];
+}
+
+util::Histogram& MetricsRegistry::histogram(std::string_view name, double lo,
+                                            double hi, std::size_t bins) {
+  const Entry& e = entry(name, MetricKind::Histogram, histograms_.size());
+  if (e.index == histograms_.size()) histograms_.emplace_back(lo, hi, bins);
+  util::Histogram& h = histograms_[e.index];
+  ALERT_INVARIANT(h.low() == lo && h.high() == hi && h.bins() == bins,
+                  "histogram re-registered with a different shape");
+  return h;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.replications = 1;
+  snap.metrics.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {  // std::map: already name-sorted
+    MetricValue v;
+    v.name = name;
+    v.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::Counter:
+        v.total = counters_[e.index].value();
+        v.per_rep.add(static_cast<double>(v.total));
+        break;
+      case MetricKind::Gauge:
+        v.per_rep.add(gauges_[e.index].value());
+        break;
+      case MetricKind::Sample:
+        v.samples = samples_[e.index];
+        break;
+      case MetricKind::Histogram: {
+        const util::Histogram& h = histograms_[e.index];
+        v.lo = h.low();
+        v.hi = h.high();
+        v.bins.resize(h.bins());
+        for (std::size_t i = 0; i < h.bins(); ++i) {
+          v.bins[i] = h.bin_count(i);
+        }
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(v));
+  }
+  return snap;
+}
+
+namespace {
+
+void merge_value(MetricValue& into, const MetricValue& from) {
+  ALERT_INVARIANT(into.kind == from.kind,
+                  "merging metrics of different kinds");
+  switch (into.kind) {
+    case MetricKind::Counter:
+      into.total += from.total;
+      into.per_rep.merge(from.per_rep);
+      break;
+    case MetricKind::Gauge:
+      into.per_rep.merge(from.per_rep);
+      break;
+    case MetricKind::Sample:
+      into.samples.merge(from.samples);
+      break;
+    case MetricKind::Histogram:
+      ALERT_INVARIANT(into.lo == from.lo && into.hi == from.hi &&
+                          into.bins.size() == from.bins.size(),
+                      "merging histograms of different shapes");
+      for (std::size_t i = 0; i < into.bins.size(); ++i) {
+        into.bins[i] += from.bins[i];
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  replications += other.replications;
+  // Sorted two-way merge by name: metrics present on both sides combine,
+  // one-sided metrics carry over (a replication that never touched a
+  // counter simply contributes nothing to it).
+  std::vector<MetricValue> merged;
+  merged.reserve(metrics.size() + other.metrics.size());
+  std::size_t i = 0, j = 0;
+  while (i < metrics.size() || j < other.metrics.size()) {
+    if (j >= other.metrics.size() ||
+        (i < metrics.size() && metrics[i].name < other.metrics[j].name)) {
+      merged.push_back(std::move(metrics[i++]));
+    } else if (i >= metrics.size() ||
+               other.metrics[j].name < metrics[i].name) {
+      merged.push_back(other.metrics[j++]);
+    } else {
+      merged.push_back(std::move(metrics[i++]));
+      merge_value(merged.back(), other.metrics[j++]);
+    }
+  }
+  metrics = std::move(merged);
+}
+
+const MetricValue* MetricsSnapshot::find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      metrics.begin(), metrics.end(), name,
+      [](const MetricValue& v, std::string_view n) { return v.name < n; });
+  return it != metrics.end() && it->name == name ? &*it : nullptr;
+}
+
+namespace {
+
+void write_accumulator(JsonWriter& w, const char* key,
+                       const util::Accumulator& acc) {
+  w.key(key);
+  w.begin_object();
+  w.field("count", acc.count());
+  w.field("mean", acc.mean());
+  w.field("min", acc.min());
+  w.field("max", acc.max());
+  w.field("stddev", acc.stddev());
+  w.field("ci95", acc.ci95_halfwidth());
+  w.end_object();
+}
+
+}  // namespace
+
+void MetricsSnapshot::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.field("replications", replications);
+  w.key("metrics");
+  w.begin_array();
+  for (const MetricValue& v : metrics) {
+    w.begin_object();
+    w.field("name", v.name);
+    w.field("kind", metric_kind_name(v.kind));
+    switch (v.kind) {
+      case MetricKind::Counter:
+        w.field("total", v.total);
+        write_accumulator(w, "per_replication", v.per_rep);
+        break;
+      case MetricKind::Gauge:
+        write_accumulator(w, "per_replication", v.per_rep);
+        break;
+      case MetricKind::Sample:
+        write_accumulator(w, "samples", v.samples);
+        break;
+      case MetricKind::Histogram:
+        w.field("lo", v.lo);
+        w.field("hi", v.hi);
+        w.key("bins");
+        w.begin_array();
+        for (const std::uint64_t b : v.bins) w.value(b);
+        w.end_array();
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace alert::obs

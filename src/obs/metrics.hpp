@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file metrics.hpp
+/// The metrics registry: named counters, gauges, samples and histograms,
+/// cheap enough for per-event hot paths (a handle is a plain pointer into
+/// the registry; an increment is one add). One registry lives per
+/// experiment replication — registries are single-threaded by construction
+/// and replications communicate only through snapshots, which merge
+/// associatively so thread-pool aggregation equals serial aggregation.
+///
+/// Metric kinds:
+///   counter    monotone event count (packets sent, drops by reason)
+///   gauge      last-written level (peak queue depth via set_max)
+///   sample     util::Accumulator over observations (latency mean/min/max)
+///   histogram  util::Histogram with fixed bins (latency distribution)
+///
+/// Snapshots carry, per metric, both the in-replication aggregate and a
+/// per-replication Accumulator so merged results expose cross-replication
+/// mean and 95% CI — the same statistics the paper's figures report.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/stats.hpp"
+
+namespace alert::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void set_max(double v) { value_ = v > value_ ? v : value_; }
+  void add(double delta) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Sample, Histogram };
+
+[[nodiscard]] const char* metric_kind_name(MetricKind kind);
+
+/// Frozen value of one metric, tagged with how many replications it has
+/// been merged over.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::Counter;
+
+  std::uint64_t total = 0;       ///< counter: sum over merged replications
+  util::Accumulator per_rep;     ///< counter/gauge: one sample/replication
+  util::Accumulator samples;     ///< sample: merged observation accumulator
+
+  // Histogram state (kind == Histogram): fixed shape, bin-wise mergeable.
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::uint64_t> bins;
+};
+
+/// A frozen, mergeable view of a registry. merge() is commutative on
+/// counters/histograms and order-stable on accumulators (Chan et al.
+/// pairwise combination), so N runs merged serially equal the same runs
+/// merged across a thread pool.
+struct MetricsSnapshot {
+  std::size_t replications = 0;
+  std::vector<MetricValue> metrics;  ///< sorted by name
+
+  void merge(const MetricsSnapshot& other);
+  [[nodiscard]] const MetricValue* find(std::string_view name) const;
+  void write_json(JsonWriter& w) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Handles are stable for the registry's lifetime; registering the same
+  /// name twice returns the same handle (kind must match).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  util::Accumulator& sample(std::string_view name);
+  util::Histogram& histogram(std::string_view name, double lo, double hi,
+                             std::size_t bins);
+
+  /// Freeze the registry into a one-replication snapshot.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    std::size_t index;  ///< into the kind-specific store
+  };
+
+  const Entry& entry(std::string_view name, MetricKind kind,
+                     std::size_t next_index);
+
+  // deques: handle pointers must survive later registrations.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<util::Accumulator> samples_;
+  std::deque<util::Histogram> histograms_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace alert::obs

@@ -1,0 +1,101 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace alert::obs {
+
+ScopeId Profiler::scope(std::string_view name) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const ScopeId id = stats_.size();
+  stats_.push_back(ScopeStats{std::string(name), 0, 0, 0});
+  ids_.emplace(std::string(name), id);
+  return id;
+}
+
+ProfileReport Profiler::report() const {
+  ProfileReport out;
+  out.scopes = stats_;
+  std::sort(out.scopes.begin(), out.scopes.end(),
+            [](const ScopeStats& a, const ScopeStats& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void ProfileReport::merge(const ProfileReport& other) {
+  std::vector<ScopeStats> merged;
+  merged.reserve(scopes.size() + other.scopes.size());
+  std::size_t i = 0, j = 0;
+  while (i < scopes.size() || j < other.scopes.size()) {
+    if (j >= other.scopes.size() ||
+        (i < scopes.size() && scopes[i].name < other.scopes[j].name)) {
+      merged.push_back(std::move(scopes[i++]));
+    } else if (i >= scopes.size() || other.scopes[j].name < scopes[i].name) {
+      merged.push_back(other.scopes[j++]);
+    } else {
+      ScopeStats s = std::move(scopes[i++]);
+      const ScopeStats& o = other.scopes[j++];
+      s.count += o.count;
+      s.total_ns += o.total_ns;
+      s.max_ns = std::max(s.max_ns, o.max_ns);
+      merged.push_back(std::move(s));
+    }
+  }
+  scopes = std::move(merged);
+}
+
+const ScopeStats* ProfileReport::find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      scopes.begin(), scopes.end(), name,
+      [](const ScopeStats& s, std::string_view n) { return s.name < n; });
+  return it != scopes.end() && it->name == name ? &*it : nullptr;
+}
+
+void ProfileReport::write_json(JsonWriter& w) const {
+  w.begin_array();
+  for (const ScopeStats& s : scopes) {
+    w.begin_object();
+    w.field("name", s.name);
+    w.field("count", s.count);
+    w.field("total_ns", s.total_ns);
+    w.field("max_ns", s.max_ns);
+    w.field("mean_ns",
+            s.count == 0 ? 0.0
+                         : static_cast<double>(s.total_ns) /
+                               static_cast<double>(s.count));
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::string ProfileReport::summary() const {
+  std::vector<const ScopeStats*> by_time;
+  by_time.reserve(scopes.size());
+  for (const ScopeStats& s : scopes) by_time.push_back(&s);
+  std::sort(by_time.begin(), by_time.end(),
+            [](const ScopeStats* a, const ScopeStats* b) {
+              return a->total_ns > b->total_ns;
+            });
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-28s %12s %12s %10s %10s\n", "scope",
+                "count", "total_ms", "mean_us", "max_us");
+  out += line;
+  for (const ScopeStats* s : by_time) {
+    const double mean_us =
+        s->count == 0 ? 0.0
+                      : static_cast<double>(s->total_ns) /
+                            static_cast<double>(s->count) / 1e3;
+    std::snprintf(line, sizeof line, "%-28s %12llu %12.3f %10.3f %10.3f\n",
+                  s->name.c_str(),
+                  static_cast<unsigned long long>(s->count),
+                  static_cast<double>(s->total_ns) / 1e6, mean_us,
+                  static_cast<double>(s->max_ns) / 1e3);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace alert::obs

@@ -1,0 +1,68 @@
+#include "obs/series.hpp"
+
+#include <cstdio>
+#include <map>
+
+namespace alert::obs {
+
+void print_series_table(const std::string& title, const std::string& x_label,
+                        const std::string& y_label,
+                        const std::vector<util::Series>& series) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("y: %s\n", y_label.c_str());
+  std::printf("%-12s", x_label.c_str());
+  for (const auto& s : series) std::printf("  %-22s", s.name.c_str());
+  std::printf("\n");
+
+  // Collect the union of x values (series may be sparse).
+  std::map<double, std::vector<const util::SeriesPoint*>> rows;
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    for (const auto& p : series[si].points) {
+      auto& row = rows[p.x];
+      row.resize(series.size(), nullptr);
+      row[si] = &p;
+    }
+  }
+  for (const auto& [x, row] : rows) {
+    std::printf("%-12.4g", x);
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      const util::SeriesPoint* p = si < row.size() ? row[si] : nullptr;
+      if (p == nullptr) {
+        std::printf("  %-22s", "-");
+      } else if (p->ci > 0.0) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.4g (+/-%.2g)", p->y, p->ci);
+        std::printf("  %-22s", buf);
+      } else {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.4g", p->y);
+        std::printf("  %-22s", buf);
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+void write_series_json(JsonWriter& w,
+                       const std::vector<util::Series>& series) {
+  w.begin_array();
+  for (const auto& s : series) {
+    w.begin_object();
+    w.field("name", s.name);
+    w.key("points");
+    w.begin_array();
+    for (const auto& p : s.points) {
+      w.begin_object();
+      w.field("x", p.x);
+      w.field("y", p.y);
+      w.field("ci", p.ci);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace alert::obs

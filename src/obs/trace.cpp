@@ -1,0 +1,117 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+
+namespace alert::obs {
+
+const char* trace_layer_name(TraceLayer layer) {
+  switch (layer) {
+    case TraceLayer::App: return "app";
+    case TraceLayer::Routing: return "routing";
+    case TraceLayer::Mac: return "mac";
+    case TraceLayer::Channel: return "channel";
+    case TraceLayer::Crypto: return "crypto";
+    case TraceLayer::Sim: return "sim";
+  }
+  return "unknown";
+}
+
+// --- JSONL -----------------------------------------------------------------
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path) : out_(path) {}
+
+void JsonlTraceSink::write(const TraceEvent& ev) {
+  JsonWriter w(out_);
+  w.begin_object();
+  w.field("t", ev.t);
+  w.field("node", static_cast<std::uint64_t>(ev.node));
+  w.field("uid", ev.uid);
+  w.field("layer", trace_layer_name(ev.layer));
+  w.field("kind", ev.kind);
+  if (ev.duration > 0.0) w.field("dur", ev.duration);
+  if (ev.aux != 0) w.field("aux", ev.aux);
+  w.end_object();
+  out_ << '\n';
+}
+
+// --- CSV -------------------------------------------------------------------
+
+CsvTraceSink::CsvTraceSink(const std::string& path) : out_(path) {
+  out_ << "t,node,uid,layer,kind,dur,aux\n";
+}
+
+void CsvTraceSink::write(const TraceEvent& ev) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9f", ev.t);
+  out_ << buf << ',' << ev.node << ',' << ev.uid << ','
+       << trace_layer_name(ev.layer) << ',' << ev.kind << ',';
+  std::snprintf(buf, sizeof buf, "%.9f", ev.duration);
+  out_ << buf << ',' << ev.aux << '\n';
+}
+
+// --- Chrome trace_event ----------------------------------------------------
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path) : out_(path) {
+  out_ << "[\n";
+}
+
+ChromeTraceSink::~ChromeTraceSink() { finish(); }
+
+void ChromeTraceSink::write(const TraceEvent& ev) {
+  if (wrote_event_) out_ << ",\n";
+  wrote_event_ = true;
+  JsonWriter w(out_);
+  w.begin_object();
+  w.field("name", ev.kind);
+  w.field("cat", trace_layer_name(ev.layer));
+  // Complete events need dur > 0 to be visible as slices; instants get the
+  // dedicated "i" phase.
+  if (ev.duration > 0.0) {
+    w.field("ph", "X");
+    w.field("dur", ev.duration * 1e6);
+  } else {
+    w.field("ph", "i");
+    w.field("s", "t");  // thread-scoped instant
+  }
+  w.field("ts", ev.t * 1e6);
+  w.field("pid", std::uint64_t{0});
+  w.field("tid", static_cast<std::uint64_t>(ev.node));
+  w.key("args");
+  w.begin_object();
+  w.field("uid", ev.uid);
+  if (ev.aux != 0) w.field("aux", ev.aux);
+  w.end_object();
+  w.end_object();
+}
+
+void ChromeTraceSink::finish() {
+  if (finished_) return;
+  finished_ = true;
+  // The JSON array format tolerates a trailing comma-less close; metadata
+  // events name the tracks after the node ids.
+  out_ << "\n]\n";
+  out_.flush();
+}
+
+// --- factory ---------------------------------------------------------------
+
+namespace {
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+std::unique_ptr<TraceSink> make_trace_sink(const std::string& path) {
+  if (ends_with(path, ".jsonl")) {
+    return std::make_unique<JsonlTraceSink>(path);
+  }
+  if (ends_with(path, ".csv")) {
+    return std::make_unique<CsvTraceSink>(path);
+  }
+  return std::make_unique<ChromeTraceSink>(path);
+}
+
+}  // namespace alert::obs

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file trace.hpp
+/// Structured trace stream: every interesting simulator event (a frame on
+/// the air, a delivery, a drop, a routing decision) becomes one TraceEvent
+/// — sim-time, node, packet uid, layer, kind — fanned out to a pluggable
+/// sink. Three sink formats ship:
+///
+///   JSONL   one JSON object per line; easy to grep / load into pandas
+///   CSV     spreadsheet-friendly flat table
+///   Chrome  the trace_event JSON array format: open the file directly in
+///           chrome://tracing or https://ui.perfetto.dev and the run renders
+///           as a per-node timeline (tracks = nodes, slices = events).
+///
+/// Zero-cost-when-disabled: a Tracer with no sink is a null check per call
+/// site; no TraceEvent is even constructed (call sites guard on enabled()).
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace alert::obs {
+
+/// Which layer of the stack emitted the event.
+enum class TraceLayer : std::uint8_t {
+  App,      ///< application traffic (send / end-to-end delivery)
+  Routing,  ///< protocol decisions (forward, RF election, partition)
+  Mac,      ///< MAC grants / transmissions
+  Channel,  ///< radio channel (deliveries, drops)
+  Crypto,   ///< modeled cryptographic operations
+  Sim,      ///< simulator housekeeping
+};
+
+[[nodiscard]] const char* trace_layer_name(TraceLayer layer);
+
+struct TraceEvent {
+  double t = 0.0;            ///< sim-time seconds
+  std::uint32_t node = 0;    ///< acting node id
+  std::uint64_t uid = 0;     ///< application packet uid (0 = none)
+  TraceLayer layer = TraceLayer::Sim;
+  const char* kind = "";     ///< short verb: "tx", "deliver", "drop", ...
+  double duration = 0.0;     ///< seconds on the air / in the op (0 = instant)
+  std::uint64_t aux = 0;     ///< kind-specific extra (drop reason, bytes...)
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(const TraceEvent& ev) = 0;
+  /// Finalize the document (Chrome needs to close its array). Called once.
+  virtual void finish() {}
+};
+
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(const std::string& path);
+  void write(const TraceEvent& ev) override;
+
+ private:
+  std::ofstream out_;
+};
+
+class CsvTraceSink final : public TraceSink {
+ public:
+  explicit CsvTraceSink(const std::string& path);
+  void write(const TraceEvent& ev) override;
+
+ private:
+  std::ofstream out_;
+};
+
+/// Chrome trace_event "JSON array format". Each event becomes a complete
+/// ("X") slice on track (pid=0, tid=node) with ts/dur in microseconds of
+/// sim-time, so one microsecond of simulated time is one microsecond on the
+/// Perfetto timeline.
+class ChromeTraceSink final : public TraceSink {
+ public:
+  explicit ChromeTraceSink(const std::string& path);
+  ~ChromeTraceSink() override;
+  void write(const TraceEvent& ev) override;
+  void finish() override;
+
+ private:
+  std::ofstream out_;
+  bool wrote_event_ = false;
+  bool finished_ = false;
+};
+
+/// Sink factory keyed on the file extension: ".jsonl" / ".csv" /
+/// anything else (".json", ".trace") → Chrome trace_event format.
+[[nodiscard]] std::unique_ptr<TraceSink> make_trace_sink(
+    const std::string& path);
+
+/// The per-replication trace handle components write through. Holding a
+/// null sink (the default) disables tracing at the cost of one pointer
+/// compare per call site.
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(TraceSink* sink) : sink_(sink) {}
+
+  [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
+
+  void emit(const TraceEvent& ev) {
+    if (sink_ != nullptr) sink_->write(ev);
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;  // non-owning
+};
+
+}  // namespace alert::obs

@@ -9,6 +9,7 @@ namespace alert::routing {
 AlarmRouter::AlarmRouter(net::Network& network,
                          loc::LocationService& location, AlarmConfig config)
     : Protocol(network, location), config_(config) {
+  init_profiling("alarm");
   map_.resize(net_.size());
   attach_to_all();
   refresh_map();
@@ -50,6 +51,7 @@ sim::Time AlarmRouter::map_age() const {
 void AlarmRouter::send(net::NodeId src, net::NodeId dst,
                        std::size_t payload_bytes, std::uint32_t flow,
                        std::uint32_t seq) {
+  ALERT_OBS_TIMED(profiler_, send_scope_);
   net::Node& source = net_.node(src);
   net::Packet pkt;
   pkt.kind = net::PacketKind::Data;
@@ -73,6 +75,7 @@ void AlarmRouter::send(net::NodeId src, net::NodeId dst,
 }
 
 void AlarmRouter::handle(net::Node& self, const net::Packet& pkt) {
+  ALERT_OBS_TIMED(profiler_, handle_scope_);
   if (pkt.kind != net::PacketKind::Data) return;
   if (net_.resolve_pseudonym(pkt.dst_pseudonym) == self.id()) {
     ++stats_.data_delivered;

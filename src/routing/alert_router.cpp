@@ -56,6 +56,7 @@ AlertRouter::AlertRouter(net::Network& network,
              : config.partitions_h),
       rng_(network.rng().fork(0xA1E47)) {
   assert(h_ >= 1);
+  init_profiling("alert");
   attach_to_all();
 }
 
@@ -97,6 +98,7 @@ AlertRouter::FlowState* AlertRouter::flow_state(net::NodeId src,
 void AlertRouter::send(net::NodeId src, net::NodeId dst,
                        std::size_t payload_bytes, std::uint32_t flow,
                        std::uint32_t seq) {
+  ALERT_OBS_TIMED(profiler_, send_scope_);
   FlowState* state = flow_state(src, dst, flow);
   if (state == nullptr) return;  // no location service: cannot even begin
   FlowState& st = *state;
@@ -253,6 +255,7 @@ void AlertRouter::resend(std::uint32_t flow, std::uint32_t seq) {
 }
 
 void AlertRouter::handle(net::Node& self, const net::Packet& pkt) {
+  ALERT_OBS_TIMED(profiler_, handle_scope_);
   switch (pkt.kind) {
     case net::PacketKind::Cover: {
       // Attempt to decrypt the TTL with our private key; cover packets

@@ -7,6 +7,7 @@ namespace alert::routing {
 Ao2pRouter::Ao2pRouter(net::Network& network, loc::LocationService& location,
                        Ao2pConfig config)
     : Protocol(network, location), config_(config) {
+  init_profiling("ao2p");
   attach_to_all();
 }
 
@@ -20,6 +21,7 @@ util::Vec2 Ao2pRouter::virtual_position(util::Vec2 src, util::Vec2 dst) const {
 void Ao2pRouter::send(net::NodeId src, net::NodeId dst,
                       std::size_t payload_bytes, std::uint32_t flow,
                       std::uint32_t seq) {
+  ALERT_OBS_TIMED(profiler_, send_scope_);
   const auto record = loc_.query(src, dst);
   if (!record) return;
 
@@ -48,6 +50,7 @@ void Ao2pRouter::send(net::NodeId src, net::NodeId dst,
 }
 
 void Ao2pRouter::handle(net::Node& self, const net::Packet& pkt) {
+  ALERT_OBS_TIMED(profiler_, handle_scope_);
   if (pkt.kind != net::PacketKind::Data) return;
   if (net_.resolve_pseudonym(pkt.dst_pseudonym) == self.id()) {
     ++stats_.data_delivered;

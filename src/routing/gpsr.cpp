@@ -7,12 +7,14 @@ namespace alert::routing {
 GpsrRouter::GpsrRouter(net::Network& network, loc::LocationService& location,
                        GpsrConfig config)
     : Protocol(network, location), config_(config) {
+  init_profiling("gpsr");
   attach_to_all();
 }
 
 void GpsrRouter::send(net::NodeId src, net::NodeId dst,
                       std::size_t payload_bytes, std::uint32_t flow,
                       std::uint32_t seq) {
+  ALERT_OBS_TIMED(profiler_, send_scope_);
   const auto record = loc_.query(src, dst);
   if (!record) return;  // location service entirely failed
 
@@ -39,6 +41,7 @@ void GpsrRouter::send(net::NodeId src, net::NodeId dst,
 }
 
 void GpsrRouter::handle(net::Node& self, const net::Packet& pkt) {
+  ALERT_OBS_TIMED(profiler_, handle_scope_);
   if (pkt.kind != net::PacketKind::Data) return;
   if (net_.resolve_pseudonym(pkt.dst_pseudonym) == self.id()) {
     ++stats_.data_delivered;

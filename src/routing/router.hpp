@@ -11,6 +11,8 @@
 
 #include "loc/location_service.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 
 namespace alert::routing {
 
@@ -45,12 +47,40 @@ class Protocol : public net::PacketHandler {
 
   [[nodiscard]] const ProtocolStats& stats() const { return stats_; }
 
+  /// Attach a metrics registry: the crypto cost model reports every modeled
+  /// operation as counter "crypto.ops" and sample "crypto.op_seconds"
+  /// (simulated seconds, not wall-clock). Null detaches.
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    crypto_ops_ = metrics != nullptr ? &metrics->counter("crypto.ops")
+                                     : nullptr;
+    crypto_seconds_ =
+        metrics != nullptr ? &metrics->sample("crypto.op_seconds") : nullptr;
+  }
+
  protected:
   /// Account `seconds` of cryptographic computation at `node`: simulated
   /// latency totals for the stats and joules on the node's energy meter.
   void charge_crypto(const net::Node& node, double seconds) {
     stats_.crypto_time_total_s += seconds;
     net_.charge_crypto(node.id(), seconds);
+    if (crypto_ops_ != nullptr) {
+      crypto_ops_->inc();
+      crypto_seconds_->add(seconds);
+    }
+  }
+
+  /// Resolve this protocol's routing-decision profiling scopes
+  /// ("routing.<proto>.send" / "routing.<proto>.handle") against the
+  /// simulator's profiler. Called from concrete router constructors —
+  /// name() cannot be virtually dispatched from the base constructor.
+  void init_profiling(const char* proto) {
+    profiler_ = net_.simulator().profiler();
+    if (profiler_ != nullptr) {
+      send_scope_ =
+          profiler_->scope(std::string("routing.") + proto + ".send");
+      handle_scope_ =
+          profiler_->scope(std::string("routing.") + proto + ".handle");
+    }
   }
 
   /// Record a packet's terminal fate on the network's lifecycle ledger.
@@ -70,6 +100,11 @@ class Protocol : public net::PacketHandler {
   net::Network& net_;
   loc::LocationService& loc_;
   ProtocolStats stats_;
+  obs::Profiler* profiler_ = nullptr;  // non-owning; null = not profiling
+  obs::ScopeId send_scope_ = 0;
+  obs::ScopeId handle_scope_ = 0;
+  obs::Counter* crypto_ops_ = nullptr;         // owned by the registry
+  util::Accumulator* crypto_seconds_ = nullptr;
 };
 
 }  // namespace alert::routing

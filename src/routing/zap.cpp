@@ -11,6 +11,7 @@ ZapRouter::ZapRouter(net::Network& network, loc::LocationService& location,
     : Protocol(network, location),
       config_(config),
       rng_(network.rng().fork(0x5A9)) {
+  init_profiling("zap");
   attach_to_all();
 }
 
@@ -31,6 +32,7 @@ util::Rect ZapRouter::cloak(util::Vec2 dest, util::Rng& rng) const {
 void ZapRouter::send(net::NodeId src, net::NodeId dst,
                      std::size_t payload_bytes, std::uint32_t flow,
                      std::uint32_t seq) {
+  ALERT_OBS_TIMED(profiler_, send_scope_);
   const auto record = loc_.query(src, dst);
   if (!record) return;
 
@@ -58,6 +60,7 @@ void ZapRouter::send(net::NodeId src, net::NodeId dst,
 }
 
 void ZapRouter::handle(net::Node& self, const net::Packet& pkt) {
+  ALERT_OBS_TIMED(profiler_, handle_scope_);
   if (pkt.kind != net::PacketKind::Data || !pkt.alert) return;
   if (pkt.alert->in_dest_zone_phase) {
     const util::Vec2 pos = self.position(net_.now());

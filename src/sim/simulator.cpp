@@ -53,7 +53,10 @@ std::uint64_t Simulator::run_until(Time horizon) {
                     "simulation clock would move backwards");
     now_ = fired.time;
     audit_fired(fired);
-    fired.action();
+    {
+      ALERT_OBS_TIMED(profiler_, dispatch_scope_);
+      fired.action();
+    }
     ++executed_;
     ++count;
   }
@@ -68,7 +71,10 @@ bool Simulator::step() {
                   "simulation clock would move backwards");
   now_ = fired.time;
   audit_fired(fired);
-  fired.action();
+  {
+    ALERT_OBS_TIMED(profiler_, dispatch_scope_);
+    fired.action();
+  }
   ++executed_;
   return true;
 }

@@ -17,6 +17,7 @@
 #include <functional>
 #include <limits>
 
+#include "obs/profile.hpp"
 #include "sim/event_queue.hpp"
 
 namespace alert::sim {
@@ -52,6 +53,18 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] bool idle() const { return queue_.empty(); }
 
+  // --- observability ------------------------------------------------------
+  /// Attach a wall-clock self-profiler (nullptr detaches). Event dispatch
+  /// is timed under scope "sim.dispatch"; components sharing this simulator
+  /// reach the same profiler via profiler(). Profiling never feeds the
+  /// determinism digest, so attaching one cannot change results.
+  void set_profiler(obs::Profiler* profiler) {
+    profiler_ = profiler;
+    dispatch_scope_ =
+        profiler_ != nullptr ? profiler_->scope("sim.dispatch") : 0;
+  }
+  [[nodiscard]] obs::Profiler* profiler() const { return profiler_; }
+
   // --- determinism auditing ----------------------------------------------
   /// Fold a caller-chosen word into the trace digest (e.g. packet uids,
   /// drop reasons). Deterministic components folding deterministic words
@@ -83,6 +96,8 @@ class Simulator {
   Time now_ = 0.0;
   std::uint64_t executed_ = 0;
   std::uint64_t digest_ = 0x414c4552542d3130ULL;  // "ALERT-10"
+  obs::Profiler* profiler_ = nullptr;  // non-owning
+  obs::ScopeId dispatch_scope_ = 0;
 };
 
 }  // namespace alert::sim

@@ -62,6 +62,15 @@ bool CliArgs::get(const std::string& key, bool fallback) const {
   return v == "true" || v == "1" || v == "yes" || v == "on";
 }
 
+CommonFlags CommonFlags::from(const CliArgs& args) {
+  CommonFlags flags;
+  flags.trace_out = args.get("trace-out", std::string());
+  flags.metrics_out = args.get("metrics-out", std::string());
+  flags.log_level = args.get("log-level", std::string("none"));
+  flags.reps = args.get("reps", static_cast<std::int64_t>(0));
+  return flags;
+}
+
 std::vector<std::string> CliArgs::unused() const {
   std::vector<std::string> out;
   for (const auto& [key, value] : values_) {

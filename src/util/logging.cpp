@@ -22,6 +22,15 @@ const char* level_name(LogLevel l) {
 LogLevel log_level() { return g_level; }
 void set_log_level(LogLevel level) { g_level = level; }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "none") return LogLevel::None;
+  if (name == "error") return LogLevel::Error;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "info") return LogLevel::Info;
+  if (name == "debug") return LogLevel::Debug;
+  return std::nullopt;
+}
+
 namespace detail {
 void vlog(LogLevel level, const char* fmt, ...) {
   std::fprintf(stderr, "[%s] ", level_name(level));

@@ -5,7 +5,9 @@
 /// clean; tests and examples can raise the level to trace protocol events.
 
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace alert::util {
 
@@ -14,6 +16,10 @@ enum class LogLevel { None = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
 /// Process-wide log threshold. Not synchronized: set it once at startup.
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Parse a --log-level value ("none", "error", "warn", "info", "debug",
+/// case-sensitive). nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name);
 
 namespace detail {
 void vlog(LogLevel level, const char* fmt, ...)

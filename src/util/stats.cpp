@@ -4,9 +4,7 @@
 #include <array>
 #include <cassert>
 #include <cmath>
-#include <cstdio>
 #include <limits>
-#include <map>
 
 namespace alert::util {
 
@@ -81,6 +79,12 @@ double Histogram::bin_low(std::size_t i) const {
                    static_cast<double>(bins_.size());
 }
 
+void Histogram::merge(const Histogram& o) {
+  assert(lo_ == o.lo_ && hi_ == o.hi_ && bins_.size() == o.bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += o.bins_[i];
+  total_ += o.total_;
+}
+
 double Histogram::quantile(double q) const {
   if (total_ == 0) return lo_;
   const double target = q * static_cast<double>(total_);
@@ -90,45 +94,6 @@ double Histogram::quantile(double q) const {
     if (cum >= target) return bin_low(i);
   }
   return hi_;
-}
-
-void print_series_table(const std::string& title, const std::string& x_label,
-                        const std::string& y_label,
-                        const std::vector<Series>& series) {
-  std::printf("\n=== %s ===\n", title.c_str());
-  std::printf("y: %s\n", y_label.c_str());
-  std::printf("%-12s", x_label.c_str());
-  for (const auto& s : series) std::printf("  %-22s", s.name.c_str());
-  std::printf("\n");
-
-  // Collect the union of x values (series may be sparse).
-  std::map<double, std::vector<const SeriesPoint*>> rows;
-  for (std::size_t si = 0; si < series.size(); ++si) {
-    for (const auto& p : series[si].points) {
-      auto& row = rows[p.x];
-      row.resize(series.size(), nullptr);
-      row[si] = &p;
-    }
-  }
-  for (const auto& [x, row] : rows) {
-    std::printf("%-12.4g", x);
-    for (std::size_t si = 0; si < series.size(); ++si) {
-      const SeriesPoint* p = si < row.size() ? row[si] : nullptr;
-      if (p == nullptr) {
-        std::printf("  %-22s", "-");
-      } else if (p->ci > 0.0) {
-        char buf[64];
-        std::snprintf(buf, sizeof buf, "%.4g (+/-%.2g)", p->y, p->ci);
-        std::printf("  %-22s", buf);
-      } else {
-        char buf[64];
-        std::snprintf(buf, sizeof buf, "%.4g", p->y);
-        std::printf("  %-22s", buf);
-      }
-    }
-    std::printf("\n");
-  }
-  std::fflush(stdout);
 }
 
 }  // namespace alert::util

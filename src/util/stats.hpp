@@ -53,8 +53,15 @@ class Histogram {
   [[nodiscard]] std::size_t bin_count(std::size_t i) const { return bins_.at(i); }
   [[nodiscard]] std::size_t bins() const { return bins_.size(); }
   [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double low() const { return lo_; }
+  [[nodiscard]] double high() const { return hi_; }
   [[nodiscard]] double bin_low(std::size_t i) const;
   [[nodiscard]] double quantile(double q) const;  ///< approximate, q in [0,1]
+
+  /// Bin-wise sum with an identically-shaped histogram (same [lo, hi) and
+  /// bin count — asserted); the merge primitive behind cross-replication
+  /// metric aggregation.
+  void merge(const Histogram& o);
 
  private:
   double lo_, hi_;
@@ -75,11 +82,8 @@ struct Series {
   std::vector<SeriesPoint> points;
 };
 
-/// Print a set of series as an aligned table, one row per x value, one
-/// column per series, in the style `y (+/- ci)` — the textual equivalent of
-/// a paper figure.
-void print_series_table(const std::string& title, const std::string& x_label,
-                        const std::string& y_label,
-                        const std::vector<Series>& series);
+// The table/JSON presentation of Series lives in obs/series.hpp — stdout
+// output is confined to util/logging and the obs exporters (alert-lint
+// raw-stdout rule).
 
 }  // namespace alert::util

@@ -62,6 +62,43 @@ TEST(Accumulator, MergeWithEmptyIsIdentity) {
   EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
 }
 
+TEST(Accumulator, MergeEmptyWithEmptyStaysEmpty) {
+  Accumulator a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.ci95_halfwidth(), 0.0);
+}
+
+TEST(Accumulator, MergeEmptyWithFullAdoptsEverything) {
+  Accumulator empty, full;
+  for (const double x : {2.0, 4.0, 6.0}) full.add(x);
+  empty.merge(full);
+  EXPECT_EQ(empty.count(), 3u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 2.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 6.0);
+  EXPECT_NEAR(empty.variance(), full.variance(), 1e-12);
+}
+
+TEST(Accumulator, MergedCi95EqualsSingleStreamCi95) {
+  // The confidence interval of a merged accumulator must match the one a
+  // single accumulator over the same observations reports — this is what
+  // makes thread-pool replication aggregation equal serial aggregation.
+  Accumulator a, b, c, all;
+  for (int i = 0; i < 90; ++i) {
+    const double x = std::cos(i) * 3.0 + static_cast<double>(i % 7);
+    (i < 30 ? a : i < 60 ? b : c).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  a.merge(c);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.ci95_halfwidth(), all.ci95_halfwidth(), 1e-12);
+}
+
 TEST(Accumulator, Ci95MatchesHandComputation) {
   Accumulator a;
   for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) a.add(x);
@@ -116,10 +153,41 @@ TEST(Histogram, BinLowValues) {
   EXPECT_DOUBLE_EQ(h.bin_low(4), 18.0);
 }
 
-TEST(SeriesTable, PrintsWithoutCrashing) {
-  Series s1{"ALERT", {{1.0, 2.0, 0.5}, {2.0, 3.0, 0.0}}};
-  Series s2{"GPSR", {{1.0, 1.5, 0.1}}};
-  print_series_table("smoke", "x", "y", {s1, s2});
+TEST(Histogram, QuantileOfEmptyIsLowerBound) {
+  Histogram h(5.0, 15.0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(Histogram, QuantileSingleBin) {
+  Histogram h(0.0, 10.0, 1);
+  h.add(3.0);
+  h.add(7.0);
+  // Everything lives in the only bin, whose low edge is lo.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileOfClampedOutliers) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 9; ++i) h.add(-50.0);  // clamp into bin 0
+  h.add(1000.0);                             // clamp into bin 9
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);    // median sits in bin 0
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.bin_low(9));
+}
+
+TEST(Histogram, MergeAddsBinWise) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.add(1.5);
+  b.add(1.5);
+  b.add(8.5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.bin_count(1), 2u);
+  EXPECT_EQ(a.bin_count(8), 1u);
 }
 
 }  // namespace

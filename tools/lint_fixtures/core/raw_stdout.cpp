@@ -1,0 +1,23 @@
+// Fixture for the raw-stdout rule: direct stdout writes outside
+// util/logging and the obs/ sinks are violations; stderr diagnostics,
+// string-buffer formatting, and owned-FILE* writes are not.
+// EXPECT: raw-stdout 5
+
+#include <cstdio>
+#include <iostream>
+
+void bad() {
+  std::cout << "progress\n";
+  printf("done\n");
+  std::printf("pct=%d\n", 3);
+  puts("hello");
+  std::fprintf(stdout, "row\n");
+}
+
+void fine(std::FILE* own) {
+  std::fprintf(stderr, "warn\n");
+  std::fprintf(own, "record\n");
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "x");
+  std::printf("waived\n");  // alert-lint: allow(raw-stdout)
+}
