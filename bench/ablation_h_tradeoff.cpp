@@ -1,43 +1,8 @@
-/// Ablation of the H / k tradeoff the paper repeatedly flags (Secs. 2.3,
-/// 4.2, 5.4): more partitions H means more random forwarders (route
-/// anonymity) but a smaller destination zone (weaker k-anonymity for D)
-/// and longer paths (cost). This bench sweeps H and prints all three
-/// sides, so the "optimal tradeoff point" discussion is reproducible.
-
-#include "analysis/theory.hpp"
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "ablation_h_tradeoff",
-                    "H/k tradeoff", "anonymity vs cost as H grows");
-  const std::size_t reps = fig.reps();
-
-  util::Series rfs{"RFs/packet (route anon.)", {}};
-  util::Series zone_pop{"zone population k (dest anon.)", {}};
-  util::Series hops{"hops/packet (cost)", {}};
-  util::Series latency{"latency ms (cost)", {}};
-  for (int H = 2; H <= 7; ++H) {
-    core::ScenarioConfig cfg = fig.scenario();
-    cfg.alert.partitions_h = H;
-    const core::ExperimentResult r = fig.run(cfg);
-    rfs.points.push_back(bench::point(H, r.rf_per_packet));
-    hops.points.push_back(bench::point(H, r.hops));
-    latency.points.push_back({static_cast<double>(H),
-                              r.latency_s.mean() * 1e3,
-                              r.latency_s.ci95_halfwidth() * 1e3});
-    zone_pop.points.push_back(
-        {static_cast<double>(H),
-         routing::expected_zone_population(200.0, H), 0.0});
-  }
-  fig.table("H/k tradeoff (200 nodes)", "partitions H",
-                           "see column names",
-                           {rfs, zone_pop, hops, latency});
-  std::printf(
-      "\nReading: route anonymity (RFs) buys linearly with H while the\n"
-      "destination's k-anonymity halves per step — the paper's argument\n"
-      "for choosing H so that k stays a 'reasonable number' (H=5 at 200\n"
-      "nodes -> k ~ 6). (reps per point: %zu)\n",
-      reps);
-  return fig.finish();
+  return alert::campaign::figure_main("ablation_h_tradeoff", argc, argv);
 }

@@ -1,44 +1,8 @@
-/// Ablation for Sec. 3.3 (Fig. 5's narrative): intersection/frequency
-/// attack success against ALERT with the countermeasure OFF vs ON, as the
-/// session grows longer. Expected shape: without the countermeasure the
-/// attacker's success rises with observation count ("the longer an
-/// attacker watches, the easier"); with it, D drops out of recipient sets
-/// and success collapses.
-
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "ablation_intersection",
-                    "Sec. 3.3 ablation",
-                "intersection attack vs countermeasure");
-  const std::size_t reps = fig.reps();
-
-  std::vector<util::Series> series;
-  for (const bool countermeasure : {false, true}) {
-    util::Series freq{std::string("freq-attack success, cm ") +
-                          (countermeasure ? "ON" : "OFF"),
-                      {}};
-    util::Series strict{std::string("strict-intersection P(D), cm ") +
-                            (countermeasure ? "ON" : "OFF"),
-                        {}};
-    for (const double duration : {20.0, 40.0, 60.0, 100.0}) {
-      core::ScenarioConfig cfg = fig.scenario();
-      cfg.duration_s = duration;
-      cfg.run_attacks = true;
-      cfg.alert.intersection_countermeasure = countermeasure;
-      const core::ExperimentResult r = fig.run(cfg);
-      freq.points.push_back(
-          bench::point(duration, r.intersection_frequency));
-      strict.points.push_back(
-          bench::point(duration, r.intersection_success));
-    }
-    series.push_back(std::move(freq));
-    series.push_back(std::move(strict));
-  }
-  fig.table(
-      "Sec. 3.3 — intersection attack success vs session length",
-      "session (s)", "attack success", series);
-  std::printf("\n(reps per point: %zu)\n", reps);
-  return fig.finish();
+  return alert::campaign::figure_main("ablation_intersection", argc, argv);
 }

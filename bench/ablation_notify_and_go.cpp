@@ -1,40 +1,8 @@
-/// Ablation of "notify and go" (Sec. 2.6): sweep the cover window t0 and
-/// measure (a) the timing attacker's source-identification rate and
-/// (b) the latency the camouflage costs. The paper's guidance — t0 long
-/// enough to hide S among its neighbours, short enough not to hurt
-/// latency — becomes a measurable knee.
-
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "ablation_notify_and_go",
-                    "Sec. 2.6 ablation", "notify-and-go window sweep");
-  const std::size_t reps = fig.reps();
-
-  util::Series attack{"timing src-id rate", {}};
-  util::Series latency{"latency (ms)", {}};
-  util::Series covers{"cover pkts per data", {}};
-
-  // t0 = 0 disables the mechanism entirely (the paper's baseline).
-  for (const double t0_ms : {0.0, 1.0, 2.0, 4.0, 8.0, 16.0}) {
-    core::ScenarioConfig cfg = fig.scenario();
-    cfg.run_attacks = true;
-    if (t0_ms == 0.0) {
-      cfg.alert.notify_and_go = false;
-    } else {
-      cfg.alert.notify_t0_s = t0_ms * 1e-3;
-    }
-    const core::ExperimentResult r = fig.run(cfg);
-    attack.points.push_back(bench::point(t0_ms, r.timing_source_rate));
-    latency.points.push_back({t0_ms, r.latency_s.mean() * 1e3,
-                              r.latency_s.ci95_halfwidth() * 1e3});
-    covers.points.push_back(bench::point(t0_ms, r.cover_per_data));
-  }
-  fig.table("notify-and-go: anonymity vs latency",
-                           "t0 (ms)", "see column names",
-                           {attack, latency, covers});
-  std::printf("\n(reps per point: %zu; t0 = 0 row is the mechanism "
-              "disabled)\n", reps);
-  return fig.finish();
+  return alert::campaign::figure_main("ablation_notify_and_go", argc, argv);
 }

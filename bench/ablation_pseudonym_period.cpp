@@ -1,35 +1,8 @@
-/// Ablation of the pseudonym-change frequency tradeoff (Sec. 2.2): "if
-/// pseudonyms are changed too frequently, the routing may get perturbed;
-/// if too infrequently, the adversaries may associate pseudonyms with
-/// nodes". We sweep the rotation period and measure routing health
-/// (delivery, latency) against linkability exposure (mean pseudonym
-/// lifetime an adversary can exploit).
-
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "ablation_pseudonym_period",
-                    "Sec. 2.2 ablation", "pseudonym rotation period sweep");
-  const std::size_t reps = fig.reps();
-
-  util::Series delivery{"delivery rate", {}};
-  util::Series latency{"latency (ms)", {}};
-  for (const double period : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
-    core::ScenarioConfig cfg = fig.scenario();
-    cfg.pseudonym_period_s = period;
-    const core::ExperimentResult r = fig.run(cfg);
-    delivery.points.push_back(bench::point(period, r.delivery_rate));
-    latency.points.push_back({period, r.latency_s.mean() * 1e3,
-                              r.latency_s.ci95_halfwidth() * 1e3});
-  }
-  fig.table(
-      "pseudonym rotation: routing health vs linkability window",
-      "rotation period (s)", "see column names", {delivery, latency});
-  std::printf(
-      "\nShort periods perturb routing (stale neighbour entries point at\n"
-      "expired pseudonyms); long periods hand the adversary a long\n"
-      "linkability window. (reps per point: %zu)\n",
-      reps);
-  return fig.finish();
+  return alert::campaign::figure_main("ablation_pseudonym_period", argc, argv);
 }

@@ -1,47 +1,8 @@
-/// The paper's summary claim (Sec. 5.6): ALERT "has significantly lower
-/// energy consumption compared to AO2P and ALARM, and provides comparable
-/// routing efficiency". This bench quantifies it: network-wide energy per
-/// delivered packet (radio + crypto), the crypto share, and the worst
-/// single-node drain (greedy protocols concentrate relaying on shortest-
-/// path nodes; ALERT's randomization spreads it — the battery-lifetime
-/// argument of Sec. 1).
-
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "energy_per_packet",
-                    "Energy", "energy per delivered packet by protocol");
-  const std::size_t reps = fig.reps();
-
-  util::Series per_pkt{"J per delivered packet", {}};
-  util::Series crypto_share{"crypto share of total J", {}};
-  util::Series hotspot{"max single-node J", {}};
-  std::vector<std::string> labels;
-  double x = 0.0;
-  for (const core::ProtocolKind proto :
-       {core::ProtocolKind::Alert, core::ProtocolKind::Gpsr,
-        core::ProtocolKind::Alarm, core::ProtocolKind::Ao2p}) {
-    core::ScenarioConfig cfg = fig.scenario();
-    cfg.protocol = proto;
-    const core::ExperimentResult r = fig.run(cfg);
-    per_pkt.points.push_back(bench::point(x, r.energy_per_delivered_j));
-    const double share =
-        r.energy_total_j.mean() > 0.0
-            ? r.energy_crypto_j.mean() / r.energy_total_j.mean()
-            : 0.0;
-    crypto_share.points.push_back({x, share, 0.0});
-    hotspot.points.push_back(bench::point(x, r.energy_max_node_j));
-    labels.push_back(core::protocol_name(proto));
-    x += 1.0;
-  }
-  fig.table("energy accounting (x: 0=ALERT 1=GPSR 2=ALARM "
-                           "3=AO2P)",
-                           "protocol idx", "see column names",
-                           {per_pkt, crypto_share, hotspot});
-  std::printf("\nExpected shape: ALERT's energy/packet a modest factor\n"
-              "above GPSR (longer routes, covers, one symmetric op) and\n"
-              "far below ALARM/AO2P, whose totals are crypto-dominated.\n"
-              "(reps per point: %zu)\n", reps);
-  return fig.finish();
+  return alert::campaign::figure_main("energy_per_packet", argc, argv);
 }

@@ -1,29 +1,8 @@
-/// Fig. 7a: analytical expected number of possible participating nodes
-/// (Eq. 7) versus the number of partitions H, for networks of 100, 200 and
-/// 400 nodes. Expected shape: fast rise from H=1 to 2, then saturation
-/// near ~N/4..N/3 of the population.
-
-#include "analysis/theory.hpp"
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "fig07a_possible_nodes",
-                    "Fig. 7a", "estimated possible participating nodes (Eq. 7)");
-
-  std::vector<util::Series> series;
-  for (const double n : {100.0, 200.0, 400.0}) {
-    util::Series s;
-    s.name = std::to_string(static_cast<int>(n)) + " nodes";
-    const analysis::NetworkShape net{1000.0, 1000.0, n};
-    for (int H = 1; H <= 7; ++H) {
-      s.points.push_back(
-          {static_cast<double>(H),
-           analysis::expected_possible_nodes(net, H), 0.0});
-    }
-    series.push_back(std::move(s));
-  }
-  fig.table("Fig. 7a — possible participating nodes",
-                           "partitions H", "expected nodes N_e", series);
-  return fig.finish();
+  return alert::campaign::figure_main("fig07a_possible_nodes", argc, argv);
 }

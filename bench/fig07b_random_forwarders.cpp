@@ -1,29 +1,8 @@
-/// Fig. 7b: analytical expected number of random forwarders (Eq. 10)
-/// versus the number of partitions H. Expected shape: linear growth —
-/// each extra partition adds an RF+ coin-flip worth 1/2 expected RF,
-/// weighted by closeness.
-
-#include "analysis/theory.hpp"
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "fig07b_random_forwarders",
-                    "Fig. 7b", "estimated random forwarders (Eq. 10)");
-
-  util::Series s{"E[N_RF]", {}};
-  for (int H = 1; H <= 10; ++H) {
-    s.points.push_back(
-        {static_cast<double>(H), analysis::expected_rfs(H), 0.0});
-  }
-  fig.table("Fig. 7b — expected random forwarders",
-                           "partitions H", "E[N_RF]", {s});
-
-  // Linearity check printed for EXPERIMENTS.md: successive differences.
-  std::printf("\nsuccessive differences (linearity evidence):\n");
-  for (int H = 2; H <= 10; ++H) {
-    std::printf("  H=%d -> %d: %+0.4f\n", H - 1, H,
-                analysis::expected_rfs(H) - analysis::expected_rfs(H - 1));
-  }
-  return fig.finish();
+  return alert::campaign::figure_main("fig07b_random_forwarders", argc, argv);
 }

@@ -1,31 +1,8 @@
-/// Fig. 9a: analytical number of nodes remaining in the destination zone
-/// (Eq. 15) over time, at 2 m/s, for network populations 100/200/400
-/// (the paper's "node densities" over the 1 km^2 field). Expected shape:
-/// exponential decay, scaled by density.
-
-#include "analysis/theory.hpp"
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "fig09a_remaining_analytical",
-                    "Fig. 9a", "analytical remaining nodes vs time (Eq. 15)");
-
-  constexpr int kH = 5;
-  constexpr double kSpeed = 2.0;
-  std::vector<util::Series> series;
-  for (const double n : {100.0, 200.0, 400.0}) {
-    util::Series s;
-    s.name = std::to_string(static_cast<int>(n)) + " nodes/km^2";
-    const analysis::NetworkShape net{1000.0, 1000.0, n};
-    for (double t = 0.0; t <= 40.0; t += 5.0) {
-      s.points.push_back({t, analysis::remaining_nodes(net, kH, kSpeed, t),
-                          0.0});
-    }
-    series.push_back(std::move(s));
-  }
-  fig.table(
-      "Fig. 9a — remaining nodes in destination zone (v = 2 m/s, H = 5)",
-      "time (s)", "N_r(t)", series);
-  return fig.finish();
+  return alert::campaign::figure_main("fig09a_remaining_analytical", argc, argv);
 }

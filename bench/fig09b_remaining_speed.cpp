@@ -1,36 +1,8 @@
-/// Fig. 9b: analytical number of remaining nodes (Eq. 15) over time for
-/// node speeds 1/2/4 m/s at 200 nodes/km^2. Expected shape: faster
-/// movement drains the zone faster (decay constant beta ~ 1/v).
-
-#include "analysis/theory.hpp"
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "fig09b_remaining_speed",
-                    "Fig. 9b", "analytical remaining nodes vs time by speed");
-
-  constexpr int kH = 5;
-  const analysis::NetworkShape net{1000.0, 1000.0, 200.0};
-  std::vector<util::Series> series;
-  for (const double v : {1.0, 2.0, 4.0}) {
-    util::Series s;
-    s.name = std::to_string(static_cast<int>(v)) + " m/s";
-    for (double t = 0.0; t <= 40.0; t += 5.0) {
-      s.points.push_back({t, analysis::remaining_nodes(net, kH, v, t), 0.0});
-    }
-    series.push_back(std::move(s));
-  }
-  fig.table(
-      "Fig. 9b — remaining nodes in destination zone (200 nodes, H = 5)",
-      "time (s)", "N_r(t)", series);
-
-  // beta values, for the record.
-  std::printf("\nzone side a(5) = %.1f m; residence constants beta:\n",
-              analysis::side_a(kH, 1000.0));
-  for (const double v : {1.0, 2.0, 4.0}) {
-    std::printf("  v=%.0f m/s: beta = %.1f s\n", v,
-                analysis::beta_square_zone(analysis::side_a(kH, 1000.0), v));
-  }
-  return fig.finish();
+  return alert::campaign::figure_main("fig09b_remaining_speed", argc, argv);
 }

@@ -1,43 +1,8 @@
-/// Fig. 10a: cumulative actual participating nodes versus the number of
-/// packets transmitted, for ALERT and GPSR at 100 and 200 nodes (ALARM and
-/// AO2P follow GPSR's greedy scheme and match its curve, as the paper
-/// notes). Expected shape: ALERT's curve keeps climbing (every packet
-/// recruits new random forwarders) toward the Eq. 7 prediction; GPSR
-/// plateaus after the first packet.
-
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "fig10a_participating_vs_packets",
-                    "Fig. 10a", "cumulative participating nodes vs packets");
-  const std::size_t reps = fig.reps();
-
-  constexpr std::size_t kPackets = 20;
-  std::vector<util::Series> series;
-  for (const std::size_t n : {100u, 200u}) {
-    for (const core::ProtocolKind proto :
-         {core::ProtocolKind::Alert, core::ProtocolKind::Gpsr}) {
-      core::ScenarioConfig cfg = fig.scenario();
-      cfg.node_count = n;
-      cfg.protocol = proto;
-      cfg.packets_per_flow = kPackets;
-      const core::ExperimentResult r = fig.run(cfg);
-      util::Series s;
-      s.name = std::string(core::protocol_name(proto)) + " " +
-               std::to_string(n) + "n";
-      for (std::size_t p = 0;
-           p < r.cumulative_participants.size() && p < kPackets; ++p) {
-        s.points.push_back(bench::point(static_cast<double>(p + 1),
-                                        r.cumulative_participants[p]));
-      }
-      series.push_back(std::move(s));
-    }
-  }
-  fig.table(
-      "Fig. 10a — cumulative actual participating nodes per flow",
-      "packets", "distinct nodes", series);
-  std::printf("\n(reps per point: %zu; ALARM/AO2P track the GPSR curve)\n",
-              reps);
-  return fig.finish();
+  return alert::campaign::figure_main("fig10a_participating_vs_packets", argc, argv);
 }

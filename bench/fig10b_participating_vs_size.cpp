@@ -1,35 +1,8 @@
-/// Fig. 10b: actual participating nodes after 20 packets versus network
-/// size, for all four protocols. Expected shape: ALERT grows strongly with
-/// N (13-20 in the paper); GPSR/ALARM/AO2P stay nearly flat (2-3) with a
-/// marginal dip as density shortens routes.
-
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "fig10b_participating_vs_size",
-                    "Fig. 10b", "participating nodes after 20 packets vs N");
-  const std::size_t reps = fig.reps();
-
-  std::vector<util::Series> series;
-  for (const core::ProtocolKind proto :
-       {core::ProtocolKind::Alert, core::ProtocolKind::Gpsr,
-        core::ProtocolKind::Alarm, core::ProtocolKind::Ao2p}) {
-    util::Series s{core::protocol_name(proto), {}};
-    for (const std::size_t n : {50u, 100u, 150u, 200u}) {
-      core::ScenarioConfig cfg = fig.scenario();
-      cfg.node_count = n;
-      cfg.protocol = proto;
-      cfg.packets_per_flow = 20;
-      const core::ExperimentResult r = fig.run(cfg);
-      s.points.push_back(
-          bench::point(static_cast<double>(n), r.participants));
-    }
-    series.push_back(std::move(s));
-  }
-  fig.table(
-      "Fig. 10b — actual participating nodes per flow (20 packets)",
-      "total nodes", "distinct nodes", series);
-  std::printf("\n(reps per point: %zu)\n", reps);
-  return fig.finish();
+  return alert::campaign::figure_main("fig10b_participating_vs_size", argc, argv);
 }

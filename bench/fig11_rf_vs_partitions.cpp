@@ -1,32 +1,8 @@
-/// Fig. 11: simulated number of random forwarders per packet versus the
-/// number of partitions H, next to the Eq. 10 analytical expectation.
-/// Expected shape: approximately linear growth in H, consistent with
-/// Fig. 7b.
-
-#include "analysis/theory.hpp"
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "fig11_rf_vs_partitions",
-                    "Fig. 11", "random forwarders per packet vs partitions");
-  const std::size_t reps = fig.reps();
-
-  util::Series sim{"ALERT (simulated)", {}};
-  util::Series theory{"Eq. 10 (analysis)", {}};
-  for (int H = 1; H <= 7; ++H) {
-    core::ScenarioConfig cfg = fig.scenario();
-    cfg.alert.partitions_h = H;
-    cfg.packets_per_flow = 20;
-    const core::ExperimentResult r = fig.run(cfg);
-    sim.points.push_back(bench::point(H, r.rf_per_packet));
-    theory.points.push_back({static_cast<double>(H),
-                             analysis::expected_rfs(H), 0.0});
-  }
-  fig.table("Fig. 11 — random forwarders per packet",
-                           "partitions H", "RFs/packet", {sim, theory});
-  std::printf("\n(reps per point: %zu; simulated counts sit above the\n"
-              " idealized analysis because voids en route also create RFs)\n",
-              reps);
-  return fig.finish();
+  return alert::campaign::figure_main("fig11_rf_vs_partitions", argc, argv);
 }

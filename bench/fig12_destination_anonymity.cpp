@@ -1,34 +1,8 @@
-/// Fig. 12: simulated number of remaining nodes in destination zones over
-/// time, H = 5, v = 2 m/s, for 100/150/200 nodes. Expected shape: decay
-/// over time, higher curves for higher density — matching Fig. 9a's
-/// analysis.
-
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "fig12_destination_anonymity",
-                    "Fig. 12", "simulated destination-zone residency");
-  const std::size_t reps = fig.reps();
-
-  std::vector<util::Series> series;
-  for (const std::size_t n : {100u, 150u, 200u}) {
-    core::ScenarioConfig cfg = fig.scenario();
-    cfg.node_count = n;
-    cfg.duration_s = 45.0;
-    cfg.residency_sample_period_s = 5.0;
-    const core::ExperimentResult r = fig.run(cfg);
-    util::Series s{std::to_string(n) + " nodes", {}};
-    for (std::size_t i = 0; i < r.remaining_by_sample.size(); ++i) {
-      s.points.push_back(bench::point(
-          static_cast<double>(i) * cfg.residency_sample_period_s,
-          r.remaining_by_sample[i]));
-    }
-    series.push_back(std::move(s));
-  }
-  fig.table(
-      "Fig. 12 — remaining nodes in destination zone (H = 5, v = 2 m/s)",
-      "time (s)", "remaining nodes", series);
-  std::printf("\n(reps per point: %zu)\n", reps);
-  return fig.finish();
+  return alert::campaign::figure_main("fig12_destination_anonymity", argc, argv);
 }

@@ -1,40 +1,8 @@
-/// Fig. 13a: simulated remaining nodes over time for H in {4, 5} and node
-/// speeds {0, 2, 4} m/s. Expected shape: static nodes never leave; faster
-/// nodes drain quicker; H = 4 zones (4x larger area) hold more nodes than
-/// H = 5 zones at every time.
-
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "fig13a_speed_partitions",
-                    "Fig. 13a", "residency vs speed and partitions");
-  const std::size_t reps = fig.reps();
-
-  std::vector<util::Series> series;
-  for (const int H : {4, 5}) {
-    for (const double v : {0.0, 2.0, 4.0}) {
-      core::ScenarioConfig cfg = fig.scenario();
-      cfg.alert.partitions_h = H;
-      cfg.speed_mps = v;
-      if (v == 0.0) cfg.mobility = core::MobilityKind::Static;
-      cfg.duration_s = 45.0;
-      cfg.residency_sample_period_s = 5.0;
-      const core::ExperimentResult r = fig.run(cfg);
-      util::Series s;
-      s.name = "H=" + std::to_string(H) + " v=" +
-               std::to_string(static_cast<int>(v));
-      for (std::size_t i = 0; i < r.remaining_by_sample.size(); ++i) {
-        s.points.push_back(bench::point(
-            static_cast<double>(i) * cfg.residency_sample_period_s,
-            r.remaining_by_sample[i]));
-      }
-      series.push_back(std::move(s));
-    }
-  }
-  fig.table(
-      "Fig. 13a — remaining nodes: partitions x speed (200 nodes)",
-      "time (s)", "remaining nodes", series);
-  std::printf("\n(reps per point: %zu)\n", reps);
-  return fig.finish();
+  return alert::campaign::figure_main("fig13a_speed_partitions", argc, argv);
 }

@@ -1,47 +1,8 @@
-/// Fig. 13b: the node density required to keep a fixed number of nodes
-/// (k = 6, roughly the H = 5 zone population at 200 nodes) in the
-/// destination zone after a 10 s transmission, versus node speed.
-/// Expected shape: required density increases with speed. The analytical
-/// inverse of Eq. 15 is printed next to a simulated validation at the
-/// predicted density.
-
-#include "analysis/theory.hpp"
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "fig13b_density_vs_speed",
-                    "Fig. 13b", "required density vs speed for fixed k");
-  const std::size_t reps = fig.reps();
-
-  constexpr int kH = 5;
-  constexpr double kRequired = 6.0;
-  constexpr double kAfterS = 10.0;
-  const analysis::NetworkShape base{1000.0, 1000.0, 200.0};
-
-  util::Series predicted{"required nodes (Eq. 15 inverse)", {}};
-  util::Series validated{"remaining at that density (simulated)", {}};
-  for (double v = 2.0; v <= 8.0; v += 2.0) {
-    const double needed =
-        analysis::required_node_count(base, kH, v, kAfterS, kRequired);
-    predicted.points.push_back({v, needed, 0.0});
-
-    core::ScenarioConfig cfg = fig.scenario();
-    cfg.node_count = static_cast<std::size_t>(needed + 0.5);
-    cfg.speed_mps = v;
-    cfg.duration_s = cfg.traffic_start_s + kAfterS + 1.0;
-    cfg.residency_sample_period_s = kAfterS;
-    const core::ExperimentResult r = fig.run(cfg);
-    // Sample index 1 is t = +10 s after session start.
-    const auto& acc = r.remaining_by_sample.size() > 1
-                          ? r.remaining_by_sample[1]
-                          : r.remaining_by_sample[0];
-    validated.points.push_back(bench::point(v, acc));
-  }
-  fig.table(
-      "Fig. 13b — density required for k = 6 remaining after 10 s (H = 5)",
-      "speed (m/s)", "nodes", {predicted, validated});
-  std::printf("\n(reps per point: %zu; validated column should sit near "
-              "k = 6)\n", reps);
-  return fig.finish();
+  return alert::campaign::figure_main("fig13b_density_vs_speed", argc, argv);
 }

@@ -1,36 +1,8 @@
-/// Fig. 14a: latency per packet versus network size for the four
-/// protocols. Expected shape: ALARM and AO2P two orders of magnitude
-/// above GPSR/ALERT (hop-by-hop public-key crypto, ~250 ms/op); AO2P a
-/// little above ALARM (contention phase); ALERT slightly above GPSR
-/// (longer random path + one symmetric encryption); every curve falls as
-/// density rises.
-
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "fig14a_latency_vs_nodes",
-                    "Fig. 14a", "latency per packet vs number of nodes");
-  const std::size_t reps = fig.reps();
-
-  std::vector<util::Series> series;
-  for (const core::ProtocolKind proto :
-       {core::ProtocolKind::Alert, core::ProtocolKind::Gpsr,
-        core::ProtocolKind::Alarm, core::ProtocolKind::Ao2p}) {
-    util::Series s{std::string(core::protocol_name(proto)) + " (ms)", {}};
-    for (const std::size_t n : {50u, 100u, 150u, 200u}) {
-      core::ScenarioConfig cfg = fig.scenario();
-      cfg.node_count = n;
-      cfg.protocol = proto;
-      const core::ExperimentResult r = fig.run(cfg);
-      s.points.push_back({static_cast<double>(n),
-                          r.latency_s.mean() * 1e3,
-                          r.latency_s.ci95_halfwidth() * 1e3});
-    }
-    series.push_back(std::move(s));
-  }
-  fig.table("Fig. 14a — latency per packet",
-                           "total nodes", "latency (ms)", series);
-  std::printf("\n(reps per point: %zu)\n", reps);
-  return fig.finish();
+  return alert::campaign::figure_main("fig14a_latency_vs_nodes", argc, argv);
 }

@@ -1,47 +1,8 @@
-/// Fig. 14b: latency per packet versus node speed (2-8 m/s), with and
-/// without destination update in the location service. Expected shape:
-/// with updates, GPSR and ALERT are flat in speed; without updates both
-/// drift upward (stale targets lengthen routes); ALARM/AO2P stay
-/// crypto-dominated far above both.
-
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "fig14b_latency_vs_speed",
-                    "Fig. 14b", "latency per packet vs node speed");
-  const std::size_t reps = fig.reps();
-
-  struct Variant {
-    core::ProtocolKind proto;
-    bool update;
-    const char* name;
-  };
-  const Variant variants[] = {
-      {core::ProtocolKind::Alert, true, "ALERT w/ update"},
-      {core::ProtocolKind::Alert, false, "ALERT w/o update"},
-      {core::ProtocolKind::Gpsr, true, "GPSR w/ update"},
-      {core::ProtocolKind::Gpsr, false, "GPSR w/o update"},
-      {core::ProtocolKind::Alarm, true, "ALARM"},
-      {core::ProtocolKind::Ao2p, true, "AO2P"},
-  };
-
-  std::vector<util::Series> series;
-  for (const Variant& v : variants) {
-    util::Series s{std::string(v.name) + " (ms)", {}};
-    for (double speed = 2.0; speed <= 8.0; speed += 2.0) {
-      core::ScenarioConfig cfg = fig.scenario();
-      cfg.protocol = v.proto;
-      cfg.speed_mps = speed;
-      cfg.destination_update = v.update;
-      const core::ExperimentResult r = fig.run(cfg);
-      s.points.push_back({speed, r.latency_s.mean() * 1e3,
-                          r.latency_s.ci95_halfwidth() * 1e3});
-    }
-    series.push_back(std::move(s));
-  }
-  fig.table("Fig. 14b — latency per packet vs speed",
-                           "speed (m/s)", "latency (ms)", series);
-  std::printf("\n(reps per point: %zu)\n", reps);
-  return fig.finish();
+  return alert::campaign::figure_main("fig14b_latency_vs_speed", argc, argv);
 }

@@ -1,39 +1,8 @@
-/// Fig. 15a: hops per packet versus network size, including the "ALARM
-/// (include id dissemination hops)" accounting. Expected shape: ALERT
-/// roughly one-to-a-few hops above the greedy baselines (random relays
-/// lengthen paths); ALARM-with-dissemination far above everything,
-/// about double ALERT.
-
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "fig15a_hops_vs_nodes",
-                    "Fig. 15a", "hops per packet vs number of nodes");
-  const std::size_t reps = fig.reps();
-
-  std::vector<util::Series> series;
-  util::Series alarm_diss{"ALARM (incl. dissemination)", {}};
-  for (const core::ProtocolKind proto :
-       {core::ProtocolKind::Alert, core::ProtocolKind::Gpsr,
-        core::ProtocolKind::Alarm, core::ProtocolKind::Ao2p}) {
-    util::Series s{core::protocol_name(proto), {}};
-    for (const std::size_t n : {50u, 100u, 150u, 200u}) {
-      core::ScenarioConfig cfg = fig.scenario();
-      cfg.node_count = n;
-      cfg.protocol = proto;
-      const core::ExperimentResult r = fig.run(cfg);
-      s.points.push_back(bench::point(static_cast<double>(n), r.hops));
-      if (proto == core::ProtocolKind::Alarm) {
-        alarm_diss.points.push_back(
-            bench::point(static_cast<double>(n), r.hops_with_control));
-      }
-    }
-    series.push_back(std::move(s));
-  }
-  series.push_back(std::move(alarm_diss));
-  fig.table("Fig. 15a — hops per packet", "total nodes",
-                           "hops", series);
-  std::printf("\n(reps per point: %zu)\n", reps);
-  return fig.finish();
+  return alert::campaign::figure_main("fig15a_hops_vs_nodes", argc, argv);
 }

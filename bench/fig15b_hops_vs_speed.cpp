@@ -1,50 +1,8 @@
-/// Fig. 15b: hops per packet versus node speed, with and without
-/// destination update, plus ALARM's dissemination accounting. Expected
-/// shape: with updates all curves flat; without updates ALERT/GPSR hop
-/// counts climb with speed (stale destination positions stretch routes).
-
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "fig15b_hops_vs_speed",
-                    "Fig. 15b", "hops per packet vs node speed");
-  const std::size_t reps = fig.reps();
-
-  struct Variant {
-    core::ProtocolKind proto;
-    bool update;
-    const char* name;
-  };
-  const Variant variants[] = {
-      {core::ProtocolKind::Alert, true, "ALERT w/ update"},
-      {core::ProtocolKind::Alert, false, "ALERT w/o update"},
-      {core::ProtocolKind::Gpsr, true, "GPSR w/ update"},
-      {core::ProtocolKind::Gpsr, false, "GPSR w/o update"},
-      {core::ProtocolKind::Alarm, true, "ALARM"},
-      {core::ProtocolKind::Ao2p, true, "AO2P"},
-  };
-
-  std::vector<util::Series> series;
-  util::Series alarm_diss{"ALARM (incl. dissemination)", {}};
-  for (const Variant& v : variants) {
-    util::Series s{v.name, {}};
-    for (double speed = 2.0; speed <= 8.0; speed += 2.0) {
-      core::ScenarioConfig cfg = fig.scenario();
-      cfg.protocol = v.proto;
-      cfg.speed_mps = speed;
-      cfg.destination_update = v.update;
-      const core::ExperimentResult r = fig.run(cfg);
-      s.points.push_back(bench::point(speed, r.hops));
-      if (v.proto == core::ProtocolKind::Alarm) {
-        alarm_diss.points.push_back(bench::point(speed, r.hops_with_control));
-      }
-    }
-    series.push_back(std::move(s));
-  }
-  series.push_back(std::move(alarm_diss));
-  fig.table("Fig. 15b — hops per packet vs speed",
-                           "speed (m/s)", "hops", series);
-  std::printf("\n(reps per point: %zu)\n", reps);
-  return fig.finish();
+  return alert::campaign::figure_main("fig15b_hops_vs_speed", argc, argv);
 }

@@ -1,32 +1,8 @@
-/// Fig. 16a: delivery rate versus network size with destination update.
-/// Expected shape: all protocols near 1.0 except in the sparse 50-node
-/// network where relays are sometimes unavailable.
-
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "fig16a_delivery_vs_nodes",
-                    "Fig. 16a", "delivery rate vs number of nodes");
-  const std::size_t reps = fig.reps();
-
-  std::vector<util::Series> series;
-  for (const core::ProtocolKind proto :
-       {core::ProtocolKind::Alert, core::ProtocolKind::Gpsr,
-        core::ProtocolKind::Alarm, core::ProtocolKind::Ao2p}) {
-    util::Series s{core::protocol_name(proto), {}};
-    for (const std::size_t n : {50u, 100u, 150u, 200u}) {
-      core::ScenarioConfig cfg = fig.scenario();
-      cfg.node_count = n;
-      cfg.protocol = proto;
-      const core::ExperimentResult r = fig.run(cfg);
-      s.points.push_back(
-          bench::point(static_cast<double>(n), r.delivery_rate));
-    }
-    series.push_back(std::move(s));
-  }
-  fig.table("Fig. 16a — delivery rate (with dest. update)",
-                           "total nodes", "delivery rate", series);
-  std::printf("\n(reps per point: %zu)\n", reps);
-  return fig.finish();
+  return alert::campaign::figure_main("fig16a_delivery_vs_nodes", argc, argv);
 }

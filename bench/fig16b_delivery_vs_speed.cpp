@@ -1,44 +1,8 @@
-/// Fig. 16b: delivery rate versus node speed with and without destination
-/// update. Expected shape: with updates, flat near 1.0; without updates,
-/// decay with speed — and ALERT above GPSR because the final zone
-/// broadcast still catches a destination that wandered near (the paper's
-/// "interesting observation").
-
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "fig16b_delivery_vs_speed",
-                    "Fig. 16b", "delivery rate vs node speed");
-  const std::size_t reps = fig.reps();
-
-  struct Variant {
-    core::ProtocolKind proto;
-    bool update;
-    const char* name;
-  };
-  const Variant variants[] = {
-      {core::ProtocolKind::Alert, true, "ALERT w/ update"},
-      {core::ProtocolKind::Alert, false, "ALERT w/o update"},
-      {core::ProtocolKind::Gpsr, true, "GPSR w/ update"},
-      {core::ProtocolKind::Gpsr, false, "GPSR w/o update"},
-  };
-
-  std::vector<util::Series> series;
-  for (const Variant& v : variants) {
-    util::Series s{v.name, {}};
-    for (double speed = 2.0; speed <= 8.0; speed += 2.0) {
-      core::ScenarioConfig cfg = fig.scenario();
-      cfg.protocol = v.proto;
-      cfg.speed_mps = speed;
-      cfg.destination_update = v.update;
-      const core::ExperimentResult r = fig.run(cfg);
-      s.points.push_back(bench::point(speed, r.delivery_rate));
-    }
-    series.push_back(std::move(s));
-  }
-  fig.table("Fig. 16b — delivery rate vs speed",
-                           "speed (m/s)", "delivery rate", series);
-  std::printf("\n(reps per point: %zu)\n", reps);
-  return fig.finish();
+  return alert::campaign::figure_main("fig16b_delivery_vs_speed", argc, argv);
 }

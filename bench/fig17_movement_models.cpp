@@ -1,65 +1,8 @@
-/// Fig. 17: ALERT's delay under the random waypoint model versus the group
-/// mobility model (10 groups/150 m and 5 groups/200 m, Sec. 5.1).
-/// Expected shape: group mobility adds delay (nodes are less uniformly
-/// spread around senders and forwarders), and 5 groups more than 10.
-
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "fig17_movement_models",
-                    "Fig. 17", "ALERT delay under different movement models");
-  const std::size_t reps = fig.reps();
-
-  struct Model {
-    core::MobilityKind kind;
-    std::size_t groups;
-    double range;
-    const char* name;
-  };
-  const Model models[] = {
-      {core::MobilityKind::RandomWaypoint, 0, 0.0, "random waypoint"},
-      {core::MobilityKind::Group, 10, 150.0, "group (10 x 150 m)"},
-      {core::MobilityKind::Group, 5, 200.0, "group (5 x 200 m)"},
-  };
-
-  std::vector<util::Series> series;
-  std::vector<double> delivery;
-  for (const Model& m : models) {
-    util::Series s{std::string(m.name) + " (ms)", {}};
-    for (double speed = 2.0; speed <= 8.0; speed += 2.0) {
-      core::ScenarioConfig cfg = fig.scenario();
-      cfg.mobility = m.kind;
-      cfg.group_count = m.groups == 0 ? 1 : m.groups;
-      cfg.group_range_m = m.range;
-      cfg.speed_mps = speed;
-      // Distance-matched pairs (300-700 m at t=0): uniform sampling over
-      // clustered nodes would fill the flow set with short intra-cluster
-      // pairs and trivially *lower* the group-mobility delay; matching the
-      // pair geometry isolates what Fig. 17 is about — how ALERT's
-      // randomized forwarding copes with non-uniform node distributions
-      // (EXPERIMENTS.md discusses this design choice).
-      cfg.min_pair_distance_m = 300.0;
-      cfg.max_pair_distance_m = 700.0;
-      // Long CBR sessions keep resending on missing confirmations
-      // (Sec. 2.3), so transient group partitions turn into delay rather
-      // than silent loss.
-      cfg.alert.max_retransmissions = 4;
-      const core::ExperimentResult r = fig.run(cfg);
-      s.points.push_back({speed, r.e2e_delay_s.mean() * 1e3,
-                          r.e2e_delay_s.ci95_halfwidth() * 1e3});
-      delivery.push_back(r.delivery_rate.mean());
-    }
-    series.push_back(std::move(s));
-  }
-  fig.table("Fig. 17 — ALERT delay by movement model",
-                           "speed (m/s)", "end-to-end delay (ms)", series);
-  std::printf("\nmean delivery rates per model/speed (context for the\n"
-              "survivorship discussion in EXPERIMENTS.md):");
-  for (std::size_t i = 0; i < delivery.size(); ++i) {
-    if (i % 4 == 0) std::printf("\n  %s:", models[i / 4].name);
-    std::printf(" %.2f", delivery[i]);
-  }
-  std::printf("\n(reps per point: %zu)\n", reps);
-  return fig.finish();
+  return alert::campaign::figure_main("fig17_movement_models", argc, argv);
 }

@@ -1,115 +1,8 @@
-/// Sec. 3.1's resilience claim, quantified: "the communication of two
-/// nodes in ALERT cannot be completely stopped by compromising certain
-/// nodes because the number of possible participating nodes ... is very
-/// large". We sweep the number of compromised nodes c and report, for
-/// ALERT vs GPSR, the fraction of flows an adversary fully intercepts
-/// (every packet relayed by a compromised node — enough to block or
-/// tamper the whole session).
-
-#include "attack/compromise.hpp"
-#include "attack/observer.hpp"
-#include "bench_common.hpp"
-#include "core/scenario.hpp"
-#include "loc/pseudonym.hpp"
-
-namespace {
-
-using namespace alert;
-
-std::vector<attack::ObservedEvent> record_run(core::ProtocolKind proto,
-                                              std::uint64_t seed) {
-  // Drive one default-scenario run and capture the observer log directly.
-  sim::Simulator simulator;
-  core::ScenarioConfig cfg = bench::default_scenario();
-  cfg.protocol = proto;
-  cfg.seed = seed;
-  util::Rng rng(cfg.seed);
-  net::Network network(simulator, cfg.network_config(),
-                       std::make_unique<net::RandomWaypoint>(cfg.field,
-                                                             cfg.speed_mps),
-                       rng.fork(1), cfg.duration_s);
-  loc::PseudonymManager pseudonyms({}, rng.fork(2));
-  network.set_pseudonym_provider(&pseudonyms);
-  loc::LocationService location(network, {}, cfg.duration_s);
-  std::unique_ptr<routing::Protocol> protocol;
-  if (proto == core::ProtocolKind::Alert) {
-    protocol = std::make_unique<routing::AlertRouter>(network, location,
-                                                      cfg.alert);
-  } else {
-    protocol =
-        std::make_unique<routing::GpsrRouter>(network, location, cfg.gpsr);
-  }
-  attack::PassiveObserver observer(network);
-  network.add_listener(&observer);
-  util::Rng traffic = rng.fork(3);
-  for (std::uint32_t f = 0; f < cfg.flow_count; ++f) {
-    const auto src = static_cast<net::NodeId>(traffic.below(cfg.node_count));
-    auto dst = src;
-    while (dst == src) {
-      dst = static_cast<net::NodeId>(traffic.below(cfg.node_count));
-    }
-    routing::Protocol* p = protocol.get();
-    for (std::uint32_t s = 0; s < 40; ++s) {
-      simulator.schedule_at(cfg.traffic_start_s + 2.0 * s, [p, src, dst, f, s] {
-        p->send(src, dst, 512, f, s);
-      });
-    }
-  }
-  simulator.run_until(cfg.duration_s);
-  return observer.events();
-}
-
-}  // namespace
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  bench::Figure fig(argc, argv, "sec31_interception",
-                    "Sec. 3.1", "flow blockage under node compromise",
-                    /*fallback_reps=*/5);
-  const std::size_t reps = fig.reps();
-
-  // The paper's scenario: the adversary watched packet i's route and
-  // compromises up to c of its relays, hoping to catch packet i+1. A
-  // fixed-route protocol hands it everything; ALERT re-randomizes.
-  std::vector<util::Series> series;
-  for (const core::ProtocolKind proto :
-       {core::ProtocolKind::Alert, core::ProtocolKind::Gpsr}) {
-    util::Series targeted{std::string(core::protocol_name(proto)) +
-                              " targeted next-pkt interception",
-                          {}};
-    util::Series blocked{std::string(core::protocol_name(proto)) +
-                             " random-c full-flow blockage",
-                         {}};
-    // Reuse one recorded log per rep across all budgets.
-    std::vector<std::vector<attack::ObservedEvent>> logs;
-    for (std::size_t r = 0; r < reps; ++r) {
-      logs.push_back(record_run(proto, 1000 + r));
-    }
-    for (const std::size_t c : {1u, 2u, 4u, 8u, 16u}) {
-      util::Accumulator acc_targeted, acc_blocked;
-      for (std::size_t r = 0; r < reps; ++r) {
-        util::Rng rng(55 + r);
-        acc_targeted.add(attack::targeted_next_packet_interception(
-            logs[r], c, rng));
-        acc_blocked.add(
-            attack::compromise_analysis(logs[r], 200, c, 100, rng)
-                .flow_blockage);
-      }
-      targeted.points.push_back(
-          bench::point(static_cast<double>(c), acc_targeted));
-      blocked.points.push_back(
-          bench::point(static_cast<double>(c), acc_blocked));
-    }
-    series.push_back(std::move(targeted));
-    series.push_back(std::move(blocked));
-  }
-  fig.table(
-      "Sec. 3.1 — interception under node compromise (200 nodes)",
-      "budget c", "fraction", series);
-  std::printf(
-      "\ntargeted: adversary compromises c relays of the packet it just\n"
-      "observed and waits for the next one — GPSR's repeated route hands\n"
-      "it over, ALERT's re-randomized route does not (Sec. 3.1).\n"
-      "(reps per point: %zu)\n",
-      reps);
-  return fig.finish();
+  return alert::campaign::figure_main("sec31_interception", argc, argv);
 }

@@ -1,46 +1,8 @@
-/// Sec. 4.3: the location service is usable only if its update traffic is
-/// a small fraction of regular communication — the paper derives the
-/// condition N_L ~ sqrt(N) with f << F. This bench prints the analytic
-/// ratio across server counts and update frequencies, plus the measured
-/// message counters of a simulated run for the default deployment.
-
-#include <cmath>
-
-#include "analysis/theory.hpp"
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "sec43_location_overhead",
-                    "Sec. 4.3", "location service overhead ratio");
-
-  std::vector<util::Series> series;
-  for (const double f : {0.2, 1.0, 5.0}) {
-    util::Series s{"update freq f=" + std::to_string(f).substr(0, 3) +
-                       " Hz",
-                   {}};
-    for (const double nl : {5.0, 10.0, 14.0, 20.0, 40.0}) {
-      s.points.push_back(
-          {nl, analysis::location_overhead_ratio(200.0, nl, f, 0.5), 0.0});
-    }
-    series.push_back(std::move(s));
-  }
-  fig.table(
-      "overhead ratio (N = 200 nodes, regular traffic F = 0.5 Hz/node)",
-      "location servers N_L", "(N_L(N_L-1)f + Nf) / (N F)", series);
-  std::printf("\nsqrt(N) = %.1f servers — the paper's sizing rule; ratios\n"
-              "must be << 1 for the service to be affordable.\n",
-              std::sqrt(200.0));
-
-  // Measured counters from one simulated run at the default deployment.
-  core::ScenarioConfig cfg = fig.scenario();
-  const core::RunResult r = core::run_once(cfg, 0);
-  std::printf("\nmeasured (one 100 s run, 14 servers, f = 1 Hz):\n"
-              "  location update messages: %llu\n"
-              "  hello beacons:            %llu\n"
-              "  data packets sent:        %llu\n",
-              static_cast<unsigned long long>(r.location_update_messages),
-              static_cast<unsigned long long>(r.hello_messages),
-              static_cast<unsigned long long>(r.sent));
-  return fig.finish();
+  return alert::campaign::figure_main("sec43_location_overhead", argc, argv);
 }

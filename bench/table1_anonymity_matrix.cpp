@@ -1,64 +1,8 @@
-/// Table 1 (empirical counterpart): the paper's taxonomy ascribes identity
-/// / location / route anonymity properties to each protocol class. This
-/// bench *measures* them by mounting the attack battery against each
-/// implemented protocol and printing a verdict matrix:
-///   - source identity: timing-attack source identification rate (low =
-///     protected);
-///   - destination identity: intersection/frequency attack success (low =
-///     protected);
-///   - route anonymity: consecutive-route Jaccard overlap (low = routes
-///     untraceable).
-
-#include <cstdio>
-
-#include "bench_common.hpp"
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace alert;
-  bench::Figure fig(argc, argv, "table1_anonymity_matrix",
-                    "Table 1", "measured anonymity property matrix",
-                    /*fallback_reps=*/5);
-  const std::size_t reps = fig.reps();
-
-  std::printf("\n%-8s  %-12s  %-12s  %-12s  %-12s  %s\n", "proto",
-              "src(timing)", "dst(timing)", "dst(inter.)", "route-ovl",
-              "verdict");
-  for (const core::ProtocolKind proto :
-       {core::ProtocolKind::Alert, core::ProtocolKind::Gpsr,
-        core::ProtocolKind::Alarm, core::ProtocolKind::Ao2p,
-        core::ProtocolKind::Zap}) {
-    core::ScenarioConfig cfg = fig.scenario();
-    cfg.protocol = proto;
-    cfg.run_attacks = true;
-    if (proto == core::ProtocolKind::Alert) {
-      // The full defence: notify-and-go plus the intersection
-      // countermeasure (both on by default only for this bench).
-      cfg.alert.intersection_countermeasure = true;
-    }
-    const core::ExperimentResult r = fig.run(cfg);
-    const double src = r.timing_source_rate.mean();
-    const double dst_timing = r.timing_dest_rate.mean();
-    const double dst_inter = r.intersection_success.mean();
-    const double overlap = r.route_overlap.mean();
-    // A destination is exposed if *either* attack pins it: the baselines
-    // deliver by unicast (timing identifies the terminal receiver); ALERT
-    // is attacked through its zone broadcasts (intersection, Sec. 3.3).
-    const bool src_anon = src < 0.3;
-    const bool dst_anon = std::max(dst_timing, dst_inter) < 0.3;
-    const bool route_anon = overlap < 0.5;
-    std::printf("%-8s  %-12.2f  %-12.2f  %-12.2f  %-12.2f  "
-                "src:%s dst:%s route:%s\n",
-                core::protocol_name(proto), src, dst_timing, dst_inter,
-                overlap, src_anon ? "yes" : "NO", dst_anon ? "yes" : "NO",
-                route_anon ? "yes" : "NO");
-  }
-  std::printf(
-      "\nPaper's Table 1 expectation: ALERT protects source, destination\n"
-      "and route; the greedy geographic baselines expose the route and at\n"
-      "least one endpoint. Caveat recorded in EXPERIMENTS.md: a frequency-\n"
-      "ranking intersection variant (not considered by the paper) still\n"
-      "degrades ALERT's destination anonymity over very long sessions.\n"
-      "(reps per row: %zu)\n",
-      reps);
-  return fig.finish();
+  return alert::campaign::figure_main("table1_anonymity_matrix", argc, argv);
 }

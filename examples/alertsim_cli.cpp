@@ -85,12 +85,17 @@ int main(int argc, char** argv) {
 
   const auto reps = static_cast<std::size_t>(args.get("reps", std::int64_t{10}));
   const bool csv = args.get("csv", false);
+  if (obs_flags.threads < 0) {
+    std::fprintf(stderr, "error: --threads must be >= 0\n");
+    return 2;
+  }
 
   for (const std::string& key : args.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s ignored\n", key.c_str());
   }
 
-  const core::ExperimentResult r = core::run_experiment(cfg, reps);
+  const core::ExperimentResult r = core::run_experiment(
+      cfg, reps, static_cast<std::size_t>(obs_flags.threads));
 
   if (!obs_flags.metrics_out.empty()) {
     obs::RunManifest manifest;

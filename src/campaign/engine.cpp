@@ -1,0 +1,250 @@
+#include "campaign/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "campaign/journal.hpp"
+#include "core/scenario_codec.hpp"
+#include "obs/series.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace alert::campaign {
+
+namespace {
+
+struct WorkUnit {
+  std::size_t point = 0;
+  std::uint64_t rep = 0;
+  std::size_t slot = 0;  ///< into the flat results array
+  std::string key;
+  bool traced = false;
+};
+
+/// Manifest writes go through a temp file + rename so a campaign killed
+/// mid-write can never leave a torn manifest under the final name.
+bool write_manifest_atomic(const obs::RunManifest& manifest,
+                           const std::string& path) {
+  namespace fs = std::filesystem;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      ALERT_LOG_ERROR("campaign: cannot open '%s' for writing", tmp.c_str());
+      return false;
+    }
+    manifest.write_json(out);
+    if (!out.good()) {
+      ALERT_LOG_ERROR("campaign: short write to '%s'", tmp.c_str());
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    ALERT_LOG_ERROR("campaign: rename '%s' -> '%s' failed: %s", tmp.c_str(),
+                    path.c_str(), ec.message().c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CampaignOutcome run_campaign(const CampaignSpec& spec,
+                             const CampaignOptions& options) {
+  CampaignOutcome outcome;
+  outcome.reps = options.reps > 0
+                     ? options.reps
+                     : core::bench_replications(spec.fallback_reps);
+
+  if (options.print) {
+    obs::print_figure_banner(spec.banner, paper_defaults_line());
+  }
+
+  // --- expand the grid into work units ------------------------------------
+  std::vector<WorkUnit> units;
+  std::vector<std::size_t> point_reps(spec.points.size(), 0);
+  for (std::size_t p = 0; p < spec.points.size(); ++p) {
+    point_reps[p] = spec.points[p].reps_override > 0
+                        ? spec.points[p].reps_override
+                        : outcome.reps;
+    for (std::uint64_t r = 0; r < point_reps[p]; ++r) {
+      WorkUnit unit;
+      unit.point = p;
+      unit.rep = r;
+      unit.slot = units.size();
+      unit.key = core::scenario_unit_key(spec.points[p].config, r);
+      unit.traced = p == 0 && r == 0 && !options.trace_out.empty();
+      units.push_back(std::move(unit));
+    }
+  }
+  outcome.units_total = units.size();
+
+  std::unique_ptr<ResultCache> cache;
+  std::unique_ptr<Journal> journal;
+  if (options.use_cache && !units.empty()) {
+    const std::string root =
+        options.cache_dir.empty() ? default_cache_root() : options.cache_dir;
+    cache = std::make_unique<ResultCache>(root);
+    journal = std::make_unique<Journal>(root + "/journal", spec.name);
+  }
+
+  // --- schedule across the pool -------------------------------------------
+  // Each unit writes its own pre-sized slot; completion order never matters
+  // because aggregation below walks slots in point/replication order.
+  std::vector<core::RunResult> results(units.size());
+  std::atomic<std::size_t> cache_hits{0};
+  std::atomic<std::size_t> executed{0};
+  std::atomic<std::size_t> done{0};
+  {
+    util::ThreadPool pool(options.threads);
+    for (const WorkUnit& unit : units) {
+      pool.submit([&spec, &options, &results, &cache, &journal, &cache_hits,
+                   &executed, &done, &unit, total = units.size()] {
+        const PointSpec& point = spec.points[unit.point];
+        bool cached = false;
+        if (cache != nullptr && !options.force) {
+          if (auto hit = cache->load(unit.key)) {
+            results[unit.slot] = std::move(*hit);
+            cached = true;
+          }
+        }
+        if (cached && unit.traced) {
+          // Re-execute for the trace side effect only; the cached result
+          // still feeds the manifest so its bytes stay identical.
+          core::ScenarioConfig cfg = point.config;
+          cfg.obs.profile = true;
+          cfg.obs.trace_out = options.trace_out;
+          (void)core::run_once(cfg, unit.rep);
+        }
+        if (!cached) {
+          core::ScenarioConfig cfg = point.config;
+          cfg.obs.profile = true;
+          if (unit.traced) cfg.obs.trace_out = options.trace_out;
+          results[unit.slot] = core::run_once(cfg, unit.rep);
+          if (cache != nullptr) cache->store(unit.key, results[unit.slot]);
+          executed.fetch_add(1);
+        } else {
+          cache_hits.fetch_add(1);
+        }
+        if (journal != nullptr) journal->mark_done(unit.key);
+        const std::size_t finished = done.fetch_add(1) + 1;
+        ALERT_LOG_INFO("campaign %s: unit %zu/%zu %s (point %zu rep %llu)",
+                       spec.name.c_str(), finished, total,
+                       cached ? "cached" : "ran", unit.point,
+                       static_cast<unsigned long long>(unit.rep));
+      });
+    }
+    pool.wait_idle();
+  }
+  outcome.cache_hits = cache_hits.load();
+  outcome.executed = executed.load();
+
+  // --- fold replications in deterministic point/replication order ---------
+  std::vector<PointResult> points(spec.points.size());
+  std::size_t slot = 0;
+  for (std::size_t p = 0; p < spec.points.size(); ++p) {
+    PointResult& pr = points[p];
+    pr.index = p;
+    pr.spec = &spec.points[p];
+    pr.runs.reserve(point_reps[p]);
+    for (std::size_t r = 0; r < point_reps[p]; ++r, ++slot) {
+      pr.result.add(results[slot]);
+      pr.runs.push_back(std::move(results[slot]));
+    }
+    std::sort(pr.result.trace_digests.begin(),
+              pr.result.trace_digests.end());
+  }
+
+  // --- assemble the manifest (mirrors bench::Figure) ----------------------
+  obs::RunManifest& manifest = outcome.manifest;
+  manifest.name = spec.name;
+  manifest.title = spec.title;
+  manifest.x_label = spec.x_label;
+  manifest.y_label = spec.y_label;
+  const core::ScenarioConfig defaults = paper_default_scenario();
+  manifest.seed = defaults.seed;
+  manifest.replications = outcome.reps;
+  manifest.add_param("node_count", std::to_string(defaults.node_count));
+  manifest.add_param("speed_mps", std::to_string(defaults.speed_mps));
+  manifest.add_param("radio_range_m",
+                     std::to_string(defaults.radio_range_m));
+  manifest.add_param("flow_count", std::to_string(defaults.flow_count));
+  manifest.add_param("packet_interval_s",
+                     std::to_string(defaults.packet_interval_s));
+  manifest.add_param("payload_bytes",
+                     std::to_string(defaults.payload_bytes));
+  manifest.add_param("duration_s", std::to_string(defaults.duration_s));
+  manifest.add_param("partitions_h",
+                     std::to_string(defaults.alert.partitions_h));
+  for (const auto& [key, value] : spec.extra_params) {
+    manifest.add_param(key, value);
+  }
+  for (const PointResult& pr : points) {
+    manifest.metrics.merge(pr.result.metrics);
+    manifest.profile.merge(pr.result.profile);
+    manifest.trace_digests.insert(manifest.trace_digests.end(),
+                                  pr.result.trace_digests.begin(),
+                                  pr.result.trace_digests.end());
+  }
+
+  const ReduceContext ctx{outcome.reps};
+  if (spec.reduce) {
+    spec.reduce(points, ctx, manifest);
+  } else {
+    default_reduce(spec, points, ctx, manifest);
+  }
+  for (const std::string& note : spec.notes) manifest.notes.push_back(note);
+
+  // --- present -------------------------------------------------------------
+  if (options.print) {
+    if (!manifest.series.empty()) {
+      obs::print_series_table(manifest.title, manifest.x_label,
+                              manifest.y_label, manifest.series);
+    }
+    if (!manifest.notes.empty()) obs::print_text_line("");
+    for (const std::string& note : manifest.notes) {
+      obs::print_text_line(note);
+    }
+  }
+  if (util::log_level() >= util::LogLevel::Info &&
+      !manifest.profile.scopes.empty()) {
+    std::fputs(manifest.profile.summary().c_str(), stderr);
+  }
+  ALERT_LOG_INFO("campaign %s: %zu units, %zu cached, %zu executed",
+                 spec.name.c_str(), outcome.units_total, outcome.cache_hits,
+                 outcome.executed);
+
+  obs::MetricsRegistry progress;
+  progress.counter("campaign.units.total").inc(outcome.units_total);
+  progress.counter("campaign.units.cached").inc(outcome.cache_hits);
+  progress.counter("campaign.units.executed").inc(outcome.executed);
+  outcome.progress = progress.snapshot();
+
+  if (!options.metrics_out.empty()) {
+    if (!write_manifest_atomic(manifest, options.metrics_out)) {
+      outcome.exit_code = 1;
+      return outcome;
+    }
+    if (options.print) {
+      obs::print_text_line("manifest: " + options.metrics_out);
+    }
+  }
+  if (!options.trace_out.empty() && options.print) {
+    obs::print_text_line("trace: " + options.trace_out);
+  }
+  return outcome;
+}
+
+}  // namespace alert::campaign

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file engine.hpp
+/// The campaign engine: expands a CampaignSpec into (point, replication)
+/// work units, schedules them across util::ThreadPool, serves completed
+/// units from the content-addressed result cache, folds replications in
+/// deterministic point/replication order and assembles the same
+/// "alertsim-run-manifest/1" document the figure benches emit.
+///
+/// Determinism contract: given the same spec and replication count, the
+/// emitted manifest is byte-identical whether every unit executed live, was
+/// served from cache, or any mixture — scheduling order never leaks into
+/// the output. Cached units replay their recorded wall-clock self-profile,
+/// so even the profile section reproduces. This is what makes interrupt +
+/// resume equivalent to an uninterrupted run (the campaign smoke test's
+/// assertion).
+///
+/// Per-unit progress is reported through alert::obs counters
+/// (campaign.units.*, exposed on CampaignOutcome::progress) and
+/// ALERT_LOG_INFO lines; neither feeds the manifest.
+
+#include <cstddef>
+#include <string>
+
+#include "campaign/spec.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+
+namespace alert::campaign {
+
+struct CampaignOptions {
+  /// Replications per point; 0 = ALERTSIM_REPS / spec.fallback_reps (the
+  /// same resolution the benches use).
+  std::size_t reps = 0;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// Cache root; empty = default_cache_root(). Ignored when !use_cache.
+  std::string cache_dir;
+  bool use_cache = true;
+  bool force = false;  ///< execute even on hit, refreshing the entry
+  /// Structured trace of the first unit (point 0, replication 0). A cached
+  /// first unit is re-executed for the trace side effect only — its cached
+  /// result still feeds the manifest, keeping the bytes identical.
+  std::string trace_out;
+  std::string metrics_out;  ///< manifest path; empty = don't write
+  bool print = true;        ///< banner/table/notes to stdout (obs helpers)
+};
+
+struct CampaignOutcome {
+  obs::RunManifest manifest;
+  std::size_t reps = 0;        ///< resolved replications per point
+  std::size_t units_total = 0;
+  std::size_t cache_hits = 0;
+  std::size_t executed = 0;    ///< live simulations (excludes trace replays)
+  /// campaign.units.{total,cached,executed} counters.
+  obs::MetricsSnapshot progress;
+  int exit_code = 0;  ///< non-zero when the manifest could not be written
+};
+
+[[nodiscard]] CampaignOutcome run_campaign(const CampaignSpec& spec,
+                                           const CampaignOptions& options);
+
+}  // namespace alert::campaign

@@ -1,0 +1,62 @@
+#include "campaign/figure_main.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "campaign/engine.hpp"
+#include "campaign/figures.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+
+namespace alert::campaign {
+
+int figure_main(const char* name, int argc, char** argv) {
+  std::string error;
+  const auto args = util::CliArgs::parse(argc, argv, &error);
+  if (!args) {
+    std::fprintf(stderr, "%s: %s\n", name, error.c_str());
+    return 2;
+  }
+  const util::CommonFlags flags = util::CommonFlags::from(*args);
+
+  CampaignOptions options;
+  options.cache_dir = args->get("cache-dir", std::string());
+  options.use_cache = !args->get("no-cache", false);
+  options.force = args->get("force", false);
+
+  for (const auto& key : args->unused()) {
+    std::fprintf(stderr, "%s: unknown flag --%s\n", name, key.c_str());
+    return 2;
+  }
+  if (const auto level = util::parse_log_level(flags.log_level)) {
+    util::set_log_level(*level);
+  } else {
+    std::fprintf(stderr, "%s: bad --log-level=%s\n", name,
+                 flags.log_level.c_str());
+    return 2;
+  }
+  if (flags.reps < 0) {
+    std::fprintf(stderr, "%s: --reps must be >= 0\n", name);
+    return 2;
+  }
+  if (flags.threads < 0) {
+    std::fprintf(stderr, "%s: --threads must be >= 0\n", name);
+    return 2;
+  }
+
+  const FigureDef* def = find_figure(name);
+  if (def == nullptr) {
+    std::fprintf(stderr, "%s: not in the campaign figure registry\n", name);
+    return 2;
+  }
+
+  options.reps = static_cast<std::size_t>(flags.reps);
+  options.threads = static_cast<std::size_t>(flags.threads);
+  options.trace_out = flags.trace_out;
+  options.metrics_out = flags.metrics_out;
+
+  const CampaignSpec spec = def->build();
+  return run_campaign(spec, options).exit_code;
+}
+
+}  // namespace alert::campaign

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file figure_main.hpp
+/// Shared main() body for the figure bench binaries: each fig*_ binary is a
+/// one-liner `return alert::campaign::figure_main("<name>", argc, argv);`
+/// that looks its spec up in the built-in registry and runs it through the
+/// campaign engine. CLI surface and output match the old bench::Figure
+/// runner, plus the campaign flags:
+///
+///   --cache-dir=DIR   result-cache root (default $ALERTSIM_CACHE_DIR or
+///                     .alertsim-cache)
+///   --no-cache        run every unit live, touch no cache state
+///   --force           execute even on cache hit, refreshing the entry
+
+namespace alert::campaign {
+
+/// Returns the process exit code: 2 on CLI errors (unknown flag, bad
+/// --log-level, unknown figure), the engine's exit code otherwise.
+int figure_main(const char* name, int argc, char** argv);
+
+}  // namespace alert::campaign

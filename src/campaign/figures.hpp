@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file figures.hpp
+/// The built-in campaign registry: every figure of the paper's evaluation
+/// (and this repo's ablations) as a CampaignSpec builder. Each builder
+/// reproduces the corresponding bench binary's exact points, series, table
+/// labels and commentary; the bench binaries themselves are one-line
+/// wrappers over figure_main() and `alertsim-campaign --all` runs the whole
+/// registry in one process.
+
+#include <string_view>
+#include <vector>
+
+#include "campaign/spec.hpp"
+
+namespace alert::campaign {
+
+struct FigureDef {
+  const char* name;  ///< machine id == bench binary name
+  CampaignSpec (*build)();
+};
+
+/// All registered figures, in the paper's presentation order.
+[[nodiscard]] const std::vector<FigureDef>& figure_registry();
+
+/// Lookup by machine name; nullptr when unknown.
+[[nodiscard]] const FigureDef* find_figure(std::string_view name);
+
+}  // namespace alert::campaign

@@ -1,0 +1,71 @@
+#include "campaign/journal.hpp"
+
+#include <filesystem>
+#include <system_error>
+
+#include "util/logging.hpp"
+
+namespace alert::campaign {
+
+namespace {
+constexpr const char* kJournalHeader = "alertsim-campaign-journal/1";
+}
+
+Journal::Journal(const std::string& dir, const std::string& name) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    ALERT_LOG_ERROR("journal: cannot create %s: %s", dir.c_str(),
+                    ec.message().c_str());
+  }
+  path_ = (fs::path(dir) / (name + ".journal")).string();
+
+  bool existed = false;
+  {
+    std::ifstream in(path_);
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+      existed = true;
+      if (first) {
+        first = false;
+        continue;  // header line
+      }
+      // Only complete, well-formed records count — a torn tail line from a
+      // killed process is dropped here and rewritten when the unit reruns.
+      if (line.rfind("done ", 0) == 0 && line.size() > 5) {
+        done_.insert(line.substr(5));
+      }
+    }
+  }
+  out_.open(path_, std::ios::app);
+  if (!out_) {
+    ALERT_LOG_ERROR("journal: cannot open %s for append", path_.c_str());
+    return;
+  }
+  if (!existed) {
+    out_ << kJournalHeader << ' ' << name << '\n';
+    out_.flush();
+  }
+}
+
+bool Journal::contains(const std::string& key) const {
+  std::lock_guard lk(mutex_);
+  return done_.contains(key);
+}
+
+std::size_t Journal::done_count() const {
+  std::lock_guard lk(mutex_);
+  return done_.size();
+}
+
+void Journal::mark_done(const std::string& key) {
+  std::lock_guard lk(mutex_);
+  if (!done_.insert(key).second) return;
+  if (!out_) return;
+  out_ << "done " << key << '\n';
+  out_.flush();
+}
+
+}  // namespace alert::campaign

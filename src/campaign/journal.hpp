@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file journal.hpp
+/// Append-only journal of completed work units for one campaign. The result
+/// cache (cache.hpp) is the authoritative resume record — a unit is "done"
+/// iff its cache entry exists — so the journal is deliberately simple
+/// bookkeeping: one flushed "done <key>" line per completed unit lets an
+/// interrupted run be audited (how far did it get?) and lets the smoke test
+/// assert a resume actually skipped completed units. A torn final line from
+/// a killed process is ignored on reload.
+///
+/// Format (text, one record per line):
+///   alertsim-campaign-journal/1 <campaign name>
+///   done <64-hex-or-40-hex unit key>
+///   ...
+
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace alert::campaign {
+
+class Journal {
+ public:
+  /// Opens (creating directories and the file as needed)
+  /// `<dir>/<name>.journal` and loads the completed-unit set from any
+  /// previous run. mark_done() is safe to call from pool workers.
+  Journal(const std::string& dir, const std::string& name);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] std::size_t done_count() const;
+
+  /// Record one completed unit (idempotent) and flush the line.
+  void mark_done(const std::string& key);
+
+ private:
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::set<std::string> done_;
+  std::ofstream out_;
+};
+
+}  // namespace alert::campaign

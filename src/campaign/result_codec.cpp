@@ -1,0 +1,266 @@
+#include "campaign/result_codec.hpp"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/json_value.hpp"
+
+namespace alert::campaign {
+
+namespace {
+
+void write_acc_state(obs::JsonWriter& w, const util::Accumulator& acc) {
+  const util::Accumulator::State s = acc.state();
+  w.begin_array();
+  w.value(static_cast<std::uint64_t>(s.n));
+  w.value(s.mean);
+  w.value(s.m2);
+  w.value(s.min);
+  w.value(s.max);
+  w.end_array();
+}
+
+void write_double_array(obs::JsonWriter& w, const std::vector<double>& v) {
+  w.begin_array();
+  for (const double x : v) w.value(x);
+  w.end_array();
+}
+
+bool parse_acc_state(const obs::JsonValue* v, util::Accumulator* out) {
+  if (v == nullptr || !v->is_array() || v->size() != 5) return false;
+  util::Accumulator::State s;
+  s.n = static_cast<std::size_t>(v->at(0).as_u64());
+  s.mean = v->at(1).as_double();
+  s.m2 = v->at(2).as_double();
+  s.min = v->at(3).as_double();
+  s.max = v->at(4).as_double();
+  *out = util::Accumulator::from_state(s);
+  return true;
+}
+
+bool parse_double_array(const obs::JsonValue* v, std::vector<double>* out) {
+  if (v == nullptr || !v->is_array()) return false;
+  out->clear();
+  out->reserve(v->size());
+  for (const obs::JsonValue& x : v->array()) out->push_back(x.as_double());
+  return true;
+}
+
+bool parse_metric_kind(std::string_view name, obs::MetricKind* out) {
+  for (const obs::MetricKind kind :
+       {obs::MetricKind::Counter, obs::MetricKind::Gauge,
+        obs::MetricKind::Sample, obs::MetricKind::Histogram}) {
+    if (name == obs::metric_kind_name(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_run_result_json(std::ostream& out, const core::RunResult& run) {
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", kResultCacheSchema);
+  w.field("sent", run.sent);
+  w.field("delivered", run.delivered);
+  w.field("mean_latency_s", run.mean_latency_s);
+  w.field("mean_e2e_delay_s", run.mean_e2e_delay_s);
+  w.field("mean_hops", run.mean_hops);
+  w.field("mean_participants", run.mean_participants);
+  w.field("mean_route_overlap", run.mean_route_overlap);
+  w.field("rf_per_packet", run.rf_per_packet);
+  w.field("partitions_per_packet", run.partitions_per_packet);
+  w.field("control_hops_per_packet", run.control_hops_per_packet);
+  w.key("cumulative_participants");
+  write_double_array(w, run.cumulative_participants);
+  w.key("remaining_by_sample");
+  write_double_array(w, run.remaining_by_sample);
+  w.field("cover_packets_per_data", run.cover_packets_per_data);
+  w.field("timing_source_rate", run.timing_source_rate);
+  w.field("timing_dest_rate", run.timing_dest_rate);
+  w.field("intersection_success", run.intersection_success);
+  w.field("intersection_identified", run.intersection_identified);
+  w.field("intersection_frequency", run.intersection_frequency);
+  w.key("compromise_targeted");
+  write_double_array(w, run.compromise_targeted);
+  w.key("compromise_blocked");
+  write_double_array(w, run.compromise_blocked);
+  w.field("location_update_messages", run.location_update_messages);
+  w.field("hello_messages", run.hello_messages);
+  w.field("energy_total_j", run.energy_total_j);
+  w.field("energy_crypto_j", run.energy_crypto_j);
+  w.field("energy_per_delivered_j", run.energy_per_delivered_j);
+  w.field("energy_max_node_j", run.energy_max_node_j);
+  w.field("trace_digest", run.trace_digest);
+  w.field("packets_opened", run.packets_opened);
+  w.field("packets_expired", run.packets_expired);
+
+  w.key("metrics");
+  w.begin_object();
+  w.field("replications",
+          static_cast<std::uint64_t>(run.metrics.replications));
+  w.key("values");
+  w.begin_array();
+  for (const obs::MetricValue& m : run.metrics.metrics) {
+    w.begin_object();
+    w.field("name", m.name);
+    w.field("kind", obs::metric_kind_name(m.kind));
+    w.field("total", m.total);
+    w.key("per_rep");
+    write_acc_state(w, m.per_rep);
+    w.key("samples");
+    write_acc_state(w, m.samples);
+    w.field("lo", m.lo);
+    w.field("hi", m.hi);
+    w.key("bins");
+    w.begin_array();
+    for (const std::uint64_t b : m.bins) w.value(b);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("profile");
+  w.begin_array();
+  for (const obs::ScopeStats& s : run.profile.scopes) {
+    w.begin_object();
+    w.field("name", s.name);
+    w.field("count", s.count);
+    w.field("total_ns", s.total_ns);
+    w.field("max_ns", s.max_ns);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  out << '\n';
+}
+
+std::string run_result_to_json(const core::RunResult& run) {
+  std::ostringstream out;
+  write_run_result_json(out, run);
+  return out.str();
+}
+
+std::optional<core::RunResult> parse_run_result(std::string_view json,
+                                                std::string* error) {
+  const auto doc = obs::parse_json(json, error);
+  if (!doc) return std::nullopt;
+  const auto fail = [error](const char* message)
+      -> std::optional<core::RunResult> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  if (!doc->is_object()) return fail("cache entry must be an object");
+  const obs::JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || schema->as_string() != kResultCacheSchema) {
+    return fail("cache entry schema mismatch");
+  }
+
+  core::RunResult run;
+  const auto u64 = [&doc](const char* key) {
+    const obs::JsonValue* v = doc->find(key);
+    return v != nullptr ? v->as_u64() : 0;
+  };
+  const auto dbl = [&doc](const char* key) {
+    const obs::JsonValue* v = doc->find(key);
+    return v != nullptr ? v->as_double() : 0.0;
+  };
+  run.sent = u64("sent");
+  run.delivered = u64("delivered");
+  run.mean_latency_s = dbl("mean_latency_s");
+  run.mean_e2e_delay_s = dbl("mean_e2e_delay_s");
+  run.mean_hops = dbl("mean_hops");
+  run.mean_participants = dbl("mean_participants");
+  run.mean_route_overlap = dbl("mean_route_overlap");
+  run.rf_per_packet = dbl("rf_per_packet");
+  run.partitions_per_packet = dbl("partitions_per_packet");
+  run.control_hops_per_packet = dbl("control_hops_per_packet");
+  if (!parse_double_array(doc->find("cumulative_participants"),
+                          &run.cumulative_participants) ||
+      !parse_double_array(doc->find("remaining_by_sample"),
+                          &run.remaining_by_sample) ||
+      !parse_double_array(doc->find("compromise_targeted"),
+                          &run.compromise_targeted) ||
+      !parse_double_array(doc->find("compromise_blocked"),
+                          &run.compromise_blocked)) {
+    return fail("cache entry missing a per-packet/per-budget array");
+  }
+  run.cover_packets_per_data = dbl("cover_packets_per_data");
+  run.timing_source_rate = dbl("timing_source_rate");
+  run.timing_dest_rate = dbl("timing_dest_rate");
+  run.intersection_success = dbl("intersection_success");
+  run.intersection_identified = dbl("intersection_identified");
+  run.intersection_frequency = dbl("intersection_frequency");
+  run.location_update_messages = u64("location_update_messages");
+  run.hello_messages = u64("hello_messages");
+  run.energy_total_j = dbl("energy_total_j");
+  run.energy_crypto_j = dbl("energy_crypto_j");
+  run.energy_per_delivered_j = dbl("energy_per_delivered_j");
+  run.energy_max_node_j = dbl("energy_max_node_j");
+  run.trace_digest = u64("trace_digest");
+  run.packets_opened = u64("packets_opened");
+  run.packets_expired = u64("packets_expired");
+
+  const obs::JsonValue* metrics = doc->find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return fail("cache entry missing metrics");
+  }
+  if (const obs::JsonValue* v = metrics->find("replications"); v != nullptr) {
+    run.metrics.replications = static_cast<std::size_t>(v->as_u64());
+  }
+  const obs::JsonValue* values = metrics->find("values");
+  if (values == nullptr || !values->is_array()) {
+    return fail("cache entry missing metrics.values");
+  }
+  for (const obs::JsonValue& mv : values->array()) {
+    if (!mv.is_object()) return fail("metric entry must be an object");
+    obs::MetricValue m;
+    if (const obs::JsonValue* v = mv.find("name")) m.name = v->as_string();
+    const obs::JsonValue* kind = mv.find("kind");
+    if (kind == nullptr || !parse_metric_kind(kind->as_string(), &m.kind)) {
+      return fail("metric entry has an unknown kind");
+    }
+    if (const obs::JsonValue* v = mv.find("total")) m.total = v->as_u64();
+    if (!parse_acc_state(mv.find("per_rep"), &m.per_rep) ||
+        !parse_acc_state(mv.find("samples"), &m.samples)) {
+      return fail("metric entry missing accumulator state");
+    }
+    if (const obs::JsonValue* v = mv.find("lo")) m.lo = v->as_double();
+    if (const obs::JsonValue* v = mv.find("hi")) m.hi = v->as_double();
+    const obs::JsonValue* bins = mv.find("bins");
+    if (bins == nullptr || !bins->is_array()) {
+      return fail("metric entry missing bins");
+    }
+    m.bins.reserve(bins->size());
+    for (const obs::JsonValue& b : bins->array()) {
+      m.bins.push_back(b.as_u64());
+    }
+    run.metrics.metrics.push_back(std::move(m));
+  }
+
+  const obs::JsonValue* profile = doc->find("profile");
+  if (profile == nullptr || !profile->is_array()) {
+    return fail("cache entry missing profile");
+  }
+  for (const obs::JsonValue& sv : profile->array()) {
+    if (!sv.is_object()) return fail("profile scope must be an object");
+    obs::ScopeStats s;
+    if (const obs::JsonValue* v = sv.find("name")) s.name = v->as_string();
+    if (const obs::JsonValue* v = sv.find("count")) s.count = v->as_u64();
+    if (const obs::JsonValue* v = sv.find("total_ns")) {
+      s.total_ns = v->as_u64();
+    }
+    if (const obs::JsonValue* v = sv.find("max_ns")) s.max_ns = v->as_u64();
+    run.profile.scopes.push_back(std::move(s));
+  }
+  return run;
+}
+
+}  // namespace alert::campaign

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file result_codec.hpp
+/// Exact JSON serialization of one replication's RunResult for the
+/// content-addressed result cache (schema "alertsim-result-cache/1").
+///
+/// The codec must round-trip *bit-for-bit*: a campaign resumed from cache
+/// has to emit a byte-identical run manifest to the cold run that populated
+/// it. Doubles are therefore printed at %.17g (JsonWriter) and parsed back
+/// with strtod (an exact inverse), 64-bit counters keep their raw number
+/// tokens through the reader (obs/json_value.hpp), and accumulators are
+/// stored as their complete Welford state (util::Accumulator::State) rather
+/// than derived statistics.
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "core/experiment.hpp"
+
+namespace alert::campaign {
+
+inline constexpr const char* kResultCacheSchema = "alertsim-result-cache/1";
+
+void write_run_result_json(std::ostream& out, const core::RunResult& run);
+[[nodiscard]] std::string run_result_to_json(const core::RunResult& run);
+
+/// Parse a cached entry. Returns nullopt (and fills `error`) on malformed
+/// JSON or a schema mismatch — callers treat both as a cache miss.
+[[nodiscard]] std::optional<core::RunResult> parse_run_result(
+    std::string_view json, std::string* error = nullptr);
+
+}  // namespace alert::campaign

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file spec.hpp
+/// Declarative campaign specifications: a CampaignSpec names one figure (or
+/// ad-hoc sweep) as a list of fully-resolved experiment points plus a
+/// reduction that turns the aggregated point results into the figure's
+/// series and notes. Specs come from two places:
+///
+///   * the built-in figure registry (figures.hpp) — every paper figure is a
+///     builder function returning a CampaignSpec whose reducer reproduces
+///     the bench's exact series/table/notes;
+///   * JSON files (schema "alertsim-campaign-spec/1") — a base config, a
+///     set of curves (param overrides) and an x-axis sweep, expanded
+///     curve-major into points and reduced through a named y-metric
+///     extractor.
+///
+/// The spec layer is pure description: no execution, no I/O beyond
+/// load_spec_file. The engine (engine.hpp) schedules the points' work units,
+/// consults the result cache, folds replications in deterministic order and
+/// hands the PointResults to the reducer.
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "obs/manifest.hpp"
+#include "util/stats.hpp"
+
+namespace alert::campaign {
+
+/// The paper's default setup (Sec. 5.2): 1000x1000 m, 200 nodes, 2 m/s,
+/// 250 m range, 10 flows, 512 B CBR every 2 s, 100 s, H = 5, seed 0xA1E47.
+[[nodiscard]] core::ScenarioConfig paper_default_scenario();
+
+/// The "# defaults: ..." banner line describing paper_default_scenario().
+[[nodiscard]] const char* paper_defaults_line();
+
+/// One experiment point: a fully-resolved scenario plus its identity on the
+/// figure (which curve it belongs to, its x value).
+struct PointSpec {
+  std::string curve;  ///< series this point feeds (default reducer grouping)
+  double x = 0.0;
+  core::ScenarioConfig config;
+  std::size_t reps_override = 0;  ///< 0 = campaign-level replication count
+};
+
+/// The aggregated outcome of one point after all replications completed
+/// (from the cache or executed live).
+struct PointResult {
+  std::size_t index = 0;            ///< position in CampaignSpec::points
+  const PointSpec* spec = nullptr;  ///< borrowed from the spec
+  /// Folded in replication order (deterministic regardless of scheduling);
+  /// trace_digests sorted.
+  core::ExperimentResult result;
+  /// Raw per-replication results in replication order (reducers that need
+  /// scalars no accumulator carries, e.g. message counters).
+  std::vector<core::RunResult> runs;
+};
+
+/// Context the engine passes to reducers (dynamic values that may appear in
+/// notes, e.g. "(reps per point: N)").
+struct ReduceContext {
+  std::size_t reps = 0;  ///< campaign-level replications actually used
+};
+
+/// Turns the point results into the figure's series and notes on the
+/// manifest (title/labels/params are already set by the engine). When
+/// absent, the default reducer groups points by curve name (first-appearance
+/// order) and extracts `y_metric` per point.
+using Reducer = std::function<void(const std::vector<PointResult>& points,
+                                   const ReduceContext& ctx,
+                                   obs::RunManifest& manifest)>;
+
+struct CampaignSpec {
+  std::string name;     ///< machine id, e.g. "fig14a_latency_vs_nodes"
+  std::string banner;   ///< "# ..." line, e.g. "Fig. 14a — latency ..."
+  std::string title;    ///< table/manifest title
+  std::string x_label;
+  std::string y_label;
+  std::size_t fallback_reps = 10;  ///< when neither --reps nor ALERTSIM_REPS
+  std::string y_metric;            ///< default-reducer extractor name
+  std::vector<PointSpec> points;
+  Reducer reduce;  ///< nullptr = default reducer over y_metric
+  /// Extra manifest params beyond the shared paper defaults.
+  std::vector<std::pair<std::string, std::string>> extra_params;
+  /// Static notes appended after the reducer's.
+  std::vector<std::string> notes;
+};
+
+/// Mean/CI extraction of one named y-metric from an aggregated point.
+/// Names: delivery_rate, latency_ms, e2e_delay_ms, hops, hops_with_control,
+/// participants, route_overlap, rf_per_packet, partitions_per_packet,
+/// cover_per_data, energy_per_delivered_j, energy_total_j, energy_crypto_j,
+/// energy_max_node_j, timing_source_rate, timing_dest_rate,
+/// intersection_success, intersection_identified, intersection_frequency.
+using YMetricFn =
+    std::function<util::SeriesPoint(double x, const core::ExperimentResult&)>;
+
+[[nodiscard]] std::optional<YMetricFn> y_metric_extractor(
+    std::string_view name);
+[[nodiscard]] std::vector<std::string> y_metric_names();
+
+/// The default reducer: group points by curve (first-appearance order) into
+/// one series each, extracting `y_metric`, and append a
+/// "(reps per point: N)" note.
+void default_reduce(const CampaignSpec& spec,
+                    const std::vector<PointResult>& points,
+                    const ReduceContext& ctx, obs::RunManifest& manifest);
+
+inline constexpr const char* kSpecSchema = "alertsim-campaign-spec/1";
+
+/// Parse a JSON campaign spec (schema "alertsim-campaign-spec/1"; see
+/// docs/CAMPAIGN.md for the full schema). Returns nullopt and fills
+/// `error` on malformed input, unknown params or unknown y_metric.
+[[nodiscard]] std::optional<CampaignSpec> load_spec_json(
+    std::string_view json, std::string* error = nullptr);
+
+/// Read and parse a spec file.
+[[nodiscard]] std::optional<CampaignSpec> load_spec_file(
+    const std::string& path, std::string* error = nullptr);
+
+}  // namespace alert::campaign

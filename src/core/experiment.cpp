@@ -1,12 +1,15 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <queue>
 #include <unordered_set>
 
+#include "attack/compromise.hpp"
 #include "attack/observer.hpp"
 #include "attack/route_tracer.hpp"
 #include "attack/trace_writer.hpp"
@@ -360,6 +363,24 @@ RunResult run_once(const ScenarioConfig& config,
     result.intersection_frequency = inter.frequency_identification_rate();
   }
 
+  // Sec. 3.1 node-compromise battery: deterministic per replication (the
+  // adversary's Monte-Carlo draws come from a forked stream of this
+  // replication's RNG, so results cache and replay exactly).
+  if (!config.compromise_budgets.empty()) {
+    util::Rng compromise_rng = rng.fork(4);
+    result.compromise_targeted.reserve(config.compromise_budgets.size());
+    result.compromise_blocked.reserve(config.compromise_budgets.size());
+    for (const std::size_t budget : config.compromise_budgets) {
+      result.compromise_targeted.push_back(
+          attack::targeted_next_packet_interception(observer.events(),
+                                                    budget, compromise_rng));
+      result.compromise_blocked.push_back(
+          attack::compromise_analysis(observer.events(), config.node_count,
+                                      budget, 100, compromise_rng)
+              .flow_blockage);
+    }
+  }
+
   if (config.obs.metrics) {
     export_protocol_stats(metrics, proto->stats());
     export_run_totals(metrics, network);
@@ -396,6 +417,19 @@ void ExperimentResult::add(const RunResult& run) {
   intersection_identified.add(run.intersection_identified);
   intersection_frequency.add(run.intersection_frequency);
 
+  if (compromise_targeted.size() < run.compromise_targeted.size()) {
+    compromise_targeted.resize(run.compromise_targeted.size());
+  }
+  for (std::size_t i = 0; i < run.compromise_targeted.size(); ++i) {
+    compromise_targeted[i].add(run.compromise_targeted[i]);
+  }
+  if (compromise_blocked.size() < run.compromise_blocked.size()) {
+    compromise_blocked.resize(run.compromise_blocked.size());
+  }
+  for (std::size_t i = 0; i < run.compromise_blocked.size(); ++i) {
+    compromise_blocked[i].add(run.compromise_blocked[i]);
+  }
+
   if (cumulative_participants.size() < run.cumulative_participants.size()) {
     cumulative_participants.resize(run.cumulative_participants.size());
   }
@@ -431,11 +465,20 @@ ExperimentResult run_experiment(const ScenarioConfig& config,
 }
 
 std::size_t bench_replications(std::size_t fallback) {
-  if (const char* env = std::getenv("ALERTSIM_REPS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<std::size_t>(v);
+  const char* env = std::getenv("ALERTSIM_REPS");
+  if (env == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  const bool numeric = end != env && *end == '\0' && env[0] != '-';
+  if (!numeric || errno == ERANGE || v == 0 || v > kMaxReplications) {
+    std::fprintf(stderr,
+                 "ALERTSIM_REPS='%s' is invalid: expected an integer in "
+                 "[1, %zu]\n",
+                 env, kMaxReplications);
+    std::exit(2);
   }
-  return fallback;
+  return static_cast<std::size_t>(v);
 }
 
 }  // namespace alert::core

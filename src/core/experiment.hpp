@@ -42,6 +42,10 @@ struct RunResult {
   double intersection_success = 0.0;    ///< mean P(pick D)
   double intersection_identified = 0.0; ///< fraction of flows pinned
   double intersection_frequency = 0.0;  ///< frequency-attack success rate
+  // Node-compromise outcomes, one entry per config.compromise_budgets value
+  // (empty when that list is empty; Sec. 3.1 resilience claim):
+  std::vector<double> compromise_targeted;  ///< next-packet interception
+  std::vector<double> compromise_blocked;   ///< full-flow blockage fraction
   std::uint64_t location_update_messages = 0;
   std::uint64_t hello_messages = 0;
   // Energy accounting (Sec. 1/Sec. 5 low-cost claim):
@@ -86,6 +90,9 @@ struct ExperimentResult {
   util::Accumulator intersection_success;
   util::Accumulator intersection_identified;
   util::Accumulator intersection_frequency;
+  /// One accumulator per compromise budget (config.compromise_budgets).
+  std::vector<util::Accumulator> compromise_targeted;
+  std::vector<util::Accumulator> compromise_blocked;
   std::vector<util::Accumulator> cumulative_participants;
   std::vector<util::Accumulator> remaining_by_sample;
   obs::MetricsSnapshot metrics;   ///< ⊕-merged across replications
@@ -110,6 +117,13 @@ struct ExperimentResult {
 /// Replication count for figure benches: honours the ALERTSIM_REPS
 /// environment variable, defaulting to `fallback` (the paper uses 30; the
 /// benches default lower to keep a full regeneration pass quick).
+/// A set-but-invalid ALERTSIM_REPS (non-numeric, trailing junk, zero,
+/// negative, or larger than kMaxReplications) is a hard error: the message
+/// goes to stderr and the process exits with status 2 — silently falling
+/// back would corrupt replication-count comparisons between runs.
 [[nodiscard]] std::size_t bench_replications(std::size_t fallback = 10);
+
+/// Upper bound on replications accepted from ALERTSIM_REPS / --reps.
+inline constexpr std::size_t kMaxReplications = 100000;
 
 }  // namespace alert::core

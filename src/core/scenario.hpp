@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "net/network.hpp"
 #include "routing/alarm.hpp"
@@ -85,6 +86,11 @@ struct ScenarioConfig {
   // Measurement.
   double residency_sample_period_s = 2.0;  ///< zone-residency sampling grid
   bool run_attacks = false;  ///< mount timing/intersection analyses per run
+  /// Node-compromise budgets c (Sec. 3.1): when non-empty, each replication
+  /// additionally mounts the targeted next-packet interception and the
+  /// random-c full-flow blockage analyses for every budget, filling
+  /// RunResult::compromise_targeted / compromise_blocked index-for-index.
+  std::vector<std::size_t> compromise_budgets;
 
   std::uint64_t seed = 1;
 

@@ -1,0 +1,318 @@
+#include "obs/json_value.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace alert::obs {
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Positions are byte offsets
+/// into the original document for error messages.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    std::optional<JsonValue> v = value(0);
+    if (!v) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "trailing garbage at offset " + std::to_string(pos_);
+      }
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  // Deep enough for any artifact this project writes; bounds stack use on
+  // hostile input.
+  static constexpr int kMaxDepth = 128;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::nullopt_t fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': {
+        std::optional<std::string> s = string();
+        if (!s) return std::nullopt;
+        return JsonValue::make_string(std::move(*s));
+      }
+      case 't':
+        if (consume_word("true")) return JsonValue::make_bool(true);
+        return fail("bad literal");
+      case 'f':
+        if (consume_word("false")) return JsonValue::make_bool(false);
+        return fail("bad literal");
+      case 'n':
+        if (consume_word("null")) return JsonValue::make_null();
+        return fail("bad literal");
+      default: return number();
+    }
+  }
+
+  std::optional<JsonValue> number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("bad number");
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (consume('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("bad number: digits required after '.'");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("bad number: digits required in exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return JsonValue::make_number(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::optional<std::string> string() {
+    if (!consume('"')) {
+      fail("expected '\"'");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return std::nullopt;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                fail("bad \\u escape");
+                return std::nullopt;
+              }
+            }
+            // UTF-8 encode the BMP code point (JsonWriter::escape only
+            // emits \u00XX for control bytes, but accept the full range).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+            return std::nullopt;
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> array(int depth) {
+    consume('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (consume(']')) return JsonValue::make_array(std::move(items));
+    for (;;) {
+      std::optional<JsonValue> v = value(depth + 1);
+      if (!v) return std::nullopt;
+      items.push_back(std::move(*v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return JsonValue::make_array(std::move(items));
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::optional<JsonValue> object(int depth) {
+    consume('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (consume('}')) return JsonValue::make_object(std::move(members));
+    for (;;) {
+      skip_ws();
+      std::optional<std::string> key = string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      std::optional<JsonValue> v = value(depth + 1);
+      if (!v) return std::nullopt;
+      members.emplace_back(std::move(*key), std::move(*v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return JsonValue::make_object(std::move(members));
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool(bool fallback) const {
+  return kind_ == Kind::Bool ? bool_ : fallback;
+}
+
+double JsonValue::as_double(double fallback) const {
+  if (kind_ != Kind::Number) return fallback;
+  return std::strtod(scalar_.c_str(), nullptr);
+}
+
+std::uint64_t JsonValue::as_u64(std::uint64_t fallback) const {
+  if (kind_ != Kind::Number || scalar_.empty() || scalar_[0] == '-') {
+    return fallback;
+  }
+  return std::strtoull(scalar_.c_str(), nullptr, 10);
+}
+
+std::int64_t JsonValue::as_i64(std::int64_t fallback) const {
+  if (kind_ != Kind::Number) return fallback;
+  return std::strtoll(scalar_.c_str(), nullptr, 10);
+}
+
+const std::string& JsonValue::as_string() const {
+  static const std::string kEmpty;
+  return kind_ == Kind::String ? scalar_ : kEmpty;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::Array) return array_.size();
+  if (kind_ == Kind::Object) return object_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  static const JsonValue kNull;
+  if (kind_ != Kind::Array || i >= array_.size()) return kNull;
+  return array_[i];
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(std::string raw) {
+  JsonValue v;
+  v.kind_ = Kind::Number;
+  v.scalar_ = std::move(raw);
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::String;
+  v.scalar_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::Array;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::Object;
+  v.object_ = std::move(members);
+  return v;
+}
+
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
+  Parser p(text);
+  return p.parse(error);
+}
+
+}  // namespace alert::obs

@@ -65,4 +65,16 @@ void write_series_json(JsonWriter& w,
   w.end_array();
 }
 
+void print_figure_banner(const std::string& title,
+                         const std::string& subtitle) {
+  std::printf("# %s\n", title.c_str());
+  if (!subtitle.empty()) std::printf("# %s\n", subtitle.c_str());
+  std::fflush(stdout);
+}
+
+void print_text_line(const std::string& line) {
+  std::printf("%s\n", line.c_str());
+  std::fflush(stdout);
+}
+
 }  // namespace alert::obs

@@ -25,4 +25,13 @@ void print_series_table(const std::string& title, const std::string& x_label,
 /// [{"name": ..., "points": [{"x":, "y":, "ci":}, ...]}, ...]
 void write_series_json(JsonWriter& w, const std::vector<util::Series>& series);
 
+/// The figure banner the benches print before a run: "# title" plus an
+/// optional subtitle line ("# subtitle").
+void print_figure_banner(const std::string& title, const std::string& subtitle);
+
+/// One free-form stdout line (figure commentary, campaign progress
+/// summaries). Lives here because stdout is confined to util/logging and
+/// the obs exporters (the alert-lint raw-stdout rule).
+void print_text_line(const std::string& line);
+
 }  // namespace alert::obs

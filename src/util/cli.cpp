@@ -68,6 +68,7 @@ CommonFlags CommonFlags::from(const CliArgs& args) {
   flags.metrics_out = args.get("metrics-out", std::string());
   flags.log_level = args.get("log-level", std::string("none"));
   flags.reps = args.get("reps", static_cast<std::int64_t>(0));
+  flags.threads = args.get("threads", static_cast<std::int64_t>(0));
   return flags;
 }
 

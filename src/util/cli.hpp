@@ -46,11 +46,14 @@ class CliArgs {
 ///                       profile, series) — schema alertsim-run-manifest/1
 ///   --log-level=LEVEL   none|error|warn|info|debug (default none)
 ///   --reps=N            replications per point (overrides ALERTSIM_REPS)
+///   --threads=N         worker threads for replication fan-out
+///                       (0 = hardware concurrency, the default)
 struct CommonFlags {
   std::string trace_out;
   std::string metrics_out;
   std::string log_level = "none";
-  std::int64_t reps = 0;  ///< 0 = ALERTSIM_REPS / bench default
+  std::int64_t reps = 0;     ///< 0 = ALERTSIM_REPS / bench default
+  std::int64_t threads = 0;  ///< 0 = hardware concurrency
 
   /// Extract (and mark consumed) the shared keys from parsed args.
   static CommonFlags from(const CliArgs& args);

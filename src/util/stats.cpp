@@ -8,6 +8,16 @@
 
 namespace alert::util {
 
+Accumulator Accumulator::from_state(const State& s) {
+  Accumulator a;
+  a.n_ = s.n;
+  a.mean_ = s.mean;
+  a.m2_ = s.m2;
+  a.min_ = s.min;
+  a.max_ = s.max;
+  return a;
+}
+
 void Accumulator::add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;

@@ -15,6 +15,21 @@ namespace alert::util {
 /// Welford online mean/variance accumulator.
 class Accumulator {
  public:
+  /// The complete internal state, exposed so accumulators can be serialized
+  /// exactly (the campaign result cache must replay a cached replication
+  /// bit-for-bit; mean/stddev alone cannot reconstruct m2).
+  struct State {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  Accumulator() = default;
+  [[nodiscard]] static Accumulator from_state(const State& s);
+  [[nodiscard]] State state() const { return {n_, mean_, m2_, min_, max_}; }
+
   void add(double x);
 
   [[nodiscard]] std::size_t count() const { return n_; }

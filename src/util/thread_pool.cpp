@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace alert::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -26,6 +28,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lk(mutex_);
+    ALERT_INVARIANT(!stop_, "ThreadPool::submit after stop/destruction");
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -39,6 +42,7 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;  // nothing to do — never touch the queue
   for (std::size_t i = 0; i < n; ++i) {
     submit([&fn, i] { fn(i); });
   }

@@ -4,6 +4,19 @@
 /// A small fixed-size thread pool used to run independent experiment
 /// replications in parallel. Each replication owns its simulator and RNG, so
 /// tasks share nothing; the pool only provides fan-out/join.
+///
+/// Task contract (the one place it is documented — submit() and
+/// parallel_for() both inherit it):
+///   * Tasks must not throw. An exception escaping a task unwinds a worker
+///     thread and terminates the process (there is nowhere to rethrow: the
+///     submitter may have moved on). Catch and convert failures inside the
+///     task.
+///   * Tasks must not submit to the pool they run on (no recursive
+///     submission) — wait_idle() would deadlock waiting for a queue the
+///     waiter keeps feeding.
+///   * submit() after the pool has begun destruction is a programming
+///     error and fails an ALERT_INVARIANT (it would either lose the task
+///     silently or race the worker join).
 
 #include <condition_variable>
 #include <cstddef>
@@ -26,7 +39,8 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task. Tasks must not throw (the pool terminates on escape).
+  /// Enqueue a task (see the task contract in the file comment). Calling
+  /// this after the destructor has begun is an invariant failure.
   void submit(std::function<void()> task);
 
   /// Block until every submitted task has finished.

@@ -1,0 +1,365 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "campaign/engine.hpp"
+#include "campaign/figures.hpp"
+#include "campaign/journal.hpp"
+#include "campaign/result_codec.hpp"
+#include "campaign/spec.hpp"
+#include "core/scenario_codec.hpp"
+
+namespace alert::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fast scenario for engine tests: small field, few nodes, short session.
+core::ScenarioConfig tiny_scenario() {
+  core::ScenarioConfig cfg = paper_default_scenario();
+  cfg.field = {0.0, 0.0, 400.0, 400.0};
+  cfg.node_count = 30;
+  cfg.flow_count = 2;
+  cfg.duration_s = 10.0;
+  return cfg;
+}
+
+CampaignSpec tiny_spec(const std::string& name) {
+  CampaignSpec spec;
+  spec.name = name;
+  spec.banner = "test — tiny campaign";
+  spec.title = "tiny campaign";
+  spec.x_label = "x";
+  spec.y_label = "delivery rate";
+  spec.y_metric = "delivery_rate";
+  for (const std::size_t n : {20u, 30u}) {
+    PointSpec point;
+    point.curve = "tiny";
+    point.x = static_cast<double>(n);
+    point.config = tiny_scenario();
+    point.config.node_count = n;
+    spec.points.push_back(std::move(point));
+  }
+  return spec;
+}
+
+std::string manifest_bytes(const obs::RunManifest& manifest) {
+  std::ostringstream out;
+  manifest.write_json(out);
+  return out.str();
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_((fs::path(::testing::TempDir()) /
+               (tag + std::to_string(counter_++)))
+                  .string()) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+// --- result codec ----------------------------------------------------------
+
+TEST(ResultCodec, RoundTripIsByteStable) {
+  core::ScenarioConfig cfg = tiny_scenario();
+  cfg.obs.profile = true;
+  const core::RunResult run = core::run_once(cfg, 3);
+
+  const std::string json = run_result_to_json(run);
+  std::string error;
+  const auto parsed = parse_run_result(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(run_result_to_json(*parsed), json);
+  EXPECT_EQ(parsed->sent, run.sent);
+  EXPECT_EQ(parsed->delivered, run.delivered);
+  EXPECT_EQ(parsed->trace_digest, run.trace_digest);
+  EXPECT_EQ(parsed->hello_messages, run.hello_messages);
+}
+
+TEST(ResultCodec, RejectsWrongSchema) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_run_result(R"({"schema":"something-else/1"})", &error));
+  EXPECT_FALSE(parse_run_result("not json at all", &error));
+}
+
+// --- cache -----------------------------------------------------------------
+
+TEST(ResultCache, StoreThenLoad) {
+  TempDir dir("alertsim-cache-test-");
+  ResultCache cache(dir.path());
+  const core::RunResult run = core::run_once(tiny_scenario(), 0);
+  const std::string key = core::scenario_unit_key(tiny_scenario(), 0);
+
+  EXPECT_FALSE(cache.load(key).has_value());
+  ASSERT_TRUE(cache.store(key, run));
+  const auto hit = cache.load(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(run_result_to_json(*hit), run_result_to_json(run));
+}
+
+TEST(ResultCache, CorruptEntryIsAMiss) {
+  TempDir dir("alertsim-cache-test-");
+  ResultCache cache(dir.path());
+  const std::string key = core::scenario_unit_key(tiny_scenario(), 0);
+  fs::create_directories(fs::path(cache.object_path(key)).parent_path());
+  std::ofstream(cache.object_path(key)) << "{torn write";
+  EXPECT_FALSE(cache.load(key).has_value());
+}
+
+TEST(ScenarioUnitKey, ChangesWithParamsAndReplication) {
+  const core::ScenarioConfig cfg = tiny_scenario();
+  const std::string key = core::scenario_unit_key(cfg, 0);
+  EXPECT_EQ(core::scenario_unit_key(cfg, 0), key);  // stable
+  EXPECT_NE(core::scenario_unit_key(cfg, 1), key);  // replication
+
+  core::ScenarioConfig changed = cfg;
+  changed.speed_mps = cfg.speed_mps + 0.5;
+  EXPECT_NE(core::scenario_unit_key(changed, 0), key);  // any param
+  changed = cfg;
+  changed.seed += 1;
+  EXPECT_NE(core::scenario_unit_key(changed, 0), key);  // seed
+
+  // Observability settings are not semantic: they never split the cache.
+  changed = cfg;
+  changed.obs.profile = !cfg.obs.profile;
+  changed.obs.trace_out = "/tmp/whatever.jsonl";
+  EXPECT_EQ(core::scenario_unit_key(changed, 0), key);
+}
+
+// --- journal ---------------------------------------------------------------
+
+TEST(Journal, PersistsAcrossReopen) {
+  TempDir dir("alertsim-journal-test-");
+  {
+    Journal journal(dir.path(), "spec_a");
+    EXPECT_EQ(journal.done_count(), 0u);
+    journal.mark_done("aaaa");
+    journal.mark_done("bbbb");
+    journal.mark_done("aaaa");  // idempotent
+    EXPECT_EQ(journal.done_count(), 2u);
+  }
+  Journal reopened(dir.path(), "spec_a");
+  EXPECT_EQ(reopened.done_count(), 2u);
+  EXPECT_TRUE(reopened.contains("aaaa"));
+  EXPECT_TRUE(reopened.contains("bbbb"));
+  EXPECT_FALSE(reopened.contains("cccc"));
+}
+
+TEST(Journal, IgnoresTornTailLine) {
+  TempDir dir("alertsim-journal-test-");
+  { Journal(dir.path(), "spec_b").mark_done("aaaa"); }
+  {
+    // Simulate a process killed mid-append: a record missing its newline
+    // is still a complete line to getline, but a half-written "don" is not
+    // a well-formed record.
+    std::ofstream out(dir.path() + "/spec_b.journal", std::ios::app);
+    out << "don";
+  }
+  Journal reopened(dir.path(), "spec_b");
+  EXPECT_EQ(reopened.done_count(), 1u);
+  EXPECT_TRUE(reopened.contains("aaaa"));
+}
+
+// --- spec JSON loader ------------------------------------------------------
+
+constexpr const char* kGoodSpec = R"({
+  "schema": "alertsim-campaign-spec/1",
+  "name": "sweep_speed",
+  "y_metric": "delivery_rate",
+  "reps": 2,
+  "base": {"node_count": 30, "duration_s": 10, "flow_count": 2},
+  "curves": [
+    {"name": "ALERT"},
+    {"name": "GPSR", "set": {"protocol": "gpsr"}}
+  ],
+  "x": {"param": "speed_mps", "values": [2, 4]},
+  "notes": ["hand-written spec"]
+})";
+
+TEST(SpecLoader, ExpandsCurveMajor) {
+  std::string error;
+  const auto spec = load_spec_json(kGoodSpec, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->name, "sweep_speed");
+  EXPECT_EQ(spec->fallback_reps, 2u);
+  ASSERT_EQ(spec->points.size(), 4u);
+  EXPECT_EQ(spec->points[0].curve, "ALERT");
+  EXPECT_EQ(spec->points[1].curve, "ALERT");
+  EXPECT_EQ(spec->points[2].curve, "GPSR");
+  EXPECT_EQ(spec->points[3].curve, "GPSR");
+  EXPECT_EQ(spec->points[1].x, 4.0);
+  EXPECT_EQ(spec->points[1].config.speed_mps, 4.0);
+  EXPECT_EQ(spec->points[0].config.node_count, 30u);
+  EXPECT_EQ(spec->points[2].config.protocol, core::ProtocolKind::Gpsr);
+  ASSERT_EQ(spec->notes.size(), 1u);
+  EXPECT_EQ(spec->x_label, "speed_mps");
+}
+
+TEST(SpecLoader, RejectsBadInput) {
+  std::string error;
+  EXPECT_FALSE(load_spec_json("{}", &error));
+  EXPECT_FALSE(load_spec_json(
+      R"({"schema":"alertsim-campaign-spec/1","name":"x",
+          "y_metric":"no_such_metric","x":{"param":"speed_mps","values":[1]}})",
+      &error));
+  EXPECT_NE(error.find("no_such_metric"), std::string::npos);
+  EXPECT_FALSE(load_spec_json(
+      R"({"schema":"alertsim-campaign-spec/1","name":"x",
+          "y_metric":"delivery_rate",
+          "base":{"no_such_param":1},
+          "x":{"param":"speed_mps","values":[1]}})",
+      &error));
+}
+
+// --- engine ----------------------------------------------------------------
+
+CampaignOptions engine_options(const std::string& cache_dir,
+                               const std::string& metrics_out) {
+  CampaignOptions options;
+  options.reps = 2;
+  options.threads = 2;
+  options.cache_dir = cache_dir;
+  options.metrics_out = metrics_out;
+  options.print = false;
+  return options;
+}
+
+TEST(Engine, CachedRerunIsByteIdentical) {
+  TempDir dir("alertsim-engine-test-");
+  const CampaignSpec spec = tiny_spec("engine_cached");
+  const std::string out = dir.path() + "/m.json";
+
+  const CampaignOutcome cold =
+      run_campaign(spec, engine_options(dir.path() + "/cache", out));
+  EXPECT_EQ(cold.exit_code, 0);
+  EXPECT_EQ(cold.units_total, 4u);
+  EXPECT_EQ(cold.executed, 4u);
+  EXPECT_EQ(cold.cache_hits, 0u);
+
+  const CampaignOutcome warm =
+      run_campaign(spec, engine_options(dir.path() + "/cache", out));
+  EXPECT_EQ(warm.executed, 0u);
+  EXPECT_EQ(warm.cache_hits, 4u);
+  EXPECT_EQ(manifest_bytes(warm.manifest), manifest_bytes(cold.manifest));
+  EXPECT_EQ(warm.manifest.trace_digests, cold.manifest.trace_digests);
+  ASSERT_EQ(warm.manifest.trace_digests.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(cold.manifest.trace_digests.begin(),
+                             cold.manifest.trace_digests.begin() + 2));
+
+  // A cache-less run reproduces everything except the wall-clock profile
+  // (fresh timings can never byte-match; cached replays do, checked above).
+  CampaignOptions no_cache = engine_options("", out);
+  no_cache.use_cache = false;
+  CampaignOutcome live = run_campaign(spec, no_cache);
+  EXPECT_EQ(live.executed, 4u);
+  obs::RunManifest cold_stripped = cold.manifest;
+  live.manifest.profile.scopes.clear();
+  cold_stripped.profile.scopes.clear();
+  EXPECT_EQ(manifest_bytes(live.manifest), manifest_bytes(cold_stripped));
+}
+
+TEST(Engine, ParamOrSeedChangeMissesCache) {
+  TempDir dir("alertsim-engine-test-");
+  const std::string cache = dir.path() + "/cache";
+  CampaignSpec spec = tiny_spec("engine_miss");
+  (void)run_campaign(spec, engine_options(cache, ""));
+
+  CampaignSpec changed = tiny_spec("engine_miss");
+  changed.points[0].config.speed_mps += 1.0;
+  const CampaignOutcome after_param =
+      run_campaign(changed, engine_options(cache, ""));
+  EXPECT_EQ(after_param.executed, 2u);  // point 0's units only
+  EXPECT_EQ(after_param.cache_hits, 2u);
+
+  CampaignSpec reseeded = tiny_spec("engine_miss");
+  for (PointSpec& point : reseeded.points) point.config.seed += 1;
+  const CampaignOutcome after_seed =
+      run_campaign(reseeded, engine_options(cache, ""));
+  EXPECT_EQ(after_seed.executed, 4u);
+  EXPECT_EQ(after_seed.cache_hits, 0u);
+}
+
+TEST(Engine, ResumeAfterPartialRunMatchesUninterrupted) {
+  TempDir dir("alertsim-engine-test-");
+  const CampaignSpec spec = tiny_spec("engine_resume");
+
+  // Uninterrupted reference, no cache involved (profile stripped: fresh
+  // wall-clock timings differ run to run; determinism covers everything
+  // else).
+  CampaignOptions reference = engine_options("", "");
+  reference.use_cache = false;
+  CampaignOutcome uninterrupted = run_campaign(spec, reference);
+  uninterrupted.manifest.profile.scopes.clear();
+  const std::string expected = manifest_bytes(uninterrupted.manifest);
+
+  // "Crash" after one unit: pre-seed the cache with a single completed unit,
+  // exactly the state a killed campaign leaves behind (the engine always
+  // executes with the self-profile on, so the seeded entry must too).
+  const std::string cache_dir = dir.path() + "/cache";
+  {
+    ResultCache cache(cache_dir);
+    Journal journal(cache_dir + "/journal", spec.name);
+    const std::string key =
+        core::scenario_unit_key(spec.points[0].config, 0);
+    core::ScenarioConfig cfg = spec.points[0].config;
+    cfg.obs.profile = true;
+    cache.store(key, core::run_once(cfg, 0));
+    journal.mark_done(key);
+  }
+  CampaignOutcome resumed = run_campaign(spec, engine_options(cache_dir, ""));
+  EXPECT_EQ(resumed.cache_hits, 1u);
+  EXPECT_EQ(resumed.executed, 3u);
+  resumed.manifest.profile.scopes.clear();
+  EXPECT_EQ(manifest_bytes(resumed.manifest), expected);
+}
+
+TEST(Engine, RepsOverridePinsPointReplications) {
+  TempDir dir("alertsim-engine-test-");
+  CampaignSpec spec = tiny_spec("engine_override");
+  spec.points[0].reps_override = 1;
+  const CampaignOutcome outcome =
+      run_campaign(spec, engine_options(dir.path() + "/cache", ""));
+  EXPECT_EQ(outcome.units_total, 3u);  // 1 + 2
+  EXPECT_EQ(outcome.reps, 2u);
+}
+
+// --- figure registry -------------------------------------------------------
+
+TEST(FigureRegistry, EveryFigureBuildsAConsistentSpec) {
+  for (const FigureDef& def : figure_registry()) {
+    const CampaignSpec spec = def.build();
+    EXPECT_EQ(spec.name, def.name);
+    EXPECT_FALSE(spec.banner.empty()) << def.name;
+    EXPECT_FALSE(spec.title.empty()) << def.name;
+    // Default-reduced specs must name a known extractor.
+    if (!spec.reduce) {
+      EXPECT_TRUE(y_metric_extractor(spec.y_metric).has_value())
+          << def.name << " y_metric=" << spec.y_metric;
+    }
+  }
+  EXPECT_NE(find_figure("fig11_rf_vs_partitions"), nullptr);
+  EXPECT_EQ(find_figure("no_such_figure"), nullptr);
+}
+
+}  // namespace
+}  // namespace alert::campaign

@@ -150,8 +150,18 @@ TEST(Experiment, BenchReplicationsHonoursEnv) {
   EXPECT_EQ(bench_replications(10), 10u);
   ::setenv("ALERTSIM_REPS", "4", 1);
   EXPECT_EQ(bench_replications(10), 4u);
-  ::setenv("ALERTSIM_REPS", "junk", 1);
-  EXPECT_EQ(bench_replications(10), 10u);
+  ::unsetenv("ALERTSIM_REPS");
+}
+
+TEST(ExperimentDeathTest, BenchReplicationsRejectsBadEnv) {
+  // A typo'd ALERTSIM_REPS must never silently fall back — a user asking
+  // for 30 replications and getting 10 wastes hours of sweeps.
+  for (const char* bad : {"junk", "0", "-3", "10x", "999999999999999999999"}) {
+    ::setenv("ALERTSIM_REPS", bad, 1);
+    EXPECT_EXIT(bench_replications(10), ::testing::ExitedWithCode(2),
+                "is invalid")
+        << "ALERTSIM_REPS=" << bad;
+  }
   ::unsetenv("ALERTSIM_REPS");
 }
 

@@ -73,6 +73,21 @@ TEST(Cli, HasDetectsPresence) {
   EXPECT_FALSE(args->has("y"));
 }
 
+TEST(Cli, CommonFlagsPicksUpThreads) {
+  const auto args = parse({"--threads=4", "--reps=3"});
+  ASSERT_TRUE(args);
+  const CommonFlags flags = CommonFlags::from(*args);
+  EXPECT_EQ(flags.threads, 4);
+  EXPECT_EQ(flags.reps, 3);
+  EXPECT_TRUE(args->unused().empty());  // consumed, not a typo
+}
+
+TEST(Cli, CommonFlagsThreadsDefaultsToZero) {
+  const auto args = parse({});
+  ASSERT_TRUE(args);
+  EXPECT_EQ(CommonFlags::from(*args).threads, 0);
+}
+
 TEST(Cli, BoolAcceptedSpellings) {
   const auto args = parse({"--a=yes", "--b=on", "--c=1", "--d=nope"});
   ASSERT_TRUE(args);

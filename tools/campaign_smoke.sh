@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Campaign crash-safe-resume smoke test (wired into CI as campaign-smoke).
+#
+# Runs a small 2-point sweep three ways and proves the resume guarantee:
+#   1. uninterrupted, into its own result cache  -> reference manifest
+#   2. same spec in a fresh cache, killed mid-run (SIGKILL, no cleanup)
+#   3. resumed from the half-written cache + journal of (2)
+# The resumed manifest must validate against alertsim-run-manifest/1 and
+# carry the same determinism digests, series and metrics as the reference —
+# only the wall-clock self-profile may differ between live runs.
+#
+# Usage: tools/campaign_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:-build}
+BIN="$BUILD_DIR/tools/alertsim-campaign"
+[ -x "$BIN" ] || { echo "campaign smoke: $BIN not built" >&2; exit 1; }
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+cat > "$WORK/spec.json" <<'EOF'
+{
+  "schema": "alertsim-campaign-spec/1",
+  "name": "smoke_sweep",
+  "title": "campaign smoke: delivery vs speed",
+  "y_metric": "delivery_rate",
+  "reps": 2,
+  "base": {"node_count": 100, "duration_s": 120, "flow_count": 6},
+  "x": {"param": "speed_mps", "values": [2, 4]}
+}
+EOF
+run() {  # run <cache-dir> <out-dir> [extra flags...]
+  local cache="$1" out="$2"; shift 2
+  "$BIN" --spec "$WORK/spec.json" --reps 2 --threads 2 \
+    --cache-dir "$cache" --out-dir "$out" "$@"
+}
+
+echo "campaign smoke: reference run"
+run "$WORK/cache-ref" "$WORK/ref" > "$WORK/ref.log"
+
+echo "campaign smoke: interrupted run"
+# One worker so units complete one at a time; SIGKILL as soon as the journal
+# records the first one, which leaves the campaign genuinely half-done.
+"$BIN" --spec "$WORK/spec.json" --reps 2 --threads 1 \
+  --cache-dir "$WORK/cache-resume" --out-dir "$WORK/interrupted" \
+  > "$WORK/interrupted.log" &
+pid=$!
+for _ in $(seq 300); do
+  grep -q '^done ' "$WORK"/cache-resume/journal/*.journal 2>/dev/null && break
+  sleep 0.1
+done
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+done_units=$(cat "$WORK"/cache-resume/journal/*.journal 2>/dev/null \
+  | grep -c '^done ' || true)
+echo "campaign smoke: killed with ${done_units:-0} of 4 units journalled"
+[ "${done_units:-0}" -lt 4 ] || {
+  echo "campaign smoke: warning — campaign finished before the kill" >&2; }
+
+echo "campaign smoke: resume"
+run "$WORK/cache-resume" "$WORK/resumed" --log-level=info \
+  > "$WORK/resumed.log" 2> "$WORK/resumed.err"
+grep 'campaign smoke_sweep: 4 units' "$WORK/resumed.err"
+
+python3 tools/check_manifest.py "$WORK/resumed/smoke_sweep.json"
+
+python3 - "$WORK/ref/smoke_sweep.json" "$WORK/resumed/smoke_sweep.json" <<'EOF'
+import json, sys
+ref, resumed = (json.load(open(p)) for p in sys.argv[1:3])
+for key in ("trace_digests", "series", "metrics", "params", "seed",
+            "replications", "notes"):
+    assert ref[key] == resumed[key], f"{key} diverged after resume"
+print("campaign smoke: resumed manifest matches the uninterrupted run")
+EOF
+echo "campaign smoke: OK"
