@@ -1,0 +1,8 @@
+// Thin wrapper: the figure's points, series and commentary live in the
+// campaign registry (src/campaign/figures.cpp); the engine adds caching,
+// parallel scheduling and crash-safe resume on top of the old behaviour.
+#include "campaign/figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return alert::campaign::figure_main("ablation_churn_arq", argc, argv);
+}

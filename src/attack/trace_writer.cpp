@@ -22,6 +22,9 @@ const char* drop_token(net::DropReason why) {
     case net::DropReason::OutOfRange: return "out_of_range";
     case net::DropReason::NoHandler: return "no_handler";
     case net::DropReason::TtlExpired: return "ttl_expired";
+    case net::DropReason::ChannelLoss: return "channel_loss";
+    case net::DropReason::NodeDown: return "node_down";
+    case net::DropReason::RetryExhausted: return "retry_exhausted";
   }
   return "unknown";
 }

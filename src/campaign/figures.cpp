@@ -990,6 +990,97 @@ CampaignSpec sec31_interception() {
   return s;
 }
 
+// --- Fault-injection ablations (docs/FAULTS.md robustness study) -----------
+
+/// Shared scaffolding for the two fault ablations: scaled-down deployment
+/// (100 nodes, 60 s — these are this repo's own robustness curves, not paper
+/// figures, and they run under ASan in the fault-smoke CI job), ALERT and
+/// GPSR each with and without link-layer ARQ, and a reducer emitting one
+/// delivery-rate series plus one latency series per curve.
+core::ScenarioConfig fault_base(ProtocolKind proto, bool arq) {
+  core::ScenarioConfig cfg = base();
+  cfg.node_count = 100;
+  cfg.duration_s = 60.0;
+  cfg.protocol = proto;
+  cfg.mac.arq.enabled = arq;
+  return cfg;
+}
+
+std::string fault_curve(ProtocolKind proto, bool arq) {
+  return std::string(core::protocol_name(proto)) +
+         (arq ? " (ARQ)" : " (no ARQ)");
+}
+
+void fault_reduce(const std::vector<PointResult>& points,
+                  const ReduceContext& ctx, obs::RunManifest& m) {
+  std::vector<util::Series> delivery =
+      group_by_curve(points, [](const PointResult& pr) {
+        return acc_point(pr.spec->x, pr.result.delivery_rate);
+      });
+  for (util::Series& sr : delivery) m.series.push_back(std::move(sr));
+  std::vector<util::Series> latency =
+      group_by_curve(points, [](const PointResult& pr) {
+        return acc_ms(pr.spec->x, pr.result.latency_s);
+      });
+  for (util::Series& sr : latency) {
+    sr.name += " latency (ms)";
+    m.series.push_back(std::move(sr));
+  }
+  m.notes.push_back(
+      "ARQ: stop-and-wait, retry_limit 4, binary-exponential backoff;");
+  m.notes.push_back(
+      "latency counts only delivered packets, so ARQ trades delay for");
+  m.notes.push_back("delivery under faults (see docs/FAULTS.md).");
+  m.notes.push_back(reps_note(ctx.reps));
+}
+
+CampaignSpec ablation_loss_arq() {
+  CampaignSpec s;
+  s.name = "ablation_loss_arq";
+  s.banner = "Ablation — delivery vs channel loss rate, ARQ on/off";
+  s.title = "ablation — delivery under i.i.d. frame loss (100 nodes, 60 s)";
+  s.x_label = "per-frame loss probability";
+  s.y_label = "delivery rate";
+  s.fallback_reps = 5;
+  for (const bool arq : {false, true}) {
+    for (const ProtocolKind proto :
+         {ProtocolKind::Alert, ProtocolKind::Gpsr}) {
+      for (const double p : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+        core::ScenarioConfig cfg = fault_base(proto, arq);
+        cfg.faults.loss.iid = p;
+        s.points.push_back(
+            make_point(fault_curve(proto, arq), p, std::move(cfg)));
+      }
+    }
+  }
+  s.reduce = fault_reduce;
+  return s;
+}
+
+CampaignSpec ablation_churn_arq() {
+  CampaignSpec s;
+  s.name = "ablation_churn_arq";
+  s.banner = "Ablation — delivery vs node churn MTTF, ARQ on/off";
+  s.title = "ablation — delivery under node churn (MTTR 10 s, 100 nodes)";
+  s.x_label = "mean time to failure (s)";
+  s.y_label = "delivery rate";
+  s.fallback_reps = 5;
+  for (const bool arq : {false, true}) {
+    for (const ProtocolKind proto :
+         {ProtocolKind::Alert, ProtocolKind::Gpsr}) {
+      for (const double mttf : {10.0, 20.0, 40.0, 80.0, 160.0}) {
+        core::ScenarioConfig cfg = fault_base(proto, arq);
+        cfg.faults.churn.mttf_s = mttf;
+        cfg.faults.churn.mttr_s = 10.0;
+        s.points.push_back(
+            make_point(fault_curve(proto, arq), mttf, std::move(cfg)));
+      }
+    }
+  }
+  s.reduce = fault_reduce;
+  return s;
+}
+
 }  // namespace
 
 const std::vector<FigureDef>& figure_registry() {
@@ -1016,6 +1107,8 @@ const std::vector<FigureDef>& figure_registry() {
       {"ablation_h_tradeoff", ablation_h_tradeoff},
       {"ablation_notify_and_go", ablation_notify_and_go},
       {"ablation_pseudonym_period", ablation_pseudonym_period},
+      {"ablation_loss_arq", ablation_loss_arq},
+      {"ablation_churn_arq", ablation_churn_arq},
       {"energy_per_packet", energy_per_packet},
       {"sec43_location_overhead", sec43_location_overhead},
       {"sec31_interception", sec31_interception},

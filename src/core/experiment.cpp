@@ -15,6 +15,7 @@
 #include "attack/trace_writer.hpp"
 #include "attack/zone_residency.hpp"
 #include "core/obs_bridge.hpp"
+#include "faults/injector.hpp"
 #include "loc/pseudonym.hpp"
 #include "obs/trace.hpp"
 #include "routing/zone.hpp"
@@ -149,8 +150,25 @@ std::vector<int> disk_components(const net::Network& network, sim::Time t) {
 
 }  // namespace
 
+void validate_scenario(const ScenarioConfig& config) {
+  std::optional<std::string> err = faults::validate(config.faults);
+  if (!err && config.mac.arq.enabled) {
+    if (config.mac.arq.retry_limit <= 0) {
+      err = "mac.arq.retry_limit must be >= 1 when ARQ is enabled";
+    } else if (config.mac.arq.ack_timeout_s < 0.0 ||
+               config.mac.arq.backoff_base_s < 0.0) {
+      err = "mac.arq timings must be non-negative";
+    }
+  }
+  if (err) {
+    std::fprintf(stderr, "invalid scenario: %s\n", err->c_str());
+    std::exit(2);
+  }
+}
+
 RunResult run_once(const ScenarioConfig& config,
                    std::uint64_t replication_index) {
+  validate_scenario(config);
   sim::Simulator simulator;
   // The profiler must be attached before the Network is built: the Network
   // constructor (and every router constructor) resolves its scope ids from
@@ -187,6 +205,20 @@ RunResult run_once(const ScenarioConfig& config,
     network.add_listener(obs_bridge.get());
   }
   if (config.obs.metrics) protocol->set_metrics(&metrics);
+
+  // Node-level fault processes (src/faults): churn and outage markers ride
+  // on a dedicated RNG fork, so an inert plan leaves every existing stream
+  // untouched. The channel loss model lives inside the Network itself.
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (config.faults.churn.active() || !config.faults.outages.empty()) {
+    injector = std::make_unique<faults::FaultInjector>(
+        simulator, config.faults, config.node_count, rng.fork(5),
+        config.duration_s,
+        [&network](std::uint32_t node, bool up) {
+          network.set_node_alive(node, up);
+        },
+        config.obs.metrics ? &metrics : nullptr, tracer);
+  }
 
   DeliveryCounter delivery(
       config.obs.metrics ? &metrics.sample("app.latency_s") : nullptr,

@@ -104,6 +104,15 @@ struct ExperimentResult {
   void add(const RunResult& run);
 };
 
+/// Reject unusable scenarios before any simulation runs: a fault plan with
+/// a loss probability outside [0,1] or negative MTTF/MTTR, or ARQ enabled
+/// with a non-positive retry budget / negative timings, silently produces
+/// garbage curves. The message goes to stderr and the process exits with
+/// status 2 — the same hard-error contract as a malformed ALERTSIM_REPS.
+/// run_once calls this on every replication; harnesses building many
+/// scenarios can call it early to fail before spending any simulation time.
+void validate_scenario(const ScenarioConfig& config);
+
 /// Run one replication with the given seed offset (deterministic).
 [[nodiscard]] RunResult run_once(const ScenarioConfig& config,
                                  std::uint64_t replication_index);

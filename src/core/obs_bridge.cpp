@@ -37,12 +37,16 @@ const char* drop_reason_name(net::DropReason why) {
     case net::DropReason::OutOfRange: return "out_of_range";
     case net::DropReason::NoHandler: return "no_handler";
     case net::DropReason::TtlExpired: return "ttl_expired";
+    case net::DropReason::ChannelLoss: return "channel_loss";
+    case net::DropReason::NodeDown: return "node_down";
+    case net::DropReason::RetryExhausted: return "retry_exhausted";
   }
   return "unknown";
 }
 
 ObsBridge::ObsBridge(obs::MetricsRegistry& metrics, obs::Tracer tracer)
-    : tx_(metrics.counter("net.tx")),
+    : metrics_(metrics),
+      tx_(metrics.counter("net.tx")),
       rx_(metrics.counter("net.rx")),
       drops_{&metrics.counter("net.drop.out_of_range"),
              &metrics.counter("net.drop.no_handler"),
@@ -73,7 +77,12 @@ void ObsBridge::on_deliver(const net::Node& receiver, const net::Packet& pkt,
 
 void ObsBridge::on_drop(const net::Node& last_holder, const net::Packet& pkt,
                         sim::Time when, net::DropReason why) {
-  drops_[static_cast<std::size_t>(why)]->inc();
+  const auto i = static_cast<std::size_t>(why);
+  if (drops_[i] == nullptr) {
+    drops_[i] = &metrics_.counter(std::string("net.drop.") +
+                                  drop_reason_name(why));
+  }
+  drops_[i]->inc();
   if (tracer_.enabled()) {
     tracer_.emit(obs::TraceEvent{
         when, static_cast<std::uint32_t>(last_holder.id()), pkt.uid,
@@ -95,6 +104,11 @@ void export_protocol_stats(obs::MetricsRegistry& metrics,
   metrics.counter("proto.retransmissions").inc(stats.retransmissions);
   metrics.counter("proto.naks").inc(stats.naks);
   metrics.counter("proto.control_hops").inc(stats.control_hops);
+  // Fault-era counter: only materialized when the link layer actually
+  // reported failures, so ideal-channel snapshots are unchanged.
+  if (stats.send_failures != 0) {
+    metrics.counter("proto.send_failures").inc(stats.send_failures);
+  }
   metrics.gauge("proto.crypto_time_total_s").set(stats.crypto_time_total_s);
 }
 
@@ -106,6 +120,18 @@ void export_run_totals(obs::MetricsRegistry& metrics,
   metrics.counter("packets.delivered").inc(totals.delivered);
   metrics.counter("packets.dropped").inc(totals.dropped);
   metrics.counter("packets.expired").inc(totals.expired);
+  if (network.fault_aware()) {
+    // Fault-era accounting, gated so all-defaults snapshots stay
+    // byte-identical to pre-fault builds.
+    metrics.counter("net.arq.retries").inc(network.arq_retries());
+    metrics.counter("net.channel.broadcast_losses")
+        .inc(network.broadcast_losses());
+    metrics.counter("net.channel.frames_lost")
+        .inc(network.channel_frames_lost());
+    metrics.counter("packets.lost_channel").inc(totals.lost_channel);
+    metrics.counter("packets.retry_exhausted").inc(totals.retry_exhausted);
+    metrics.counter("packets.owner_crashed").inc(totals.owner_crashed);
+  }
   const net::EnergyMeter energy = network.energy().total();
   metrics.gauge("energy.total_j").set(energy.total());
   metrics.gauge("energy.crypto_j").set(energy.crypto_j);

@@ -37,9 +37,14 @@ class ObsBridge final : public net::TraceListener {
                sim::Time when, net::DropReason why) override;
 
  private:
+  obs::MetricsRegistry& metrics_;
   obs::Counter& tx_;
   obs::Counter& rx_;
-  obs::Counter* drops_[3];  ///< indexed by DropReason
+  /// Indexed by DropReason. The three pre-fault reasons are created eagerly
+  /// (their counters have always appeared in every snapshot); the fault-era
+  /// reasons are created lazily on first occurrence, so all-defaults runs
+  /// keep byte-identical metrics snapshots.
+  obs::Counter* drops_[net::kDropReasonCount];
   util::Histogram& tx_bytes_;
   obs::Tracer tracer_;
 };

@@ -23,6 +23,7 @@ net::NetworkConfig ScenarioConfig::network_config() const {
   cfg.neighbor_max_age_s = 2.5 * hello_period_s;
   cfg.pseudonym_period_s = pseudonym_period_s;
   cfg.crypto_cost = crypto_cost;
+  cfg.faults = faults;
   return cfg;
 }
 

@@ -53,6 +53,11 @@ struct ScenarioConfig {
   double hello_period_s = 1.0;
   double pseudonym_period_s = 20.0;  ///< Sec. 2.2 rotation tradeoff
 
+  // Fault injection (src/faults): channel loss, node churn, jammer discs.
+  // All-off by default — and an all-off plan is invisible: same RNG
+  // streams, same digests, same canonical dump as before faults existed.
+  faults::FaultPlan faults;
+
   // Traffic: UDP/CBR, 512-byte packets, 10 random S-D pairs, one packet
   // every 2 s (Sec. 5.2).
   std::size_t flow_count = 10;

@@ -71,6 +71,50 @@ bool parse_bool_strict(std::string_view s, bool* out) {
   return false;
 }
 
+/// Outage list codec: "x:y:radius:start:end" discs joined by ';' (empty
+/// string = no outages). The canonical dump uses the same rendering, so a
+/// round-trip through apply_scenario_param is exact.
+std::string format_outages(const std::vector<faults::Outage>& outages) {
+  std::string out;
+  for (const faults::Outage& o : outages) {
+    if (!out.empty()) out += ';';
+    out += fmt_double(o.center.x) + ':' + fmt_double(o.center.y) + ':' +
+           fmt_double(o.radius_m) + ':' + fmt_double(o.start_s) + ':' +
+           fmt_double(o.end_s);
+  }
+  return out;
+}
+
+bool parse_outages(std::string_view s, std::vector<faults::Outage>* out) {
+  out->clear();
+  if (s.empty()) return true;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t semi = std::min(s.find(';', pos), s.size());
+    const std::string_view disc = s.substr(pos, semi - pos);
+    if (std::count(disc.begin(), disc.end(), ':') != 4) {
+      return false;  // exactly x:y:radius:start:end — no extra fields
+    }
+    double vals[5];
+    std::size_t field = 0, at = 0;
+    while (field < 5) {
+      const std::size_t colon = std::min(disc.find(':', at), disc.size());
+      if (!parse_double_strict(disc.substr(at, colon - at), &vals[field])) {
+        return false;
+      }
+      ++field;
+      if (colon == disc.size()) break;
+      at = colon + 1;
+    }
+    if (field != 5) return false;
+    out->push_back(faults::Outage{{vals[0], vals[1]}, vals[2], vals[3],
+                                  vals[4]});
+    if (semi == s.size()) break;
+    pos = semi + 1;
+  }
+  return true;
+}
+
 /// One sweepable parameter: how to set it from a string.
 using Setter =
     std::function<bool(ScenarioConfig&, std::string_view value)>;
@@ -165,6 +209,56 @@ const std::map<std::string, Setter, std::less<>>& setters() {
     m["zap.zone_side_m"] = [](ScenarioConfig& c, std::string_view v) {
       return parse_double_strict(v, &c.zap.zone_side_m);
     };
+
+    // Fault injection (src/faults) and link-layer ARQ. These keys are
+    // sweepable like any other, but only appear in the canonical dump when
+    // the plan is active (see canonical_scenario).
+    m["faults.loss.iid"] = [](ScenarioConfig& c, std::string_view v) {
+      return parse_double_strict(v, &c.faults.loss.iid);
+    };
+    m["faults.loss.gilbert"] = [](ScenarioConfig& c, std::string_view v) {
+      return parse_bool_strict(v, &c.faults.loss.gilbert);
+    };
+    m["faults.loss.ge_p_good_bad"] = [](ScenarioConfig& c,
+                                        std::string_view v) {
+      return parse_double_strict(v, &c.faults.loss.ge_p_good_bad);
+    };
+    m["faults.loss.ge_p_bad_good"] = [](ScenarioConfig& c,
+                                        std::string_view v) {
+      return parse_double_strict(v, &c.faults.loss.ge_p_bad_good);
+    };
+    m["faults.loss.ge_loss_good"] = [](ScenarioConfig& c,
+                                       std::string_view v) {
+      return parse_double_strict(v, &c.faults.loss.ge_loss_good);
+    };
+    m["faults.loss.ge_loss_bad"] = [](ScenarioConfig& c,
+                                      std::string_view v) {
+      return parse_double_strict(v, &c.faults.loss.ge_loss_bad);
+    };
+    m["faults.churn.mttf_s"] = [](ScenarioConfig& c, std::string_view v) {
+      return parse_double_strict(v, &c.faults.churn.mttf_s);
+    };
+    m["faults.churn.mttr_s"] = [](ScenarioConfig& c, std::string_view v) {
+      return parse_double_strict(v, &c.faults.churn.mttr_s);
+    };
+    m["faults.outages"] = [](ScenarioConfig& c, std::string_view v) {
+      return parse_outages(v, &c.faults.outages);
+    };
+    m["mac.arq.enabled"] = [](ScenarioConfig& c, std::string_view v) {
+      return parse_bool_strict(v, &c.mac.arq.enabled);
+    };
+    m["mac.arq.retry_limit"] = [](ScenarioConfig& c, std::string_view v) {
+      return parse_int_strict(v, &c.mac.arq.retry_limit);
+    };
+    m["mac.arq.ack_timeout_s"] = [](ScenarioConfig& c, std::string_view v) {
+      return parse_double_strict(v, &c.mac.arq.ack_timeout_s);
+    };
+    m["mac.arq.backoff_base_s"] = [](ScenarioConfig& c, std::string_view v) {
+      return parse_double_strict(v, &c.mac.arq.backoff_base_s);
+    };
+    m["mac.arq.ack_bytes"] = [](ScenarioConfig& c, std::string_view v) {
+      return parse_size_strict(v, &c.mac.arq.ack_bytes);
+    };
     return m;
   }();
   return kSetters;
@@ -207,6 +301,11 @@ std::string canonical_scenario(const ScenarioConfig& c) {
   // a field to ScenarioConfig (or any nested config), add its line below —
   // and bump kSimulationEpoch if the default value changes existing
   // behaviour. The unit test pins the rendering of the default config.
+  // Exception: fields whose default is provably inert (the fault plan and
+  // the ARQ block — an all-off plan changes no RNG draw, event, or audit
+  // word) are emitted only when active, so default dumps and campaign cache
+  // keys stay byte-identical across the feature's introduction and warm
+  // caches stay warm.
   std::vector<std::pair<std::string, std::string>> kv;
   const auto put = [&kv](std::string key, std::string value) {
     kv.emplace_back(std::move(key), std::move(value));
@@ -300,6 +399,26 @@ std::string canonical_scenario(const ScenarioConfig& c) {
   put("zap.max_hops", std::to_string(c.zap.max_hops));
   put("zap.per_hop_processing_s", fmt_double(c.zap.per_hop_processing_s));
   put("zap.flood_rebroadcast", fmt_bool(c.zap.flood_rebroadcast));
+
+  // Fault plan + ARQ: conditional on activity (see NOTE above). Once any
+  // fault knob or the ARQ is on, every knob of both blocks is emitted —
+  // partial dumps would make two different active configs collide.
+  if (c.faults.any() || c.mac.arq.enabled) {
+    put("faults.loss.iid", fmt_double(c.faults.loss.iid));
+    put("faults.loss.gilbert", fmt_bool(c.faults.loss.gilbert));
+    put("faults.loss.ge_p_good_bad", fmt_double(c.faults.loss.ge_p_good_bad));
+    put("faults.loss.ge_p_bad_good", fmt_double(c.faults.loss.ge_p_bad_good));
+    put("faults.loss.ge_loss_good", fmt_double(c.faults.loss.ge_loss_good));
+    put("faults.loss.ge_loss_bad", fmt_double(c.faults.loss.ge_loss_bad));
+    put("faults.churn.mttf_s", fmt_double(c.faults.churn.mttf_s));
+    put("faults.churn.mttr_s", fmt_double(c.faults.churn.mttr_s));
+    put("faults.outages", format_outages(c.faults.outages));
+    put("mac.arq.enabled", fmt_bool(c.mac.arq.enabled));
+    put("mac.arq.retry_limit", std::to_string(c.mac.arq.retry_limit));
+    put("mac.arq.ack_timeout_s", fmt_double(c.mac.arq.ack_timeout_s));
+    put("mac.arq.backoff_base_s", fmt_double(c.mac.arq.backoff_base_s));
+    put("mac.arq.ack_bytes", std::to_string(c.mac.arq.ack_bytes));
+  }
 
   put("residency_sample_period_s", fmt_double(c.residency_sample_period_s));
   put("run_attacks", fmt_bool(c.run_attacks));

@@ -1,0 +1,21 @@
+#include "faults/channel_model.hpp"
+
+namespace alert::faults {
+
+bool ChannelModel::lose_frame(std::uint32_t sender, std::uint32_t receiver) {
+  ++frames_seen_;
+  bool lost = false;
+  if (cfg_.gilbert) {
+    const std::uint64_t link =
+        (static_cast<std::uint64_t>(sender) << 32) | receiver;
+    bool& bad = link_bad_[link];
+    bad = rng_.bernoulli(bad ? 1.0 - cfg_.ge_p_bad_good : cfg_.ge_p_good_bad);
+    lost = rng_.bernoulli(bad ? cfg_.ge_loss_bad : cfg_.ge_loss_good);
+  } else {
+    lost = rng_.bernoulli(cfg_.iid);
+  }
+  if (lost) ++frames_lost_;
+  return lost;
+}
+
+}  // namespace alert::faults

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file channel_model.hpp
+/// Runtime frame-loss process for a FaultPlan's LossModel. Owned by
+/// net::Network (allocated only when the loss model is active, so ideal
+/// channels pay nothing) and consulted once per frame arrival — unicast
+/// attempts and every broadcast receiver independently.
+///
+/// Determinism: the model owns a forked RNG stream; frame arrivals are
+/// discrete-event-ordered, so the draw sequence — and therefore every loss
+/// decision — replays exactly for a given scenario + seed.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "faults/fault_plan.hpp"
+#include "util/rng.hpp"
+
+namespace alert::faults {
+
+class ChannelModel {
+ public:
+  ChannelModel(const LossModel& cfg, util::Rng rng)
+      : cfg_(cfg), rng_(rng) {}
+
+  /// One frame on the directed link sender -> receiver: advances the
+  /// per-link Gilbert–Elliott chain (when configured) and returns whether
+  /// the frame is lost.
+  [[nodiscard]] bool lose_frame(std::uint32_t sender, std::uint32_t receiver);
+
+  [[nodiscard]] std::uint64_t frames_lost() const { return frames_lost_; }
+  [[nodiscard]] std::uint64_t frames_seen() const { return frames_seen_; }
+
+ private:
+  LossModel cfg_;
+  util::Rng rng_;
+  /// Gilbert–Elliott chain state per directed link; true = bad (bursty)
+  /// state. Links start good; map order is never iterated, so the
+  /// unordered container cannot perturb determinism.
+  std::unordered_map<std::uint64_t, bool> link_bad_;
+  std::uint64_t frames_lost_ = 0;
+  std::uint64_t frames_seen_ = 0;
+};
+
+}  // namespace alert::faults

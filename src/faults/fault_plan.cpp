@@ -1,0 +1,46 @@
+#include "faults/fault_plan.hpp"
+
+namespace alert::faults {
+
+namespace {
+
+bool probability(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+bool FaultPlan::jammed(util::Vec2 pos, double now) const {
+  for (const Outage& o : outages) {
+    if (now < o.start_s || now >= o.end_s) continue;
+    if (util::distance_sq(pos, o.center) <= o.radius_m * o.radius_m) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::string> validate(const FaultPlan& plan) {
+  if (!probability(plan.loss.iid)) {
+    return "faults.loss.iid must be a probability in [0, 1]";
+  }
+  if (!probability(plan.loss.ge_p_good_bad) ||
+      !probability(plan.loss.ge_p_bad_good) ||
+      !probability(plan.loss.ge_loss_good) ||
+      !probability(plan.loss.ge_loss_bad)) {
+    return "faults.loss.ge_* must all be probabilities in [0, 1]";
+  }
+  if (plan.churn.mttf_s < 0.0) {
+    return "faults.churn.mttf_s must be >= 0";
+  }
+  if (plan.churn.mttr_s < 0.0) {
+    return "faults.churn.mttr_s must be >= 0";
+  }
+  for (const Outage& o : plan.outages) {
+    if (o.radius_m < 0.0) return "fault outage radius must be >= 0";
+    if (o.end_s < o.start_s) {
+      return "fault outage window must have end >= start";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace alert::faults

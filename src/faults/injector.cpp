@@ -1,0 +1,90 @@
+#include "faults/injector.hpp"
+
+namespace alert::faults {
+
+namespace {
+
+/// Audit-word tags for the determinism digest (node id in the low bits).
+constexpr std::uint64_t kCrashTag = 0xFA01'0000'0000'0000ULL;
+constexpr std::uint64_t kRecoverTag = 0xFA02'0000'0000'0000ULL;
+constexpr std::uint64_t kOutageTag = 0xFA03'0000'0000'0000ULL;
+
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulator& simulator, const FaultPlan& plan,
+                             std::size_t node_count, util::Rng rng,
+                             double horizon, SetAlive set_alive,
+                             obs::MetricsRegistry* metrics,
+                             obs::Tracer tracer)
+    : sim_(simulator),
+      plan_(plan),
+      rng_(rng),
+      horizon_(horizon),
+      set_alive_(std::move(set_alive)),
+      tracer_(tracer) {
+  if (metrics != nullptr) {
+    crash_counter_ = &metrics->counter("faults.crashes");
+    recover_counter_ = &metrics->counter("faults.recoveries");
+    if (!plan_.outages.empty()) {
+      metrics->counter("faults.outages").inc(plan_.outages.size());
+    }
+  }
+  if (plan_.churn.active()) {
+    for (std::uint32_t id = 0; id < node_count; ++id) {
+      schedule_crash(id, rng_.exponential(plan_.churn.mttf_s));
+    }
+  }
+  // Outage windows are enforced by FaultPlan::jammed() as a pure function
+  // of time; the injector only marks the window edges for the audit and
+  // the trace timeline.
+  for (std::size_t i = 0; i < plan_.outages.size(); ++i) {
+    const Outage& o = plan_.outages[i];
+    const auto tag = kOutageTag | i;
+    if (o.start_s < horizon_) {
+      sim_.schedule_at(o.start_s, [this, tag] {
+        mark(0, "fault.outage_on", tag);
+      });
+    }
+    if (o.end_s < horizon_) {
+      sim_.schedule_at(o.end_s, [this, tag] {
+        mark(0, "fault.outage_off", tag ^ 1ULL << 32);
+      });
+    }
+  }
+}
+
+void FaultInjector::schedule_crash(std::uint32_t node, double in) {
+  const double at = sim_.now() + in;
+  if (at >= horizon_) return;
+  sim_.schedule_at(at, [this, node] { crash(node); });
+}
+
+void FaultInjector::crash(std::uint32_t node) {
+  ++crashes_;
+  if (crash_counter_ != nullptr) crash_counter_->inc();
+  set_alive_(node, false);
+  mark(node, "fault.crash", kCrashTag | node);
+  if (plan_.churn.mttr_s <= 0.0) return;  // fail-stop: down for good
+  const double at = sim_.now() + rng_.exponential(plan_.churn.mttr_s);
+  if (at >= horizon_) return;
+  sim_.schedule_at(at, [this, node] { recover(node); });
+}
+
+void FaultInjector::recover(std::uint32_t node) {
+  ++recoveries_;
+  if (recover_counter_ != nullptr) recover_counter_->inc();
+  set_alive_(node, true);
+  mark(node, "fault.recover", kRecoverTag | node);
+  schedule_crash(node, rng_.exponential(plan_.churn.mttf_s));
+}
+
+void FaultInjector::mark(std::uint32_t node, const char* kind,
+                         std::uint64_t audit_tag) {
+  sim_.audit(audit_tag);
+  if (tracer_.enabled()) {
+    tracer_.emit(obs::TraceEvent{sim_.now(), node, 0, obs::TraceLayer::Sim,
+                                 kind, 0.0, audit_tag});
+  }
+}
+
+}  // namespace alert::faults

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file injector.hpp
+/// Runtime half of a FaultPlan's node-level faults: schedules crash/recover
+/// churn on the simulator and emits outage window markers. The injector
+/// does not know net::Network (that would cycle the library graph — net
+/// already depends on faults for the plan); the harness hands it a
+/// `set_alive(node, up)` callback instead.
+///
+/// Every state flip is folded into the determinism audit and, when obs is
+/// wired, emitted as a TraceEvent (layer Sim, kinds "fault.crash" /
+/// "fault.recover" / "fault.outage_on" / "fault.outage_off") and counted in
+/// the metrics registry ("faults.crashes", "faults.recoveries",
+/// "faults.outages"). With no plan scheduled, none of these counters exist,
+/// keeping all-defaults metrics snapshots byte-identical to pre-fault runs.
+
+#include <cstdint>
+#include <functional>
+
+#include "faults/fault_plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace alert::faults {
+
+class FaultInjector {
+ public:
+  using SetAlive = std::function<void(std::uint32_t node, bool up)>;
+
+  /// Schedules the plan's churn and outage events on `simulator` up to
+  /// `horizon`. `metrics` may be null (no counters); `tracer` may be
+  /// disabled (no events). `set_alive` flips the radio state of one node.
+  FaultInjector(sim::Simulator& simulator, const FaultPlan& plan,
+                std::size_t node_count, util::Rng rng, double horizon,
+                SetAlive set_alive, obs::MetricsRegistry* metrics,
+                obs::Tracer tracer);
+
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+
+ private:
+  void schedule_crash(std::uint32_t node, double at);
+  void crash(std::uint32_t node);
+  void recover(std::uint32_t node);
+  void mark(std::uint32_t node, const char* kind, std::uint64_t audit_tag);
+
+  sim::Simulator& sim_;
+  FaultPlan plan_;
+  util::Rng rng_;
+  double horizon_;
+  SetAlive set_alive_;
+  obs::Counter* crash_counter_ = nullptr;
+  obs::Counter* recover_counter_ = nullptr;
+  obs::Tracer tracer_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t recoveries_ = 0;
+};
+
+}  // namespace alert::faults

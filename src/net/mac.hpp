@@ -21,12 +21,30 @@ namespace alert::net {
 
 class Node;
 
+/// Link-layer unicast ARQ (stop-and-wait with binary-exponential backoff).
+/// Off by default: the ideal-channel runs that reproduce the paper's
+/// figures are byte-identical with or without this struct existing. When
+/// enabled, every unicast frame is acked by the receiver; a missing ack
+/// triggers up to `retry_limit` retransmissions, after which the failure is
+/// surfaced to the router as DropReason::RetryExhausted via
+/// PacketHandler::on_send_failed. docs/FAULTS.md spells out the model
+/// (acks are charged for but never lost — their loss rate is second-order
+/// and collapsing it keeps packet conservation exact).
+struct ArqConfig {
+  bool enabled = false;
+  int retry_limit = 4;          ///< attempts per frame, including the first
+  double ack_timeout_s = 3e-3;  ///< wait for the ack before retrying
+  double backoff_base_s = 1e-3; ///< binary-exponential backoff unit
+  std::size_t ack_bytes = 14;   ///< ack frame size (energy + air time)
+};
+
 struct MacConfig {
   double bandwidth_bps = 2e6;       ///< 802.11 basic rate
   double slot_s = 100e-6;           ///< contention slot scale
   double difs_s = 50e-6;            ///< fixed per-frame overhead
   double propagation_mps = 3.0e8;   ///< radio propagation speed
   double contention_per_neighbor = 0.15;  ///< backoff growth per contender
+  ArqConfig arq;
 };
 
 /// Outcome of scheduling one frame on the channel.

@@ -41,6 +41,18 @@ class DefaultPseudonyms final : public PseudonymProvider {
 
 }  // namespace
 
+PacketFate fate_for(DropReason why) {
+  switch (why) {
+    case DropReason::OutOfRange: return PacketFate::Dropped;
+    case DropReason::NoHandler: return PacketFate::Dropped;
+    case DropReason::TtlExpired: return PacketFate::Dropped;
+    case DropReason::ChannelLoss: return PacketFate::LostChannel;
+    case DropReason::NodeDown: return PacketFate::OwnerCrashed;
+    case DropReason::RetryExhausted: return PacketFate::RetryExhausted;
+  }
+  return PacketFate::Dropped;
+}
+
 Network::Network(sim::Simulator& simulator, NetworkConfig config,
                  std::unique_ptr<MobilityModel> mobility, util::Rng rng,
                  sim::Time horizon)
@@ -60,6 +72,14 @@ Network::Network(sim::Simulator& simulator, NetworkConfig config,
   default_provider_ =
       std::make_unique<DefaultPseudonyms>(rng_.fork(0xA11CE).next());
   pseudonym_provider_ = default_provider_.get();
+
+  // Frame-loss process: only materialized when the plan asks for loss
+  // (fork() is const on the parent, so merely checking costs no draws and
+  // the ideal-channel RNG stream is untouched).
+  if (config_.faults.loss.active()) {
+    channel_ = std::make_unique<faults::ChannelModel>(
+        config_.faults.loss, rng_.fork(0xFA17));
+  }
 
   util::Rng keygen = rng_.fork(0x6E75);
   nodes_.reserve(config_.node_count);
@@ -144,6 +164,7 @@ void Network::schedule_mobility(Node& node) {
 }
 
 void Network::send_hello(Node& node) {
+  if (!node.alive()) return;  // a crashed radio does not beacon
   ++hello_count_;
   Packet pkt;
   pkt.kind = PacketKind::Hello;
@@ -162,6 +183,17 @@ void Network::unicast(Node& from, Pseudonym to, Packet pkt,
   // are all seed-deterministic words (never addresses or wall-clock).
   sim_.audit((pkt.uid << 8) ^ static_cast<std::uint64_t>(pkt.kind));
   sim_.audit(from.id());
+  if (!from.alive()) {
+    // The holder's radio died with the frame still queued (e.g. a timer
+    // fired on a node that crashed since): no air time was spent.
+    drop_and_notify(from, to, pkt, DropReason::NodeDown);
+    return;
+  }
+  transmit_unicast(from, to, std::move(pkt), processing_delay, 1);
+}
+
+void Network::transmit_unicast(Node& from, Pseudonym to, Packet pkt,
+                               double processing_delay, int attempt) {
   const sim::Time now = sim_.now();
   const util::Vec2 pos = from.position(now);
   const std::size_t contenders =
@@ -177,9 +209,11 @@ void Network::unicast(Node& from, Pseudonym to, Packet pkt,
   const sim::Time arrive =
       grant.start + grant.tx_time +
       mac_.propagation_delay(config_.radio_range_m);
-  sim_.schedule_at(arrive, [this, sender, receiver, pkt = std::move(pkt)] {
-    deliver_unicast(sender, receiver, pkt);
-  });
+  sim_.schedule_at(arrive,
+                   [this, sender, receiver, to, attempt,
+                    pkt = std::move(pkt)] {
+                     deliver_unicast(sender, receiver, to, pkt, attempt);
+                   });
 }
 
 void Network::broadcast(Node& from, Packet pkt, double processing_delay) {
@@ -187,6 +221,7 @@ void Network::broadcast(Node& from, Packet pkt, double processing_delay) {
   pkt.prev_hop = from.id();
   sim_.audit((pkt.uid << 8) ^ static_cast<std::uint64_t>(pkt.kind));
   sim_.audit(from.id());
+  if (!from.alive()) return;  // dead radio: the broadcast never airs
   const sim::Time now = sim_.now();
   const util::Vec2 pos = from.position(now);
   const std::size_t contenders =
@@ -216,6 +251,17 @@ void Network::deliver_broadcast(NodeId sender, const Packet& pkt,
        nodes_within(sender_pos, config_.radio_range_m, now)) {
     if (id == sender) continue;
     Node& receiver = *nodes_[id];
+    if (!receiver.alive()) continue;  // crashed radios hear nothing
+    // Per-receiver channel faults: jammer discs over either endpoint, then
+    // the loss model's independent draw for this receiver. No ack exists
+    // for broadcasts, so a loss is simply a missed reception (this is what
+    // starves neighbour tables under loss — hellos are broadcasts too).
+    if (config_.faults.jammed(sender_pos, now) ||
+        config_.faults.jammed(receiver.position(now), now) ||
+        (channel_ != nullptr && channel_->lose_frame(sender, id))) {
+      ++broadcast_losses_;
+      continue;
+    }
     energy_.charge_rx(id, pkt.size_bytes);
     if (pkt.kind == PacketKind::Hello) {
       const Node& s = *nodes_[sender];
@@ -231,29 +277,98 @@ void Network::deliver_broadcast(NodeId sender, const Packet& pkt,
   }
 }
 
-void Network::deliver_unicast(NodeId sender, NodeId receiver,
-                              const Packet& pkt) {
+void Network::deliver_unicast(NodeId sender, NodeId receiver, Pseudonym to,
+                              const Packet& pkt, int attempt) {
   ALERT_OBS_TIMED(sim_.profiler(), deliver_scope_);
   const sim::Time now = sim_.now();
+
+  // Did this attempt's frame reach a live radio? Causes are checked from
+  // the outside in: addressing, geometry, receiver liveness, then channel.
+  bool lost = false;
+  DropReason why = DropReason::OutOfRange;
   if (receiver == kInvalidNode) {
-    for (auto* l : listeners_)
-      l->on_drop(*nodes_[sender], pkt, now, DropReason::OutOfRange);
-    return;
-  }
-  Node& to = *nodes_[receiver];
-  const util::Vec2 from_pos = nodes_[sender]->position(now);
-  if (util::distance(from_pos, to.position(now)) > config_.radio_range_m) {
-    for (auto* l : listeners_)
-      l->on_drop(*nodes_[sender], pkt, now, DropReason::OutOfRange);
-    return;
-  }
-  energy_.charge_rx(receiver, pkt.size_bytes);
-  for (auto* l : listeners_) l->on_deliver(to, pkt, now);
-  if (handlers_[receiver] != nullptr) {
-    handlers_[receiver]->handle(to, pkt);
+    lost = true;  // stale pseudonym: nobody owns this address any more
   } else {
-    for (auto* l : listeners_)
-      l->on_drop(to, pkt, now, DropReason::NoHandler);
+    Node& rx = *nodes_[receiver];
+    const util::Vec2 from_pos = nodes_[sender]->position(now);
+    const util::Vec2 to_pos = rx.position(now);
+    if (util::distance(from_pos, to_pos) > config_.radio_range_m) {
+      lost = true;
+    } else if (!rx.alive()) {
+      lost = true;
+      why = DropReason::NodeDown;
+    } else if (config_.faults.jammed(from_pos, now) ||
+               config_.faults.jammed(to_pos, now) ||
+               (channel_ != nullptr && channel_->lose_frame(sender,
+                                                            receiver))) {
+      lost = true;
+      why = DropReason::ChannelLoss;
+    }
+  }
+
+  if (!lost) {
+    Node& rx = *nodes_[receiver];
+    energy_.charge_rx(receiver, pkt.size_bytes);
+    if (config_.mac.arq.enabled) {
+      // Link-layer ack: a short frame back to the sender, charged as air
+      // time and energy on both radios (latency is folded into the ARQ
+      // timeout the sender already waits out on loss).
+      energy_.charge_tx(receiver, config_.mac.arq.ack_bytes,
+                        config_.radio_range_m);
+      energy_.charge_rx(sender, config_.mac.arq.ack_bytes);
+    }
+    for (auto* l : listeners_) l->on_deliver(rx, pkt, now);
+    if (handlers_[receiver] != nullptr) {
+      handlers_[receiver]->handle(rx, pkt);
+    } else {
+      for (auto* l : listeners_)
+        l->on_drop(rx, pkt, now, DropReason::NoHandler);
+    }
+    return;
+  }
+
+  Node& tx = *nodes_[sender];
+  if (config_.mac.arq.enabled && tx.alive() &&
+      attempt < config_.mac.arq.retry_limit) {
+    // No ack within the timeout: binary-exponential backoff, then try
+    // again. The retry is audited (uid + attempt) so fault runs digest
+    // reproducibly, and re-acquires the MAC at current contention.
+    ++arq_retries_;
+    sim_.audit((std::uint64_t{0xA49} << 48) ^ (pkt.uid << 8) ^
+               static_cast<std::uint64_t>(attempt));
+    const double wait =
+        config_.mac.arq.ack_timeout_s +
+        config_.mac.arq.backoff_base_s *
+            static_cast<double>(1ULL << (attempt - 1)) *
+            rng_.uniform(0.5, 1.5);
+    sim_.schedule_in(wait, [this, sender, to, attempt, pkt] {
+      Node& from = *nodes_[sender];
+      if (!from.alive()) {
+        drop_and_notify(from, to, pkt, DropReason::NodeDown);
+        return;
+      }
+      transmit_unicast(from, to, pkt, 0.0, attempt + 1);
+    });
+    return;
+  }
+  if (config_.mac.arq.enabled && attempt >= config_.mac.arq.retry_limit) {
+    why = DropReason::RetryExhausted;
+  }
+  drop_and_notify(tx, to, pkt, why);
+}
+
+void Network::drop_and_notify(Node& holder, Pseudonym to, const Packet& pkt,
+                              DropReason why) {
+  const sim::Time now = sim_.now();
+  for (auto* l : listeners_) l->on_drop(holder, pkt, now, why);
+  // Failure feedback exists only when the link layer can actually detect
+  // failure (ARQ acks). Ideal-channel runs keep the pre-fault contract:
+  // the drop is observed by listeners and the uid ages out at the horizon.
+  if (!config_.mac.arq.enabled) return;
+  if (handlers_[holder.id()] != nullptr) {
+    handlers_[holder.id()]->on_send_failed(holder, pkt, to, why);
+  } else if (pkt.uid != 0 && ledger_.is_open(pkt.uid)) {
+    ledger_.close(pkt.uid, fate_for(why), now);
   }
 }
 

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "crypto/cost_model.hpp"
+#include "faults/channel_model.hpp"
+#include "faults/fault_plan.hpp"
 #include "net/energy.hpp"
 #include "net/mac.hpp"
 #include "net/mobility.hpp"
@@ -24,12 +26,25 @@
 
 namespace alert::net {
 
+enum class DropReason : std::uint8_t;
+
 /// Per-node protocol entry point, implemented by routers.
 class PacketHandler {
  public:
   virtual ~PacketHandler() = default;
   /// A frame addressed to (or overheard by, for broadcasts) `self`.
   virtual void handle(Node& self, const Packet& pkt) = 0;
+  /// The link layer gave up on a unicast from `self` to `next_hop`: the
+  /// ARQ retry budget is spent, or `self`'s own radio died with the frame
+  /// queued. Fires only in fault-aware runs (ARQ enabled — an ideal
+  /// channel has no ack mechanism to detect failure with, and the default
+  /// configuration must replay byte-identically). Routers override this to
+  /// degrade gracefully: evict the dead neighbour, re-forward to the
+  /// next-best candidate, or close the packet's ledger entry.
+  virtual void on_send_failed(Node& self, const Packet& pkt,
+                              Pseudonym next_hop, DropReason why) {
+    (void)self, (void)pkt, (void)next_hop, (void)why;
+  }
 };
 
 /// Pseudonym generation strategy (implemented by loc::PseudonymManager; the
@@ -44,7 +59,18 @@ enum class DropReason : std::uint8_t {
   OutOfRange,     ///< unicast receiver moved out of radio range
   NoHandler,      ///< no protocol attached
   TtlExpired,     ///< hops_remaining exhausted (counted by routers)
+  ChannelLoss,    ///< frame lost to fault injection (loss model / jammer)
+  NodeDown,       ///< a crashed radio was involved (fault churn)
+  RetryExhausted, ///< ARQ retry budget spent without an ack
 };
+
+/// Number of DropReason enumerators (sizes per-reason counter arrays; the
+/// alert-lint drop-reason-exhaustive rule keeps switches in sync).
+inline constexpr std::size_t kDropReasonCount = 6;
+
+/// Ledger fate matching a net-layer drop cause, for closing a uid whose
+/// packet the link layer terminally gave up on.
+[[nodiscard]] PacketFate fate_for(DropReason why);
 
 /// Observer of every on-air event — the eyes of metrics collection and of
 /// the adversary models.
@@ -76,6 +102,9 @@ struct NetworkConfig {
   crypto::CostModel crypto_cost;
   EnergyConfig energy;
   int rsa_modulus_bits = 62;
+  /// Channel/node adversity (src/faults). Inert by default: an all-off
+  /// plan allocates nothing, draws nothing, audits nothing.
+  faults::FaultPlan faults;
 };
 
 class Network {
@@ -141,6 +170,30 @@ class Network {
   /// Immediately rotate one node's pseudonym (also runs periodically).
   void rotate_pseudonym(Node& node);
 
+  // --- fault injection (src/faults) --------------------------------------
+  /// Flip one node's radio state (FaultInjector churn callback). Crashing
+  /// clears the node's neighbour table; recovery lets hello beaconing
+  /// repopulate it.
+  void set_node_alive(NodeId id, bool up) { nodes_[id]->set_alive(up); }
+
+  /// Whether this run can diverge from the ideal-channel baseline (any
+  /// fault active or ARQ enabled). Gates failure callbacks and the
+  /// fault-era metrics so all-defaults runs stay byte-identical.
+  [[nodiscard]] bool fault_aware() const {
+    return config_.faults.any() || config_.mac.arq.enabled;
+  }
+
+  /// ARQ retransmissions performed so far (fault-era overhead accounting).
+  [[nodiscard]] std::uint64_t arq_retries() const { return arq_retries_; }
+  /// Broadcast receptions suppressed by the loss model / jammers.
+  [[nodiscard]] std::uint64_t broadcast_losses() const {
+    return broadcast_losses_;
+  }
+  /// Frame-loss decisions taken by the channel model (0 when loss is off).
+  [[nodiscard]] std::uint64_t channel_frames_lost() const {
+    return channel_ != nullptr ? channel_->frames_lost() : 0;
+  }
+
   /// Count of hello beacons sent so far (overhead accounting).
   [[nodiscard]] std::uint64_t hello_count() const { return hello_count_; }
 
@@ -157,7 +210,17 @@ class Network {
   void send_hello(Node& node);
   void deliver_broadcast(NodeId sender, const Packet& pkt,
                          util::Vec2 sender_pos);
-  void deliver_unicast(NodeId sender, NodeId receiver, const Packet& pkt);
+  /// One MAC acquisition + airtime for unicast attempt number `attempt`
+  /// (1-based; attempts > 1 are ARQ retransmissions).
+  void transmit_unicast(Node& from, Pseudonym to, Packet pkt,
+                        double processing_delay, int attempt);
+  void deliver_unicast(NodeId sender, NodeId receiver, Pseudonym to,
+                       const Packet& pkt, int attempt);
+  /// Terminal unicast failure: on_drop listeners, then (fault-aware runs
+  /// only) the sender's router callback — or a direct ledger close when no
+  /// handler is attached.
+  void drop_and_notify(Node& holder, Pseudonym to, const Packet& pkt,
+                       DropReason why);
 
   sim::Simulator& sim_;
   NetworkConfig config_;
@@ -181,6 +244,11 @@ class Network {
   std::uint64_t next_uid_ = 1;
   std::uint64_t hello_count_ = 0;
   PacketLedger ledger_;
+  /// Frame-loss process; allocated only when the plan's loss model is
+  /// active, so ideal channels take no RNG draws from it.
+  std::unique_ptr<faults::ChannelModel> channel_;
+  std::uint64_t arq_retries_ = 0;
+  std::uint64_t broadcast_losses_ = 0;
 };
 
 }  // namespace alert::net

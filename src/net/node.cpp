@@ -36,6 +36,11 @@ void Node::expire_neighbors(sim::Time now, double max_age) {
   });
 }
 
+void Node::remove_neighbor(Pseudonym p) {
+  std::erase_if(neighbors_,
+                [p](const NeighborInfo& n) { return n.pseudonym == p; });
+}
+
 const NeighborInfo* Node::find_neighbor(Pseudonym p) const {
   for (const auto& n : neighbors_) {
     if (n.pseudonym == p) return &n;

@@ -55,11 +55,27 @@ class Node {
   [[nodiscard]] util::Vec2 velocity() const { return velocity_; }
   [[nodiscard]] sim::Time segment_end() const { return seg_end_; }
 
+  // --- radio liveness (fault churn, src/faults) -------------------------
+  [[nodiscard]] bool alive() const { return alive_; }
+  /// Power the radio down/up. Crashing wipes the neighbour table and the
+  /// MAC busy horizon: a rebooted node rediscovers the world from hellos,
+  /// and whatever it was transmitting died with it.
+  void set_alive(bool up) {
+    alive_ = up;
+    if (!up) {
+      neighbors_.clear();
+      mac_busy_until = 0.0;
+    }
+  }
+
   // --- neighbour table --------------------------------------------------
   /// Record a received hello beacon.
   void observe_neighbor(const NeighborInfo& info, sim::Time now);
   /// Drop entries not refreshed within `max_age`.
   void expire_neighbors(sim::Time now, double max_age);
+  /// Drop one entry by pseudonym (link-layer failure feedback: the ARQ gave
+  /// up on this neighbour, stop routing through it).
+  void remove_neighbor(Pseudonym p);
 
   [[nodiscard]] const std::vector<NeighborInfo>& neighbors() const {
     return neighbors_;
@@ -79,6 +95,7 @@ class Node {
   std::uint64_t mac_address_;
   crypto::KeyPair keys_;
   Pseudonym pseudonym_ = 0;
+  bool alive_ = true;
 
   util::Vec2 seg_start_pos_;
   sim::Time seg_start_ = 0.0;

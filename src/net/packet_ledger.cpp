@@ -47,6 +47,9 @@ void PacketLedger::close(std::uint64_t uid, PacketFate fate, sim::Time now) {
     case PacketFate::Delivered: ++totals_.delivered; break;
     case PacketFate::Dropped: ++totals_.dropped; break;
     case PacketFate::Expired: ++totals_.expired; break;
+    case PacketFate::LostChannel: ++totals_.lost_channel; break;
+    case PacketFate::RetryExhausted: ++totals_.retry_exhausted; break;
+    case PacketFate::OwnerCrashed: ++totals_.owner_crashed; break;
     case PacketFate::InFlight: break;  // unreachable
   }
   ALERT_ASSERT(balanced(), "ledger totals out of balance after close");

@@ -32,6 +32,13 @@ enum class PacketFate : std::uint8_t {
   Delivered,  ///< reached its application-level destination
   Dropped,    ///< protocol or channel gave up on it
   Expired,    ///< still in flight when the horizon ended the run
+  // Fault-injection terminal states (src/faults): distinct from Dropped so
+  // fault-era accounting can separate "the protocol gave up" from "the
+  // channel or a crash took it" — and so the leak check stays meaningful
+  // under injected adversity.
+  LostChannel,     ///< frame lost to channel faults, unrecoverable
+  RetryExhausted,  ///< ARQ retry budget spent without an ack
+  OwnerCrashed,    ///< the node holding the packet crashed
 };
 
 class PacketLedger {
@@ -48,9 +55,13 @@ class PacketLedger {
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;
     std::uint64_t expired = 0;
+    std::uint64_t lost_channel = 0;
+    std::uint64_t retry_exhausted = 0;
+    std::uint64_t owner_crashed = 0;
 
     [[nodiscard]] std::uint64_t closed() const {
-      return delivered + dropped + expired;
+      return delivered + dropped + expired + lost_channel + retry_exhausted +
+             owner_crashed;
     }
   };
 

@@ -85,6 +85,12 @@ void AlarmRouter::handle(net::Node& self, const net::Packet& pkt) {
   forward(self, pkt);
 }
 
+bool AlarmRouter::reroute_failed(net::Node& self, const net::Packet& pkt) {
+  if (pkt.kind != net::PacketKind::Data || !pkt.geo) return false;
+  forward(self, pkt);
+  return true;
+}
+
 void AlarmRouter::forward(net::Node& self, net::Packet pkt) {
   if (pkt.hops_remaining <= 0) {
     ++stats_.data_dropped;

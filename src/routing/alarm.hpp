@@ -51,6 +51,7 @@ class AlarmRouter final : public Protocol {
  private:
   void refresh_map();
   void forward(net::Node& self, net::Packet pkt);
+  bool reroute_failed(net::Node& self, const net::Packet& pkt) override;
   [[nodiscard]] double network_hop_diameter() const;
 
   AlarmConfig config_;

@@ -321,6 +321,17 @@ void AlertRouter::seal_first_hop_ttl(net::Node& self, net::Packet& pkt,
   charge_crypto(self, net_.config().crypto_cost.verify_s);
 }
 
+bool AlertRouter::reroute_failed(net::Node& self, const net::Packet& pkt) {
+  // Data, Confirm and Nak all route through forward(); Cover is broadcast-
+  // only and cannot unicast-fail. A failed camouflaged first hop still
+  // carries its sealed TTL (hop_count == 1): forward() bumps hop_count past
+  // 1 and clears the seal, so the salvage leg runs in the clear — the
+  // camouflage window is over by the time the ARQ gives up anyway.
+  if (!pkt.alert) return false;
+  forward(self, pkt, /*force_partition=*/false);
+  return true;
+}
+
 void AlertRouter::forward(net::Node& self, net::Packet pkt,
                           bool force_partition) {
   if (pkt.hops_remaining <= 0) {

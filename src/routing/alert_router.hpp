@@ -115,6 +115,7 @@ class AlertRouter final : public Protocol {
 
   // --- forwarding --------------------------------------------------------
   void forward(net::Node& self, net::Packet pkt, bool i_am_rf);
+  bool reroute_failed(net::Node& self, const net::Packet& pkt) override;
   /// Seal the TTL of the source's first transmission under the next
   /// relay's public key (Sec. 2.6 camouflage indistinguishability).
   void seal_first_hop_ttl(net::Node& self, net::Packet& pkt,

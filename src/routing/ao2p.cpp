@@ -60,6 +60,12 @@ void Ao2pRouter::handle(net::Node& self, const net::Packet& pkt) {
   forward(self, pkt);
 }
 
+bool Ao2pRouter::reroute_failed(net::Node& self, const net::Packet& pkt) {
+  if (pkt.kind != net::PacketKind::Data || !pkt.geo) return false;
+  forward(self, pkt);
+  return true;
+}
+
 void Ao2pRouter::forward(net::Node& self, net::Packet pkt) {
   if (pkt.hops_remaining <= 0) {
     ++stats_.data_dropped;

@@ -45,6 +45,7 @@ class Ao2pRouter final : public Protocol {
 
  private:
   void forward(net::Node& self, net::Packet pkt);
+  bool reroute_failed(net::Node& self, const net::Packet& pkt) override;
 
   Ao2pConfig config_;
 };

@@ -51,6 +51,12 @@ void GpsrRouter::handle(net::Node& self, const net::Packet& pkt) {
   forward(self, pkt);
 }
 
+bool GpsrRouter::reroute_failed(net::Node& self, const net::Packet& pkt) {
+  if (pkt.kind != net::PacketKind::Data || !pkt.geo) return false;
+  forward(self, pkt);
+  return true;
+}
+
 void GpsrRouter::forward(net::Node& self, net::Packet pkt) {
   if (pkt.hops_remaining <= 0) {
     ++stats_.data_dropped;

@@ -34,6 +34,7 @@ class GpsrRouter final : public Protocol {
 
  private:
   void forward(net::Node& self, net::Packet pkt);
+  bool reroute_failed(net::Node& self, const net::Packet& pkt) override;
 
   GpsrConfig config_;
 };

@@ -29,6 +29,7 @@ struct ProtocolStats {
   std::uint64_t retransmissions = 0;  ///< confirmation-timeout resends
   std::uint64_t naks = 0;             ///< NAKs issued by destinations
   std::uint64_t control_hops = 0;     ///< e.g. ALARM dissemination hops
+  std::uint64_t send_failures = 0;    ///< link-layer on_send_failed events
   double crypto_time_total_s = 0.0;   ///< simulated crypto latency charged
 };
 
@@ -47,6 +48,20 @@ class Protocol : public net::PacketHandler {
 
   [[nodiscard]] const ProtocolStats& stats() const { return stats_; }
 
+  /// Link-layer failure feedback (fault-aware runs only; see
+  /// net::PacketHandler). Graceful degradation, identical for every
+  /// protocol at this level: stop trusting the unreachable neighbour, then
+  /// let the concrete router pick a new next hop — or, if it cannot (or the
+  /// holder itself is down), close the packet under the failure's fate.
+  void on_send_failed(net::Node& self, const net::Packet& pkt,
+                      net::Pseudonym next_hop,
+                      net::DropReason why) override {
+    ++stats_.send_failures;
+    self.remove_neighbor(next_hop);
+    if (self.alive() && reroute_failed(self, pkt)) return;
+    close_failed(pkt, why);
+  }
+
   /// Attach a metrics registry: the crypto cost model reports every modeled
   /// operation as counter "crypto.ops" and sample "crypto.op_seconds"
   /// (simulated seconds, not wall-clock). Null detaches.
@@ -58,6 +73,29 @@ class Protocol : public net::PacketHandler {
   }
 
  protected:
+  /// Attempt to route `pkt` again after the link layer gave up on its last
+  /// next hop (already evicted from `self`'s neighbour table, so the same
+  /// choice cannot repeat). Return true when the packet was re-dispatched
+  /// or reached a protocol-level terminal decision; false to let the base
+  /// close it under the link failure's fate. Re-forwarding goes back
+  /// through the router's normal decision path, so each salvage attempt
+  /// spends a TTL hop — the hop bound still terminates every packet.
+  virtual bool reroute_failed(net::Node& self, const net::Packet& pkt) {
+    (void)self, (void)pkt;
+    return false;
+  }
+
+  /// Terminally account a packet the link layer killed: the matching ledger
+  /// fate, plus the protocol drop counter for application data. The is_open
+  /// guard makes late failures of already-closed uids (e.g. a duplicate
+  /// copy of a delivered packet) a no-op, keeping data_dropped in step with
+  /// the ledger.
+  void close_failed(const net::Packet& pkt, net::DropReason why) {
+    if (pkt.uid == 0 || !net_.ledger().is_open(pkt.uid)) return;
+    if (pkt.kind == net::PacketKind::Data) ++stats_.data_dropped;
+    net_.ledger().close(pkt.uid, net::fate_for(why), net_.now());
+  }
+
   /// Account `seconds` of cryptographic computation at `node`: simulated
   /// latency totals for the stats and joules on the node's energy meter.
   void charge_crypto(const net::Node& node, double seconds) {

@@ -88,6 +88,17 @@ void ZapRouter::handle(net::Node& self, const net::Packet& pkt) {
   forward(self, pkt);
 }
 
+bool ZapRouter::reroute_failed(net::Node& self, const net::Packet& pkt) {
+  // Unicasts only happen on the geo-forwarding leg toward the zone; the
+  // in-zone phase is all broadcast and cannot reach here.
+  if (pkt.kind != net::PacketKind::Data || !pkt.alert ||
+      pkt.alert->in_dest_zone_phase) {
+    return false;
+  }
+  forward(self, pkt);
+  return true;
+}
+
 void ZapRouter::forward(net::Node& self, net::Packet pkt) {
   if (pkt.hops_remaining <= 0) {
     ++stats_.data_dropped;

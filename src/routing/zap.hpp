@@ -53,6 +53,7 @@ class ZapRouter final : public Protocol {
  private:
   void forward(net::Node& self, net::Packet pkt);
   void zone_flood(net::Node& self, net::Packet pkt);
+  bool reroute_failed(net::Node& self, const net::Packet& pkt) override;
 
   ZapConfig config_;
   util::Rng rng_;

@@ -1,0 +1,202 @@
+#include "faults/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "faults/channel_model.hpp"
+#include "faults/injector.hpp"
+#include "sim/simulator.hpp"
+
+namespace alert::faults {
+namespace {
+
+TEST(FaultPlan, DefaultPlanIsInert) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.loss.active());
+  EXPECT_FALSE(plan.churn.active());
+  EXPECT_FALSE(plan.any());
+  EXPECT_EQ(validate(plan), std::nullopt);
+}
+
+TEST(FaultPlan, AnyDetectsEachFamily) {
+  FaultPlan loss;
+  loss.loss.iid = 0.1;
+  EXPECT_TRUE(loss.any());
+
+  FaultPlan bursty;
+  bursty.loss.gilbert = true;  // GE chain counts even with iid == 0
+  EXPECT_TRUE(bursty.any());
+
+  FaultPlan churn;
+  churn.churn.mttf_s = 5.0;
+  EXPECT_TRUE(churn.any());
+
+  FaultPlan outage;
+  outage.outages.push_back({{0.0, 0.0}, 10.0, 0.0, 1.0});
+  EXPECT_TRUE(outage.any());
+}
+
+TEST(FaultPlan, JammedRespectsDiscAndWindow) {
+  FaultPlan plan;
+  plan.outages.push_back({{100.0, 100.0}, 50.0, 10.0, 20.0});
+  EXPECT_TRUE(plan.jammed({120.0, 100.0}, 15.0));
+  EXPECT_TRUE(plan.jammed({100.0, 150.0}, 10.0));   // radius + start inclusive
+  EXPECT_FALSE(plan.jammed({160.0, 100.0}, 15.0));  // outside the disc
+  EXPECT_FALSE(plan.jammed({120.0, 100.0}, 5.0));   // before the window
+  EXPECT_FALSE(plan.jammed({120.0, 100.0}, 20.0));  // end exclusive
+}
+
+TEST(FaultPlan, JammedChecksEveryDisc) {
+  FaultPlan plan;
+  plan.outages.push_back({{100.0, 100.0}, 10.0, 0.0, 1.0});
+  plan.outages.push_back({{400.0, 400.0}, 10.0, 0.0, 1.0});
+  EXPECT_TRUE(plan.jammed({400.0, 405.0}, 0.5));
+  EXPECT_FALSE(plan.jammed({250.0, 250.0}, 0.5));
+}
+
+TEST(FaultPlanValidate, RejectsBadParameters) {
+  const auto broken = [](auto mutate) {
+    FaultPlan plan;
+    mutate(plan);
+    return validate(plan);
+  };
+  EXPECT_TRUE(broken([](FaultPlan& p) { p.loss.iid = 1.5; }).has_value());
+  EXPECT_TRUE(broken([](FaultPlan& p) { p.loss.iid = -0.1; }).has_value());
+  EXPECT_TRUE(
+      broken([](FaultPlan& p) { p.loss.ge_loss_bad = 1.01; }).has_value());
+  EXPECT_TRUE(
+      broken([](FaultPlan& p) { p.loss.ge_p_good_bad = -1.0; }).has_value());
+  EXPECT_TRUE(
+      broken([](FaultPlan& p) { p.churn.mttf_s = -1.0; }).has_value());
+  EXPECT_TRUE(
+      broken([](FaultPlan& p) { p.churn.mttr_s = -0.5; }).has_value());
+  EXPECT_TRUE(broken([](FaultPlan& p) {
+                p.outages.push_back({{0.0, 0.0}, -5.0, 0.0, 1.0});
+              }).has_value());
+  EXPECT_TRUE(broken([](FaultPlan& p) {
+                p.outages.push_back({{0.0, 0.0}, 5.0, 2.0, 1.0});
+              }).has_value());
+}
+
+TEST(ChannelModel, IidLossRateIsRespected) {
+  LossModel cfg;
+  cfg.iid = 0.25;
+  ChannelModel model(cfg, util::Rng(42));
+  int lost = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (model.lose_frame(0, 1)) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / 10000.0, 0.25, 0.02);
+  EXPECT_EQ(model.frames_seen(), 10000u);
+  EXPECT_EQ(model.frames_lost(), static_cast<std::uint64_t>(lost));
+}
+
+TEST(ChannelModel, SameSeedReplaysSameDecisions) {
+  LossModel cfg;
+  cfg.iid = 0.5;
+  ChannelModel a(cfg, util::Rng(7));
+  ChannelModel b(cfg, util::Rng(7));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.lose_frame(2, 3), b.lose_frame(2, 3));
+  }
+}
+
+TEST(ChannelModel, GilbertChainFollowsTransitionProbabilities) {
+  // Deterministic corner: good->bad is certain and the bad state always
+  // loses, so every frame after the first transition is lost.
+  LossModel cfg;
+  cfg.gilbert = true;
+  cfg.ge_p_good_bad = 1.0;
+  cfg.ge_p_bad_good = 0.0;
+  cfg.ge_loss_good = 0.0;
+  cfg.ge_loss_bad = 1.0;
+  ChannelModel model(cfg, util::Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(model.lose_frame(0, 1));
+  }
+
+  // And the opposite corner never loses anything.
+  cfg.ge_p_good_bad = 0.0;
+  ChannelModel clean(cfg, util::Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(clean.lose_frame(0, 1));
+  }
+}
+
+TEST(ChannelModel, GilbertStateIsPerDirectedLink) {
+  // One link driven into the bad state must not contaminate others.
+  LossModel cfg;
+  cfg.gilbert = true;
+  cfg.ge_p_good_bad = 1.0;
+  cfg.ge_p_bad_good = 0.0;
+  cfg.ge_loss_good = 0.0;
+  cfg.ge_loss_bad = 1.0;
+  // Flip 0->1 bad, then make transitions impossible for fresh links by
+  // using a second model where good never degrades: simplest check is that
+  // the loss counters track per-link chains independently.
+  ChannelModel model(cfg, util::Rng(3));
+  EXPECT_TRUE(model.lose_frame(0, 1));
+  EXPECT_TRUE(model.lose_frame(5, 6));  // fresh link, same certain chain
+  EXPECT_EQ(model.frames_lost(), 2u);
+}
+
+using Flips = std::vector<std::pair<std::uint32_t, bool>>;
+
+std::tuple<Flips, std::uint64_t, std::uint64_t, std::uint64_t> churn_run(
+    std::uint64_t seed) {
+  sim::Simulator simulator;
+  FaultPlan plan;
+  plan.churn.mttf_s = 5.0;
+  plan.churn.mttr_s = 2.0;
+  Flips flips;
+  FaultInjector injector(
+      simulator, plan, /*node_count=*/10, util::Rng(seed), /*horizon=*/100.0,
+      [&flips](std::uint32_t node, bool up) { flips.push_back({node, up}); },
+      /*metrics=*/nullptr, obs::Tracer{});
+  simulator.run_until(100.0);
+  return {flips, injector.crashes(), injector.recoveries(),
+          simulator.trace_digest()};
+}
+
+TEST(FaultInjector, ChurnIsSeedDeterministic) {
+  EXPECT_EQ(churn_run(7), churn_run(7));
+  EXPECT_NE(std::get<3>(churn_run(7)), std::get<3>(churn_run(8)));
+}
+
+TEST(FaultInjector, ChurnCrashesAndRecovers) {
+  const auto [flips, crashes, recoveries, digest] = churn_run(7);
+  EXPECT_GT(crashes, 0u);
+  EXPECT_GT(recoveries, 0u);
+  EXPECT_GE(crashes, recoveries);  // every recovery follows a crash
+  EXPECT_EQ(flips.size(), crashes + recoveries);
+  // The first flip of any node must be a crash (nodes start alive).
+  bool seen_first[10] = {};
+  for (const auto& [node, up] : flips) {
+    ASSERT_LT(node, 10u);
+    if (!seen_first[node]) {
+      EXPECT_FALSE(up);
+      seen_first[node] = true;
+    }
+  }
+}
+
+TEST(FaultInjector, OutageMarkersAuditTheSimulator) {
+  sim::Simulator plain;
+  plain.run_until(50.0);
+
+  sim::Simulator marked;
+  FaultPlan plan;
+  plan.outages.push_back({{250.0, 250.0}, 100.0, 10.0, 20.0});
+  FaultInjector injector(
+      marked, plan, 10, util::Rng(1), 50.0, [](std::uint32_t, bool) {},
+      nullptr, obs::Tracer{});
+  marked.run_until(50.0);
+  EXPECT_NE(plain.trace_digest(), marked.trace_digest());
+  EXPECT_EQ(injector.crashes(), 0u);  // outages alone crash nobody
+}
+
+}  // namespace
+}  // namespace alert::faults

@@ -1,0 +1,208 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/mac.hpp"
+#include "sim/simulator.hpp"
+
+namespace alert::net {
+namespace {
+
+/// Records deliveries, drops and link-layer failure reports.
+class FaultProbe final : public PacketHandler {
+ public:
+  void handle(Node& self, const Packet& pkt) override {
+    received.push_back({self.id(), pkt});
+  }
+  void on_send_failed(Node& self, const Packet& pkt, Pseudonym next_hop,
+                      DropReason why) override {
+    failures.push_back({self.id(), pkt.uid, next_hop, why});
+  }
+  struct Failure {
+    NodeId holder;
+    std::uint64_t uid;
+    Pseudonym next_hop;
+    DropReason why;
+  };
+  std::vector<std::pair<NodeId, Packet>> received;
+  std::vector<Failure> failures;
+};
+
+class DropLog final : public TraceListener {
+ public:
+  void on_transmit(const Node&, const Packet&, sim::Time) override {}
+  void on_deliver(const Node&, const Packet& pkt, sim::Time) override {
+    if (pkt.kind != PacketKind::Hello) ++delivers;
+  }
+  void on_drop(const Node&, const Packet&, sim::Time, DropReason r) override {
+    ++drops;
+    last_reason = r;
+  }
+  int delivers = 0, drops = 0;
+  DropReason last_reason{};
+};
+
+struct Fixture {
+  Fixture(std::vector<util::Vec2> positions, NetworkConfig cfg) {
+    cfg.field = {0.0, 0.0, 1000.0, 1000.0};
+    cfg.node_count = positions.size();
+    net = std::make_unique<Network>(
+        simulator, cfg,
+        std::make_unique<StaticPlacement>(std::move(positions)),
+        util::Rng(99), /*horizon=*/1000.0);
+    net->add_listener(&log);
+  }
+  sim::Simulator simulator;
+  std::unique_ptr<Network> net;
+  DropLog log;
+};
+
+NetworkConfig lossy(double iid, bool arq, int retry_limit = 4) {
+  NetworkConfig cfg;
+  cfg.faults.loss.iid = iid;
+  cfg.mac.arq.enabled = arq;
+  cfg.mac.arq.retry_limit = retry_limit;
+  return cfg;
+}
+
+/// Hello beacons are broadcasts and start at a random phase, so they would
+/// perturb exact frame/loss counts; push them past the horizon.
+NetworkConfig no_hellos(NetworkConfig cfg) {
+  cfg.hello_period_s = 1e6;
+  return cfg;
+}
+
+Packet data_packet() {
+  Packet pkt;
+  pkt.kind = PacketKind::Data;
+  pkt.size_bytes = 512;
+  pkt.uid = 77;
+  return pkt;
+}
+
+TEST(Arq, RecoversFromLossyChannel) {
+  // Half the frames die; a 8-deep retry budget still gets the packet over.
+  Fixture f({{0, 0}, {100, 0}}, lossy(0.5, /*arq=*/true, /*retry_limit=*/8));
+  FaultProbe dst;
+  f.net->attach_handler(1, &dst);
+  f.net->unicast(f.net->node(0), f.net->node(1).pseudonym(), data_packet());
+  f.simulator.run_until(5.0);
+  ASSERT_EQ(dst.received.size(), 1u);
+  EXPECT_EQ(dst.received[0].first, 1u);
+  EXPECT_TRUE(f.net->fault_aware());
+}
+
+TEST(Arq, RetryExhaustionSurfacesToSenderHandler) {
+  Fixture f({{0, 0}, {100, 0}},
+            no_hellos(lossy(1.0, /*arq=*/true, /*retry_limit=*/3)));
+  FaultProbe src;
+  FaultProbe dst;
+  f.net->attach_handler(0, &src);
+  f.net->attach_handler(1, &dst);
+  const Pseudonym to = f.net->node(1).pseudonym();
+  f.net->unicast(f.net->node(0), to, data_packet());
+  f.simulator.run_until(5.0);
+  EXPECT_TRUE(dst.received.empty());
+  ASSERT_EQ(src.failures.size(), 1u);
+  EXPECT_EQ(src.failures[0].holder, 0u);
+  EXPECT_EQ(src.failures[0].uid, 77u);
+  EXPECT_EQ(src.failures[0].next_hop, to);
+  EXPECT_EQ(src.failures[0].why, DropReason::RetryExhausted);
+  EXPECT_EQ(f.log.last_reason, DropReason::RetryExhausted);
+  // Attempts 1 and 2 were retried; attempt 3 exhausted the budget.
+  EXPECT_EQ(f.net->arq_retries(), 2u);
+  EXPECT_EQ(f.net->channel_frames_lost(), 3u);
+}
+
+TEST(Arq, WithoutArqChannelLossIsTerminalAndSilent) {
+  Fixture f({{0, 0}, {100, 0}}, lossy(1.0, /*arq=*/false));
+  FaultProbe src;
+  f.net->attach_handler(0, &src);
+  f.net->unicast(f.net->node(0), f.net->node(1).pseudonym(), data_packet());
+  f.simulator.run_until(5.0);
+  EXPECT_EQ(f.log.drops, 1);
+  EXPECT_EQ(f.log.last_reason, DropReason::ChannelLoss);
+  // No ack mechanism => the sender's handler must not hear about it.
+  EXPECT_TRUE(src.failures.empty());
+  EXPECT_EQ(f.net->arq_retries(), 0u);
+}
+
+TEST(Arq, DeadReceiverReportsNodeDown) {
+  Fixture f({{0, 0}, {100, 0}}, lossy(0.0, /*arq=*/false));
+  f.net->set_node_alive(1, false);
+  f.net->unicast(f.net->node(0), f.net->node(1).pseudonym(), data_packet());
+  f.simulator.run_until(5.0);
+  EXPECT_EQ(f.log.delivers, 0);
+  EXPECT_EQ(f.log.last_reason, DropReason::NodeDown);
+}
+
+TEST(Arq, DeadSenderNeverTransmits) {
+  Fixture f({{0, 0}, {100, 0}}, lossy(0.0, /*arq=*/true));
+  FaultProbe src;
+  f.net->attach_handler(0, &src);
+  f.net->set_node_alive(0, false);
+  f.net->unicast(f.net->node(0), f.net->node(1).pseudonym(), data_packet());
+  f.simulator.run_until(5.0);
+  EXPECT_EQ(f.log.delivers, 0);
+  ASSERT_EQ(src.failures.size(), 1u);
+  EXPECT_EQ(src.failures[0].why, DropReason::NodeDown);
+}
+
+TEST(Arq, CrashWipesNeighborsAndRecoveryRefillsThem) {
+  Fixture f({{0, 0}, {100, 0}, {200, 0}}, lossy(0.0, /*arq=*/false));
+  f.simulator.run_until(3.0);
+  EXPECT_FALSE(f.net->node(1).neighbors().empty());
+  f.net->set_node_alive(1, false);
+  EXPECT_TRUE(f.net->node(1).neighbors().empty());
+  f.net->set_node_alive(1, true);
+  f.simulator.run_until(8.0);  // hellos resume after reboot
+  EXPECT_FALSE(f.net->node(1).neighbors().empty());
+}
+
+TEST(Arq, BroadcastReceiversLoseFramesIndependently) {
+  Fixture f({{0, 0}, {100, 0}, {0, 100}},
+            no_hellos(lossy(1.0, /*arq=*/false)));
+  Packet pkt = data_packet();
+  f.net->broadcast(f.net->node(0), pkt);
+  f.simulator.run_until(5.0);
+  EXPECT_EQ(f.log.delivers, 0);
+  EXPECT_EQ(f.net->broadcast_losses(), 2u);  // both in-range receivers
+}
+
+TEST(Arq, JammedReceiverCountsAsChannelLoss) {
+  NetworkConfig cfg;
+  cfg.faults.outages.push_back({{100.0, 0.0}, 50.0, 0.0, 1000.0});
+  Fixture f({{0, 0}, {100, 0}}, cfg);
+  f.net->unicast(f.net->node(0), f.net->node(1).pseudonym(), data_packet());
+  f.simulator.run_until(5.0);
+  EXPECT_EQ(f.log.delivers, 0);
+  EXPECT_EQ(f.log.last_reason, DropReason::ChannelLoss);
+}
+
+TEST(Arq, AckTrafficCostsEnergy) {
+  // Same exchange with and without ARQ on a clean channel: the ack frames
+  // must show up as strictly more radio energy.
+  const auto run = [](bool arq) {
+    Fixture f({{0, 0}, {100, 0}}, lossy(0.0, arq));
+    FaultProbe dst;
+    f.net->attach_handler(1, &dst);
+    f.net->unicast(f.net->node(0), f.net->node(1).pseudonym(), data_packet());
+    f.simulator.run_until(0.5);  // before any hello beacons
+    EXPECT_EQ(dst.received.size(), 1u);
+    return f.net->energy().total().total();
+  };
+  EXPECT_GT(run(true), run(false));
+}
+
+TEST(Arq, IdealDefaultsAreNotFaultAware) {
+  Fixture f({{0, 0}, {100, 0}}, NetworkConfig{});
+  EXPECT_FALSE(f.net->fault_aware());
+  EXPECT_EQ(f.net->channel_frames_lost(), 0u);
+}
+
+}  // namespace
+}  // namespace alert::net

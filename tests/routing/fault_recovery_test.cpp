@@ -1,0 +1,98 @@
+#include "routing/gpsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "protocol_fixture.hpp"
+#include "routing/alert_router.hpp"
+
+namespace alert::routing {
+namespace {
+
+using testing::line_topology;
+using testing::ProtocolFixture;
+
+/// Diamond: src can reach dest only through relay A (greedy-preferred,
+/// slightly closer to dest) or relay B.
+std::vector<util::Vec2> diamond() {
+  return {{100.0, 500.0},   // 0: src
+          {310.0, 520.0},   // 1: relay A — greedy pick
+          {290.0, 470.0},   // 2: relay B — fallback
+          {480.0, 500.0}};  // 3: dest
+}
+
+net::NetworkConfig arq_config() {
+  net::NetworkConfig cfg;
+  cfg.mac.arq.enabled = true;
+  cfg.mac.arq.retry_limit = 3;
+  return cfg;
+}
+
+TEST(FaultRecovery, GpsrSalvagesAroundDeadNextHop) {
+  ProtocolFixture f(diamond(), arq_config());
+  GpsrRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  // Crash the preferred relay after the hello exchange: the sender still
+  // lists it as a neighbour, so the first forward walks into the failure.
+  f.network->set_node_alive(1, false);
+  router.send(0, 3, 512, /*flow=*/0, /*seq=*/0);
+  f.simulator.run_until(20.0);
+  EXPECT_EQ(f.log.count_at_true_dest(0), 1u);
+  EXPECT_EQ(router.stats().data_delivered, 1u);
+  EXPECT_GE(router.stats().send_failures, 1u);
+}
+
+TEST(FaultRecovery, GpsrClosesLedgerWhenNoAlternateExists) {
+  ProtocolFixture f(line_topology(3, 200.0), arq_config());
+  GpsrRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  f.network->set_node_alive(1, false);  // the only relay on the line
+  router.send(0, 2, 512, 0, 0);
+  f.simulator.run_until(20.0);
+  EXPECT_EQ(f.log.count_at_true_dest(0), 0u);
+  EXPECT_GE(router.stats().send_failures, 1u);
+  EXPECT_EQ(router.stats().data_delivered, 0u);
+  // Graceful accounting: the salvage re-forward finds no candidate and the
+  // router's own drop path closes the ledger entry — it must not be left
+  // to age out as Expired.
+  const net::PacketLedger::Totals totals = f.network->ledger().totals();
+  EXPECT_EQ(totals.delivered, 0u);
+  EXPECT_EQ(totals.dropped + totals.retry_exhausted, totals.opened);
+  EXPECT_GT(totals.opened, 0u);
+  EXPECT_EQ(router.stats().data_dropped, 1u);
+}
+
+TEST(FaultRecovery, WithoutArqThereIsNoFailureFeedback) {
+  ProtocolFixture f(diamond());  // default config: no ARQ
+  GpsrRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  f.network->set_node_alive(1, false);
+  router.send(0, 3, 512, 0, 0);
+  f.simulator.run_until(20.0);
+  // The frame dies at the dead relay and nobody is told: the legacy
+  // ideal-channel contract (packet ages out as Expired).
+  EXPECT_EQ(f.log.count_at_true_dest(0), 0u);
+  EXPECT_EQ(router.stats().send_failures, 0u);
+}
+
+TEST(FaultRecovery, AlertSalvagesAroundDeadNextHop) {
+  // Dense random deployment so ALERT's zone partitioning has real
+  // candidates; crash a batch of nodes mid-run and require traffic to keep
+  // flowing with at least one link-layer save.
+  ProtocolFixture f(/*nodes=*/60, /*speed=*/1.0, /*horizon=*/300.0,
+                    {0.0, 0.0, 500.0, 500.0}, arq_config());
+  AlertRouter router(*f.network, *f.location, {});
+  f.warm_up();
+  for (net::NodeId id = 40; id < 50; ++id) {
+    f.network->set_node_alive(id, false);
+  }
+  for (std::uint32_t seq = 0; seq < 20; ++seq) {
+    router.send(0, 30, 512, 0, seq);
+  }
+  f.simulator.run_until(100.0);
+  EXPECT_GT(f.log.count_at_true_dest(0), 0u);
+}
+
+}  // namespace
+}  // namespace alert::routing

@@ -61,10 +61,22 @@ struct ProtocolFixture {
           horizon);
   }
 
+  /// Static topology with caller-tweaked link-layer knobs (ARQ, fault
+  /// plan); field/node_count/radio_range are still filled in here.
+  ProtocolFixture(std::vector<util::Vec2> positions, net::NetworkConfig cfg,
+                  double range = 250.0, double horizon = 300.0,
+                  util::Rect field = {0.0, 0.0, 1000.0, 1000.0}) {
+    cfg.field = field;
+    cfg.node_count = positions.size();
+    cfg.radio_range_m = range;
+    build(cfg, std::make_unique<net::StaticPlacement>(std::move(positions)),
+          horizon);
+  }
+
   /// Mobile topology.
   ProtocolFixture(std::size_t nodes, double speed, double horizon,
-                  util::Rect field = {0.0, 0.0, 1000.0, 1000.0}) {
-    net::NetworkConfig cfg;
+                  util::Rect field = {0.0, 0.0, 1000.0, 1000.0},
+                  net::NetworkConfig cfg = {}) {
     cfg.field = field;
     cfg.node_count = nodes;
     build(cfg, std::make_unique<net::RandomWaypoint>(field, speed), horizon);

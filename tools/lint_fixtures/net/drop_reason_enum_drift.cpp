@@ -1,0 +1,14 @@
+// Fixture: a DropReason declaration that drifted from alert-lint's
+// canonical DROP_REASONS list is itself a violation — adding a reason
+// means updating the linter and every switch together. The forward
+// declaration must not confuse the definition matcher.
+// EXPECT: drop-reason-exhaustive 1
+namespace net {
+enum class DropReason : unsigned char;  // forward decl: ignored
+
+enum class DropReason : unsigned char {
+  OutOfRange,
+  NoHandler,
+  TtlExpired,
+};
+}  // namespace net

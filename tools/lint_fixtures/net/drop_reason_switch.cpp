@@ -1,0 +1,61 @@
+// Fixture: switches over net::DropReason must be exhaustive and
+// default-free. The first switch is complete (clean); the second misses
+// the three fault-era reasons; the third hides a full case list behind
+// `default:`; the waived one and the DropReason-free switch pass.
+// EXPECT: drop-reason-exhaustive 2
+namespace net {
+enum class DropReason {
+  OutOfRange,
+  NoHandler,
+  TtlExpired,
+  ChannelLoss,
+  NodeDown,
+  RetryExhausted,
+};
+}  // namespace net
+
+const char* full(net::DropReason why) {
+  switch (why) {
+    case net::DropReason::OutOfRange: return "out_of_range";
+    case net::DropReason::NoHandler: return "no_handler";
+    case net::DropReason::TtlExpired: return "ttl_expired";
+    case net::DropReason::ChannelLoss: return "channel_loss";
+    case net::DropReason::NodeDown: return "node_down";
+    case net::DropReason::RetryExhausted: return "retry_exhausted";
+  }
+  return "unknown";
+}
+
+const char* stale(net::DropReason why) {
+  switch (why) {  // misses the three fault-era reasons -> one violation
+    case net::DropReason::OutOfRange: return "out_of_range";
+    case net::DropReason::NoHandler: return "no_handler";
+    case net::DropReason::TtlExpired: return "ttl_expired";
+  }
+  return "unknown";
+}
+
+const char* hidden(net::DropReason why) {
+  switch (why) {  // `default:` would swallow reason #7 -> one violation
+    case net::DropReason::OutOfRange: return "out_of_range";
+    case net::DropReason::NoHandler: return "no_handler";
+    case net::DropReason::TtlExpired: return "ttl_expired";
+    case net::DropReason::ChannelLoss: return "channel_loss";
+    case net::DropReason::NodeDown: return "node_down";
+    case net::DropReason::RetryExhausted: return "retry_exhausted";
+    default: return "unknown";
+  }
+}
+
+const char* waived(net::DropReason why) {
+  switch (why) {  // alert-lint: allow(drop-reason-exhaustive)
+    case net::DropReason::OutOfRange: return "out_of_range";
+    default: return "unknown";
+  }
+}
+
+int no_drop_reason_cases(int v) {
+  switch (v) {
+    default: return 0;
+  }
+}
