@@ -61,7 +61,9 @@ bool ResultCache::store(const std::string& key,
   // Unique temp name in the final directory (rename is atomic within one
   // filesystem); a process-wide counter disambiguates concurrent writers of
   // the same key inside this process.
-  static std::atomic<std::uint64_t> sequence{0};
+  // Deliberate process-wide state: the counter only names temp files and
+  // never influences results.
+  static std::atomic<std::uint64_t> sequence{0};  // alert-lint: allow(mutable-global)
   std::ostringstream tmp_name;
   tmp_name << final_path.filename().string() << ".tmp."
            << static_cast<unsigned long>(::getpid()) << "."

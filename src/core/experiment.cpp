@@ -5,7 +5,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <unordered_set>
 
@@ -483,16 +482,18 @@ ExperimentResult run_experiment(const ScenarioConfig& config,
                                 std::size_t replications,
                                 std::size_t threads) {
   ExperimentResult result;
-  std::mutex mutex;
+  std::vector<RunResult> runs(replications);
   util::ThreadPool pool(threads);
-  pool.parallel_for(replications, [&](std::size_t r) {
-    const RunResult run = run_once(config, r);
-    std::lock_guard lk(mutex);
+  pool.parallel_for(replications,
+                    [&](std::size_t r) { runs[r] = run_once(config, r); });
+  // Aggregate in replication order, not completion order: Welford updates
+  // and sum accumulation are not associative in floating point, so folding
+  // results as threads finish made the aggregate depend on scheduling.
+  // Replication-order aggregation makes parallel and serial runs
+  // bit-identical (and trace_digests arrives already deterministic).
+  for (const RunResult& run : runs) {
     result.add(run);
-  });
-  // Thread-pool completion order is nondeterministic; keep the digest list
-  // reproducible as a set.
-  std::sort(result.trace_digests.begin(), result.trace_digests.end());
+  }
   return result;
 }
 

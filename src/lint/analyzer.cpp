@@ -1,0 +1,202 @@
+#include "lint/analyzer.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "lint/baseline.hpp"
+#include "lint/rules.hpp"
+#include "util/thread_pool.hpp"
+
+namespace alert::analysis_tools {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_cxx_source(const fs::path& p) {
+  static const std::set<std::string> kExts{".cpp", ".cc", ".cxx",
+                                           ".hpp", ".hh", ".h"};
+  return kExts.count(p.extension().string()) != 0;
+}
+
+bool is_header(const std::string& rel_path) {
+  const std::size_t dot = rel_path.rfind('.');
+  if (dot == std::string::npos) return false;
+  const std::string ext = rel_path.substr(dot);
+  return ext == ".hpp" || ext == ".hh" || ext == ".h";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+/// Compile `root/rel` standalone, Python-linter style: a throwaway TU that
+/// includes the header, so include guards and `#pragma once` behave exactly
+/// as they do in real consumers. Returns the first error line on failure.
+bool header_compiles(const std::string& cxx, const std::string& root,
+                     const std::string& rel, std::string* first_error) {
+  const fs::path tu = fs::temp_directory_path() /
+                      ("alertsim-analyzer-self-sufficiency-" +
+                       std::to_string(static_cast<unsigned>(::getpid())) +
+                       ".cpp");
+  {
+    std::ofstream out(tu);
+    out << "#include \"" << rel << "\"\n";
+  }
+  const std::string cmd = cxx + " -std=c++20 -fsyntax-only -I '" + root +
+                          "' '" + tu.string() + "' 2>&1";
+  std::string output;
+  if (FILE* pipe = ::popen(cmd.c_str(), "r")) {
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
+      output.append(buf, n);
+    }
+    const int status = ::pclose(pipe);
+    std::error_code ec;
+    fs::remove(tu, ec);
+    if (status == 0) return true;
+  } else {
+    std::error_code ec;
+    fs::remove(tu, ec);
+    *first_error = "failed to launch '" + cxx + "'";
+    return false;
+  }
+  std::istringstream lines(output);
+  std::string line;
+  *first_error = output.substr(0, output.find('\n'));
+  while (std::getline(lines, line)) {
+    if (line.find("error") != std::string::npos) {
+      *first_error = line;
+      break;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> discover_sources(const std::string& root) {
+  std::vector<std::string> out;
+  const fs::path base(root);
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(base, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file() || !is_cxx_source(it->path())) continue;
+    out.push_back(it->path().lexically_relative(base).generic_string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RuleInfo> rule_catalog(const AnalyzerConfig& config) {
+  std::vector<RuleInfo> out;
+  for (const auto& rule : make_default_rules(config)) {
+    out.push_back(rule->info());
+  }
+  out.push_back({"header-self-sufficiency",
+                 "header does not compile standalone", Severity::Error});
+  std::sort(out.begin(), out.end(),
+            [](const RuleInfo& a, const RuleInfo& b) { return a.id < b.id; });
+  return out;
+}
+
+AnalyzeResult analyze(const AnalyzerOptions& options) {
+  AnalyzeResult result;
+  const std::vector<std::string> paths = discover_sources(options.root);
+
+  // Lex everything in parallel; rules keep no per-file state, so their
+  // check_file passes run concurrently too (Sink is the only shared
+  // object and it locks internally).
+  std::vector<std::unique_ptr<Rule>> rules = make_default_rules(options.config);
+  Sink sink(options.config);
+  result.files.resize(paths.size());
+  {
+    util::ThreadPool pool(options.threads);
+    pool.parallel_for(paths.size(), [&](std::size_t i) {
+      const fs::path full = fs::path(options.root) / paths[i];
+      result.files[i] = build_file_data(paths[i], read_file(full));
+      for (const auto& rule : rules) {
+        rule->check_file(result.files[i], sink);
+      }
+    });
+  }
+  for (const auto& rule : rules) {
+    rule->finish(result.files, sink);
+  }
+
+  // Header self-sufficiency is compiler-backed, not token-backed: every
+  // header must compile in a TU of its own, matching the retired linter.
+  if (options.check_headers) {
+    const RuleInfo header_info{"header-self-sufficiency",
+                               "header does not compile standalone",
+                               Severity::Error};
+    std::string cxx = options.cxx;
+    if (cxx.empty()) {
+      const char* env = std::getenv("CXX");
+      cxx = env != nullptr && *env != '\0' ? env : "g++";
+    }
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      if (!is_header(paths[i])) continue;
+      std::string first_error;
+      if (!header_compiles(cxx, options.root, paths[i], &first_error)) {
+        sink.emit(header_info, result.files[i], 1, 1,
+                  "header does not compile standalone: " + first_error);
+      }
+    }
+  }
+
+  std::vector<Finding> findings = sink.take();
+  result.report.files_scanned = paths.size();
+  result.report.waived = sink.waived_count();
+
+  // Baseline pass: grandfathered findings drop out; entries that match
+  // nothing are reported as stale (except in diff mode, where most of the
+  // tree is filtered and entries legitimately idle).
+  Baseline baseline = Baseline::parse(options.baseline_text,
+                                      &result.baseline_errors);
+  std::map<std::string, const FileData*> by_path;
+  for (const FileData& f : result.files) by_path[f.rel_path] = &f;
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    const auto it = by_path.find(f.path);
+    const std::string_view line_text =
+        it == by_path.end()
+            ? std::string_view()
+            : source_line_text(it->second->source, f.line);
+    if (baseline.absorbs(f, line_text)) {
+      ++result.report.baseline_applied;
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+
+  if (!options.only_paths.empty()) {
+    const std::set<std::string> only(options.only_paths.begin(),
+                                     options.only_paths.end());
+    std::erase_if(kept,
+                  [&](const Finding& f) { return only.count(f.path) == 0; });
+  } else {
+    for (const BaselineEntry* e : baseline.stale()) {
+      result.report.stale_baseline.push_back(e->rule + " " + e->path +
+                                             " — " + e->reason);
+    }
+  }
+  result.report.findings = std::move(kept);
+  return result;
+}
+
+}  // namespace alert::analysis_tools

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file analyzer.hpp
+/// Scan orchestration: discover sources under a root, lex and run the
+/// per-file rules in parallel over util::ThreadPool, run whole-program
+/// rules serially, optionally verify header self-sufficiency with the
+/// real compiler, then apply the baseline and assemble a ScanReport.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/file_data.hpp"
+#include "lint/output.hpp"
+#include "lint/rule.hpp"
+
+namespace alert::analysis_tools {
+
+struct AnalyzerOptions {
+  std::string root;  ///< directory to scan (e.g. "src")
+  AnalyzerConfig config;
+  /// Compile each header standalone (`$CXX -std=c++20 -fsyntax-only`).
+  /// Needs a toolchain; off by default so pure-token scans stay hermetic.
+  bool check_headers = false;
+  std::string cxx;  ///< compiler for header checks; "" = $CXX or "g++"
+  /// When non-empty, only findings in these rel paths are reported (diff
+  /// mode). Whole-program analysis still sees the full tree; stale-baseline
+  /// reporting is suppressed because unlisted files legitimately absorb
+  /// entries.
+  std::vector<std::string> only_paths;
+  /// Baseline file contents ("" = no baseline).
+  std::string baseline_text;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+};
+
+struct AnalyzeResult {
+  ScanReport report;
+  std::vector<std::string> baseline_errors;  ///< malformed baseline lines
+  /// Lexed inputs, sorted by rel_path (the self-test compares these
+  /// against EXPECT annotations; --write-baseline needs the source lines).
+  std::vector<FileData> files;
+};
+
+/// Sorted forward-slash rel paths of C++ sources under `root`.
+[[nodiscard]] std::vector<std::string> discover_sources(
+    const std::string& root);
+
+[[nodiscard]] AnalyzeResult analyze(const AnalyzerOptions& options);
+
+/// The full rule catalog (token rules plus the compiler-backed
+/// header-self-sufficiency rule) — for --list-rules and SARIF metadata.
+[[nodiscard]] std::vector<RuleInfo> rule_catalog(const AnalyzerConfig& config);
+
+}  // namespace alert::analysis_tools

@@ -1,0 +1,169 @@
+#include "lint/baseline.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace alert::analysis_tools {
+
+namespace {
+
+/// Collapse every whitespace run to one space and trim the ends, so the
+/// fingerprint survives reformatting.
+std::string squeeze(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool pending_space = false;
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      pending_space = !out.empty();
+    } else {
+      if (pending_space) out.push_back(' ');
+      pending_space = false;
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv(std::uint64_t& h, std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  h ^= 0;  // NUL separator
+  h *= kFnvPrime;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t baseline_fingerprint(std::string_view rule,
+                                   std::string_view path,
+                                   std::string_view source_line) {
+  std::uint64_t h = kFnvOffset;
+  fnv(h, rule);
+  fnv(h, path);
+  fnv(h, squeeze(source_line));
+  return h;
+}
+
+std::string_view source_line_text(std::string_view source, std::size_t line) {
+  std::size_t begin = 0;
+  for (std::size_t n = 1; n < line; ++n) {
+    const std::size_t nl = source.find('\n', begin);
+    if (nl == std::string_view::npos) return {};
+    begin = nl + 1;
+  }
+  if (line == 0 || begin >= source.size()) return {};
+  const std::size_t end = source.find('\n', begin);
+  return source.substr(begin, end == std::string_view::npos ? end
+                                                            : end - begin);
+}
+
+Baseline Baseline::parse(std::string_view text,
+                         std::vector<std::string>* errors) {
+  Baseline b;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos
+                                          : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    // Trim and skip blanks/comments.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
+      line.remove_prefix(1);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r'))
+      line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+
+    auto field = [&line]() -> std::string_view {
+      const std::size_t sp = line.find_first_of(" \t");
+      std::string_view f = line.substr(0, sp);
+      line.remove_prefix(sp == std::string_view::npos ? line.size() : sp);
+      while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
+        line.remove_prefix(1);
+      return f;
+    };
+    BaselineEntry e;
+    e.rule = std::string(field());
+    e.path = std::string(field());
+    const std::string_view fp = field();
+    e.reason = std::string(line);  // the rest, spaces preserved
+    const char* const fp_end = fp.data() + fp.size();
+    const auto [ptr, ec] =
+        std::from_chars(fp.data(), fp_end, e.fingerprint, 16);
+    if (e.rule.empty() || e.path.empty() || fp.size() != 16 ||
+        ec != std::errc() || ptr != fp_end) {
+      if (errors != nullptr) {
+        errors->push_back("line " + std::to_string(line_no) +
+                          ": expected '<rule> <path> <hex16> <reason>'");
+      }
+      continue;
+    }
+    if (e.reason.empty()) {
+      if (errors != nullptr) {
+        errors->push_back("line " + std::to_string(line_no) +
+                          ": baseline entries require a reason");
+      }
+      continue;
+    }
+    b.entries_.push_back(std::move(e));
+  }
+  return b;
+}
+
+bool Baseline::absorbs(const Finding& finding, std::string_view source_line) {
+  const std::uint64_t fp =
+      baseline_fingerprint(finding.rule, finding.path, source_line);
+  bool hit = false;
+  for (BaselineEntry& e : entries_) {
+    if (e.rule == finding.rule && e.path == finding.path &&
+        e.fingerprint == fp) {
+      e.used = true;
+      hit = true;  // keep scanning: duplicates should all be marked used
+    }
+  }
+  return hit;
+}
+
+std::vector<const BaselineEntry*> Baseline::stale() const {
+  std::vector<const BaselineEntry*> out;
+  for (const BaselineEntry& e : entries_) {
+    if (!e.used) out.push_back(&e);
+  }
+  return out;
+}
+
+std::string Baseline::render(
+    const std::vector<Finding>& findings,
+    const std::vector<std::string_view>& source_lines) {
+  std::string out =
+      "# alertsim-analyzer baseline — grandfathered findings.\n"
+      "# Format: <rule> <path> <fingerprint> <reason>\n"
+      "# Replace every TODO reason with a real justification.\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    const std::string_view src =
+        i < source_lines.size() ? source_lines[i] : std::string_view();
+    out += f.rule + " " + f.path + " " +
+           hex16(baseline_fingerprint(f.rule, f.path, src)) +
+           " TODO: justify\n";
+  }
+  return out;
+}
+
+}  // namespace alert::analysis_tools

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file baseline.hpp
+/// Grandfathered findings. A baseline file commits known, justified
+/// violations so the analyzer can gate on *new* findings only. One entry
+/// per line:
+///
+///     <rule> <path> <fingerprint-hex16> <reason...>
+///
+/// '#' starts a comment; blank lines are ignored. The fingerprint hashes
+/// the rule id, the path and the whitespace-squeezed source line, so
+/// entries survive reformatting and line-number drift but go stale when
+/// the offending code actually changes — stale entries are reported so
+/// the file cannot silently rot. The reason is mandatory: a baseline
+/// entry without a justification is a violation with extra steps.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/finding.hpp"
+
+namespace alert::analysis_tools {
+
+/// FNV-1a 64 over rule NUL path NUL squeezed-line. Stable across platforms.
+[[nodiscard]] std::uint64_t baseline_fingerprint(std::string_view rule,
+                                                 std::string_view path,
+                                                 std::string_view source_line);
+
+/// The 1-based line of `source`, without the trailing newline; empty when
+/// out of range.
+[[nodiscard]] std::string_view source_line_text(std::string_view source,
+                                                std::size_t line);
+
+struct BaselineEntry {
+  std::string rule;
+  std::string path;
+  std::uint64_t fingerprint = 0;
+  std::string reason;
+  bool used = false;  ///< matched a finding during filtering
+};
+
+class Baseline {
+ public:
+  /// Parse baseline text. Malformed lines (missing fields, bad hex, empty
+  /// reason) are collected into `errors` as "line N: why"; parsing
+  /// continues so one typo does not hide the rest of the file.
+  [[nodiscard]] static Baseline parse(std::string_view text,
+                                      std::vector<std::string>* errors);
+
+  /// True (and marks the entry used) when a matching entry exists for this
+  /// finding; `source_line` is the finding's line text.
+  [[nodiscard]] bool absorbs(const Finding& finding,
+                             std::string_view source_line);
+
+  /// Entries never matched by a finding — stale, should be deleted.
+  [[nodiscard]] std::vector<const BaselineEntry*> stale() const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Serialize findings as a fresh baseline file (for --write-baseline).
+  /// Reasons default to a TODO marker the parser accepts but humans should
+  /// replace.
+  [[nodiscard]] static std::string render(
+      const std::vector<Finding>& findings,
+      const std::vector<std::string_view>& source_lines);
+
+ private:
+  std::vector<BaselineEntry> entries_;
+};
+
+}  // namespace alert::analysis_tools

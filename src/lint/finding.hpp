@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file finding.hpp
+/// Machine-readable analyzer findings. A Finding is one rule violation at
+/// one source location; Severity::Error findings gate the exit status (and
+/// CI), Severity::Warning findings are reported but do not fail the run.
+
+#include <cstddef>
+#include <string>
+#include <tuple>
+
+namespace alert::analysis_tools {
+
+enum class Severity { Warning, Error };
+
+[[nodiscard]] constexpr const char* severity_name(Severity s) {
+  return s == Severity::Error ? "error" : "warning";
+}
+
+struct Finding {
+  std::string rule;
+  std::string path;  ///< forward-slash path relative to the scan root
+  std::size_t line = 0;
+  std::size_t column = 0;
+  std::string message;
+  Severity severity = Severity::Error;
+
+  /// Ordering keys column last and equality ignores it: a pattern hitting
+  /// twice on one line is one finding (the retired regex linter reported at
+  /// most one hit per line per pattern; dedup preserves that contract).
+  [[nodiscard]] friend bool operator<(const Finding& a, const Finding& b) {
+    return std::tie(a.path, a.line, a.rule, a.message, a.column) <
+           std::tie(b.path, b.line, b.rule, b.message, b.column);
+  }
+  [[nodiscard]] friend bool operator==(const Finding& a, const Finding& b) {
+    return std::tie(a.path, a.line, a.rule, a.message) ==
+           std::tie(b.path, b.line, b.rule, b.message);
+  }
+};
+
+}  // namespace alert::analysis_tools

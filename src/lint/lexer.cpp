@@ -1,0 +1,283 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace alert::analysis_tools {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Multi-character punctuation, longest-match-first. Only operators a rule
+/// could plausibly care about as a unit need to be here; everything else
+/// falls through to single-character tokens.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", ".*",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  TokenStream run() {
+    TokenStream out;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        advance();
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        advance();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        out.push_back(lex_preprocessor());
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        out.push_back(lex_line_comment());
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        out.push_back(lex_block_comment());
+        continue;
+      }
+      if (ident_start(c)) {
+        out.push_back(lex_identifier_or_prefixed_literal());
+        continue;
+      }
+      if (digit(c) || (c == '.' && digit(peek(1)))) {
+        out.push_back(lex_number());
+        continue;
+      }
+      if (c == '"') {
+        out.push_back(lex_quoted(TokenKind::String, '"'));
+        continue;
+      }
+      if (c == '\'') {
+        out.push_back(lex_quoted(TokenKind::CharLiteral, '\''));
+        continue;
+      }
+      out.push_back(lex_punct());
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+      at_line_start_ = true;
+    } else {
+      if (std::isspace(static_cast<unsigned char>(src_[pos_])) == 0) {
+        at_line_start_ = false;
+      }
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] Token start_token(TokenKind kind) const {
+    Token t;
+    t.kind = kind;
+    t.line = line_;
+    t.column = col_;
+    return t;
+  }
+
+  void finish(Token& t, std::size_t begin) {
+    t.text.assign(src_.substr(begin, pos_ - begin));
+  }
+
+  Token lex_preprocessor() {
+    Token t = start_token(TokenKind::Preprocessor);
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && peek(1) == '\n') {
+        advance();  // backslash
+        advance();  // newline — logical line continues
+        continue;
+      }
+      if (src_[pos_] == '\n') break;
+      // A // comment ends the directive's meaningful text but we keep
+      // scanning to the newline anyway; the raw text is what rules parse.
+      advance();
+    }
+    finish(t, begin);
+    return t;
+  }
+
+  Token lex_line_comment() {
+    Token t = start_token(TokenKind::LineComment);
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') advance();
+    finish(t, begin);
+    return t;
+  }
+
+  Token lex_block_comment() {
+    Token t = start_token(TokenKind::BlockComment);
+    const std::size_t begin = pos_;
+    advance();  // '/'
+    advance();  // '*'
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        advance();
+        advance();
+        break;
+      }
+      advance();
+    }
+    finish(t, begin);
+    return t;
+  }
+
+  Token lex_identifier_or_prefixed_literal() {
+    Token t = start_token(TokenKind::Identifier);
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) advance();
+    const std::string_view id = src_.substr(begin, pos_ - begin);
+    // Encoding prefixes and raw-string markers glue onto the literal that
+    // follows with no whitespace: u8R"(...)", LR"(...)", L"...", u'x', ...
+    const bool raw = !id.empty() && id.back() == 'R' &&
+                     (id == "R" || id == "u8R" || id == "uR" || id == "UR" ||
+                      id == "LR");
+    const bool prefix =
+        id == "u8" || id == "u" || id == "U" || id == "L";
+    if (raw && peek() == '"') {
+      lex_raw_string_tail();
+      t.kind = TokenKind::String;
+      finish(t, begin);
+      return t;
+    }
+    if (prefix && (peek() == '"' || peek() == '\'')) {
+      const char quote = peek();
+      lex_quoted_tail(quote);
+      t.kind = quote == '"' ? TokenKind::String : TokenKind::CharLiteral;
+      finish(t, begin);
+      return t;
+    }
+    finish(t, begin);
+    return t;
+  }
+
+  /// Consume `"delim( ... )delim"` starting at the opening quote.
+  void lex_raw_string_tail() {
+    advance();  // '"'
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') {
+      delim.push_back(src_[pos_]);
+      advance();
+    }
+    if (pos_ < src_.size()) advance();  // '('
+    const std::string closer = ")" + delim + "\"";
+    while (pos_ < src_.size()) {
+      if (src_.compare(pos_, closer.size(), closer) == 0) {
+        for (std::size_t i = 0; i < closer.size(); ++i) advance();
+        return;
+      }
+      advance();
+    }
+  }
+
+  void lex_quoted_tail(char quote) {
+    advance();  // opening quote
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        advance();
+        advance();
+        continue;
+      }
+      if (src_[pos_] == quote) {
+        advance();
+        return;
+      }
+      if (src_[pos_] == '\n') return;  // unterminated: stop at line end
+      advance();
+    }
+  }
+
+  Token lex_quoted(TokenKind kind, char quote) {
+    Token t = start_token(kind);
+    const std::size_t begin = pos_;
+    lex_quoted_tail(quote);
+    finish(t, begin);
+    return t;
+  }
+
+  Token lex_number() {
+    Token t = start_token(TokenKind::Number);
+    const std::size_t begin = pos_;
+    // pp-number: digits, identifier chars, digit separators, '.', and
+    // exponent signs after e/E/p/P.
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (ident_char(c) || c == '.') {
+        advance();
+        continue;
+      }
+      if (c == '\'' && ident_char(peek(1))) {  // digit separator
+        advance();
+        advance();
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          advance();
+          continue;
+        }
+      }
+      break;
+    }
+    finish(t, begin);
+    return t;
+  }
+
+  Token lex_punct() {
+    Token t = start_token(TokenKind::Punct);
+    const std::size_t begin = pos_;
+    for (const std::string_view op : kPuncts) {
+      if (src_.compare(pos_, op.size(), op) == 0) {
+        for (std::size_t i = 0; i < op.size(); ++i) advance();
+        finish(t, begin);
+        return t;
+      }
+    }
+    advance();
+    finish(t, begin);
+    return t;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+TokenStream lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace alert::analysis_tools

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file lexer.hpp
+/// Single-pass C++ lexer for the analyzer. It is a *lexer*, not a parser:
+/// it classifies the character stream into tokens (identifiers, literals,
+/// punctuation, comments, preprocessor logical lines) with exact line/column
+/// positions, which is all the rule layer needs. Understands line and block
+/// comments, string/char literals with escapes, raw string literals
+/// (R"delim(...)delim" with encoding prefixes), digit separators, and
+/// backslash-newline continuations inside preprocessor directives.
+
+#include <string_view>
+
+#include "lint/token.hpp"
+
+namespace alert::analysis_tools {
+
+/// Lex `source` into a token stream. Never fails: malformed input (an
+/// unterminated literal or comment) produces a final token running to end
+/// of file, mirroring how a compiler would diagnose it downstream.
+[[nodiscard]] TokenStream lex(std::string_view source);
+
+}  // namespace alert::analysis_tools

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file output.hpp
+/// Report rendering: human text (compiler-style, clickable in editors),
+/// machine JSON, and SARIF 2.1.0 for code-scanning UIs. All three render
+/// the same ScanReport, so every consumer sees identical findings.
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "lint/finding.hpp"
+#include "lint/rule.hpp"
+
+namespace alert::analysis_tools {
+
+struct ScanReport {
+  std::vector<Finding> findings;  ///< post-waiver, post-baseline, sorted
+  std::size_t files_scanned = 0;
+  std::size_t waived = 0;            ///< suppressed by inline waivers
+  std::size_t baseline_applied = 0;  ///< suppressed by the baseline file
+  /// Stale baseline entries, rendered "<rule> <path> — <reason>".
+  std::vector<std::string> stale_baseline;
+
+  [[nodiscard]] std::size_t error_count() const {
+    std::size_t n = 0;
+    for (const Finding& f : findings) n += f.severity == Severity::Error;
+    return n;
+  }
+};
+
+void write_text(std::ostream& out, const ScanReport& report);
+void write_json(std::ostream& out, const ScanReport& report);
+
+/// SARIF 2.1.0: one run, one driver, the full rule catalog, results with
+/// physical locations uriBaseId'd to the scan root.
+void write_sarif(std::ostream& out, const ScanReport& report,
+                 const std::vector<RuleInfo>& rules);
+
+}  // namespace alert::analysis_tools

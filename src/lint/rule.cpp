@@ -1,0 +1,36 @@
+#include "lint/rule.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace alert::analysis_tools {
+
+void Sink::emit(const RuleInfo& rule, const FileData& file, std::size_t line,
+                std::size_t column, std::string message) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (config_->disabled_rules.count(rule.id) != 0) return;
+  if (file.waived(line, rule.id)) {
+    ++waived_;
+    return;
+  }
+  Finding f;
+  f.rule = rule.id;
+  f.path = file.rel_path;
+  f.line = line;
+  f.column = column;
+  f.message = std::move(message);
+  f.severity = rule.severity;
+  const auto it = config_->severity_overrides.find(rule.id);
+  if (it != config_->severity_overrides.end()) f.severity = it->second;
+  findings_.push_back(std::move(f));
+}
+
+std::vector<Finding> Sink::take() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::sort(findings_.begin(), findings_.end());
+  findings_.erase(std::unique(findings_.begin(), findings_.end()),
+                  findings_.end());
+  return std::move(findings_);
+}
+
+}  // namespace alert::analysis_tools

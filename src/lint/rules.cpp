@@ -1,0 +1,24 @@
+#include "lint/rules.hpp"
+
+#include "lint/rules_detail.hpp"
+
+namespace alert::analysis_tools {
+
+std::vector<std::unique_ptr<Rule>> make_default_rules(
+    const AnalyzerConfig& config) {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(detail::make_raw_random(config));
+  rules.push_back(detail::make_wall_clock(config));
+  rules.push_back(detail::make_float_type(config));
+  rules.push_back(detail::make_raw_stdout(config));
+  rules.push_back(detail::make_iterator_invalidation());
+  rules.push_back(detail::make_drop_reason(config));
+  rules.push_back(detail::make_module_layering(config));
+  rules.push_back(detail::make_unordered_iteration(config));
+  rules.push_back(detail::make_pointer_ordering());
+  rules.push_back(detail::make_exhaustive_enum());
+  rules.push_back(detail::make_mutable_global(config));
+  return rules;
+}
+
+}  // namespace alert::analysis_tools

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file rules.hpp
+/// The rule catalog. `make_default_rules` instantiates every built-in rule
+/// against a config; docs/VERIFICATION.md documents each rule's rationale.
+///
+/// Ported from the retired Python alert-lint (token-based now):
+///   raw-random, wall-clock, float-type, raw-stdout, iterator-invalidation,
+///   drop-reason-exhaustive (header-self-sufficiency lives in the analyzer —
+///   it shells out to the compiler rather than matching tokens).
+/// New rules regex could not express:
+///   module-layering, unordered-iteration-ordering, pointer-ordering,
+///   exhaustive-enum, mutable-global.
+
+#include <memory>
+#include <vector>
+
+#include "lint/rule.hpp"
+
+namespace alert::analysis_tools {
+
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> make_default_rules(
+    const AnalyzerConfig& config);
+
+}  // namespace alert::analysis_tools

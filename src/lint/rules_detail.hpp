@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file rules_detail.hpp
+/// Internal factory declarations wiring the rule TUs into
+/// make_default_rules (lint/rules.cpp). Not part of the public surface.
+
+#include <memory>
+
+#include "lint/rule.hpp"
+
+namespace alert::analysis_tools::detail {
+
+std::unique_ptr<Rule> make_raw_random(const AnalyzerConfig& c);
+std::unique_ptr<Rule> make_wall_clock(const AnalyzerConfig& c);
+std::unique_ptr<Rule> make_float_type(const AnalyzerConfig& c);
+std::unique_ptr<Rule> make_raw_stdout(const AnalyzerConfig& c);
+std::unique_ptr<Rule> make_iterator_invalidation();
+std::unique_ptr<Rule> make_drop_reason(const AnalyzerConfig& c);
+
+std::unique_ptr<Rule> make_module_layering(const AnalyzerConfig& c);
+std::unique_ptr<Rule> make_unordered_iteration(const AnalyzerConfig& c);
+std::unique_ptr<Rule> make_pointer_ordering();
+std::unique_ptr<Rule> make_exhaustive_enum();
+std::unique_ptr<Rule> make_mutable_global(const AnalyzerConfig& c);
+
+}  // namespace alert::analysis_tools::detail

@@ -1,0 +1,91 @@
+#include "lint/structure.hpp"
+
+namespace alert::analysis_tools {
+
+std::vector<SwitchInfo> collect_switches(const CodeView& v) {
+  std::vector<SwitchInfo> out;
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+    if (!(v.is_ident(i, "switch") && v.is_punct(i + 1, "("))) continue;
+    const std::size_t close = v.matching(i + 1, "(", ")");
+    if (close == v.size() || !v.is_punct(close + 1, "{")) continue;
+    const std::size_t end = v.matching(close + 1, "{", "}");
+    SwitchInfo sw;
+    sw.line = v.tok(i).line;
+    sw.column = v.tok(i).column;
+    for (std::size_t j = close + 2; j < end; ++j) {
+      if (v.is_ident(j, "default") && v.is_punct(j + 1, ":")) {
+        sw.has_default = true;
+      } else if (v.is_ident(j, "case")) {
+        // Qualified chain: ident (:: ident)* up to the label ':'.
+        std::vector<std::string> parts;
+        std::size_t k = j + 1;
+        while (k < end && v.tok(k).kind == TokenKind::Identifier) {
+          parts.push_back(v.tok(k).text);
+          if (v.is_punct(k + 1, "::")) {
+            k += 2;
+          } else {
+            ++k;
+            break;
+          }
+        }
+        if (!v.is_punct(k, ":")) continue;
+        if (parts.size() >= 2) {
+          sw.cases.emplace_back(parts[parts.size() - 2], parts.back());
+        } else if (parts.size() == 1) {
+          sw.cases.emplace_back(std::string(), parts.back());
+        }
+        j = k;
+      }
+    }
+    out.push_back(std::move(sw));
+  }
+  return out;
+}
+
+bool parse_enum_definition(const CodeView& v, std::size_t i,
+                           std::string* name,
+                           std::vector<std::string>* enumerators,
+                           std::size_t* line) {
+  if (!v.is_ident(i, "enum")) return false;
+  std::size_t j = i + 1;
+  if (v.is_ident(j, "class") || v.is_ident(j, "struct")) ++j;
+  if (j >= v.size() || v.tok(j).kind != TokenKind::Identifier) return false;
+  *name = v.tok(j).text;
+  *line = v.tok(i).line;
+  ++j;
+  // Optional underlying type runs to '{'; a ';' first means forward decl.
+  while (j < v.size() && !v.is_punct(j, "{")) {
+    if (v.is_punct(j, ";")) return false;
+    ++j;
+  }
+  if (j >= v.size()) return false;
+  const std::size_t end = v.matching(j, "{", "}");
+  std::size_t depth = 0;
+  bool expect_name = true;
+  for (std::size_t k = j + 1; k < end; ++k) {
+    const std::string& t = v.tok(k).text;
+    if (t == "(" || t == "[" || t == "{") {
+      ++depth;
+    } else if (t == ")" || t == "]" || t == "}") {
+      --depth;
+    } else if (depth == 0 && t == ",") {
+      expect_name = true;
+    } else if (depth == 0 && expect_name &&
+               v.tok(k).kind == TokenKind::Identifier) {
+      enumerators->push_back(t);
+      expect_name = false;
+    }
+  }
+  return true;
+}
+
+std::string join(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += ", ";
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace alert::analysis_tools

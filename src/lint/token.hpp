@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file token.hpp
+/// Token model for the alertsim-analyzer lexer. One pass over a C++ source
+/// file yields a flat token vector; rules match against it instead of raw
+/// text, so comments, string literals and preprocessor lines can never be
+/// mistaken for code (the failure mode of the retired regex-based
+/// alert-lint).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace alert::analysis_tools {
+
+enum class TokenKind {
+  Identifier,    ///< identifiers and keywords (no keyword table needed)
+  Number,        ///< pp-number: integers, floats, digit separators, suffixes
+  String,        ///< "..." including raw strings and encoding prefixes
+  CharLiteral,   ///< '...'
+  Punct,         ///< operators/punctuation; multi-char ops are one token
+  LineComment,   ///< text excludes the trailing newline
+  BlockComment,  ///< text includes the /* */ delimiters
+  Preprocessor,  ///< a whole logical directive line (continuations folded)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::Punct;
+  std::string text;
+  std::size_t line = 0;    ///< 1-based line of the token's first character
+  std::size_t column = 0;  ///< 1-based column of the token's first character
+};
+
+/// True for token kinds that are program code (what rules usually match);
+/// comments and preprocessor directives are carried for waiver/tag parsing
+/// and include analysis respectively.
+[[nodiscard]] inline bool is_code(const Token& t) {
+  switch (t.kind) {
+    case TokenKind::Identifier:
+    case TokenKind::Number:
+    case TokenKind::String:
+    case TokenKind::CharLiteral:
+    case TokenKind::Punct:
+      return true;
+    case TokenKind::LineComment:
+    case TokenKind::BlockComment:
+    case TokenKind::Preprocessor:
+      return false;
+  }
+  return false;
+}
+
+using TokenStream = std::vector<Token>;
+
+}  // namespace alert::analysis_tools

@@ -120,9 +120,11 @@ TEST(Experiment, ParallelAndSerialAggregationMatch) {
   const ScenarioConfig cfg = small_scenario();
   const ExperimentResult serial = run_experiment(cfg, 3, 1);
   const ExperimentResult parallel = run_experiment(cfg, 3, 3);
-  EXPECT_NEAR(serial.latency_s.mean(), parallel.latency_s.mean(), 1e-12);
-  EXPECT_NEAR(serial.delivery_rate.mean(), parallel.delivery_rate.mean(),
-              1e-12);
+  // Exact: aggregation happens in replication order regardless of thread
+  // count, so parallel and serial results are bit-identical.
+  EXPECT_EQ(serial.latency_s.mean(), parallel.latency_s.mean());
+  EXPECT_EQ(serial.delivery_rate.mean(), parallel.delivery_rate.mean());
+  EXPECT_EQ(serial.trace_digests, parallel.trace_digests);
 }
 
 TEST(Experiment, GroupMobilityScenarioRuns) {

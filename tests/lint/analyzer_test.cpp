@@ -1,0 +1,314 @@
+/// Unit tests for the alert::analysis_tools analyzer library: lexer token
+/// classification, waiver parsing, rule behaviour on synthetic sources,
+/// baseline round-trips, and output-format well-formedness. The fixture
+/// self-test (lint.analyzer_selftest) covers end-to-end parity with the
+/// retired Python linter; these tests pin the pieces in isolation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/baseline.hpp"
+#include "lint/file_data.hpp"
+#include "lint/lexer.hpp"
+#include "lint/output.hpp"
+#include "lint/rules.hpp"
+#include "obs/json_value.hpp"
+
+namespace lint = alert::analysis_tools;
+
+namespace {
+
+std::vector<lint::Finding> run_rules(const std::string& rel_path,
+                                     const std::string& source,
+                                     const lint::AnalyzerConfig& config = {}) {
+  const lint::FileData file = lint::build_file_data(rel_path, source);
+  lint::Sink sink(config);
+  const std::vector<lint::FileData> files{file};
+  for (const auto& rule : lint::make_default_rules(config)) {
+    rule->check_file(file, sink);
+    rule->finish(files, sink);
+  }
+  return sink.take();
+}
+
+std::vector<std::string> rule_ids(const std::vector<lint::Finding>& fs) {
+  std::vector<std::string> out;
+  for (const lint::Finding& f : fs) out.push_back(f.rule);
+  return out;
+}
+
+// --- lexer ----------------------------------------------------------------
+
+TEST(Lexer, ClassifiesTokenKinds) {
+  const lint::TokenStream ts = lint::lex(
+      "int x = 42; // trailing\n/* block */ \"str\" 'c' ptr->field\n");
+  std::map<lint::TokenKind, int> counts;
+  for (const lint::Token& t : ts) ++counts[t.kind];
+  EXPECT_EQ(counts[lint::TokenKind::LineComment], 1);
+  EXPECT_EQ(counts[lint::TokenKind::BlockComment], 1);
+  EXPECT_EQ(counts[lint::TokenKind::String], 1);
+  EXPECT_EQ(counts[lint::TokenKind::CharLiteral], 1);
+  EXPECT_EQ(counts[lint::TokenKind::Number], 1);
+  // "->" must lex as one punct token, not two.
+  bool arrow = false;
+  for (const lint::Token& t : ts) arrow |= t.text == "->";
+  EXPECT_TRUE(arrow);
+}
+
+TEST(Lexer, RawStringsSwallowFakeCode) {
+  // rand() inside a raw string is data, not code — and the delimiter form
+  // must not end at the first plain quote.
+  const lint::TokenStream ts =
+      lint::lex("auto s = R\"x(rand() \" still inside)x\"; int after;");
+  int strings = 0;
+  bool saw_rand_ident = false;
+  for (const lint::Token& t : ts) {
+    strings += t.kind == lint::TokenKind::String;
+    saw_rand_ident |=
+        t.kind == lint::TokenKind::Identifier && t.text == "rand";
+  }
+  EXPECT_EQ(strings, 1);
+  EXPECT_FALSE(saw_rand_ident);
+}
+
+TEST(Lexer, PreprocessorFoldsContinuations) {
+  const lint::TokenStream ts =
+      lint::lex("#define TWO_LINES(a) \\\n  (a + 1)\nint code;\n");
+  ASSERT_FALSE(ts.empty());
+  EXPECT_EQ(ts[0].kind, lint::TokenKind::Preprocessor);
+  EXPECT_NE(ts[0].text.find("(a + 1)"), std::string::npos);
+  // '#' mid-line is not a directive.
+  const lint::TokenStream ts2 = lint::lex("int a = 1 # 2;\n");
+  for (const lint::Token& t : ts2) {
+    EXPECT_NE(t.kind, lint::TokenKind::Preprocessor);
+  }
+}
+
+TEST(Lexer, DigitSeparatorsStayOneNumber) {
+  const lint::TokenStream ts = lint::lex("auto n = 1'000'000u;");
+  for (const lint::Token& t : ts) {
+    if (t.kind == lint::TokenKind::Number) {
+      EXPECT_EQ(t.text, "1'000'000u");
+      return;
+    }
+  }
+  FAIL() << "no number token";
+}
+
+// --- waivers --------------------------------------------------------------
+
+TEST(FileData, ParsesWaiversIncludingIncludeLines) {
+  const lint::FileData f = lint::build_file_data(
+      "net/x.cpp",
+      "#include \"core/y.hpp\"  // alert-lint: allow(module-layering)\n"
+      "int a;  // alert-lint: allow(rule-a, rule-b)\n"
+      "int b;  // unrelated comment\n");
+  EXPECT_TRUE(f.waived(1, "module-layering"));
+  EXPECT_TRUE(f.waived(2, "rule-a"));
+  EXPECT_TRUE(f.waived(2, "rule-b"));
+  EXPECT_FALSE(f.waived(2, "rule-c"));
+  EXPECT_FALSE(f.waived(3, "rule-a"));
+}
+
+// --- rules on synthetic sources -------------------------------------------
+
+TEST(Rules, UnorderedIterationOnlyInDigestSensitiveDirs) {
+  const std::string src =
+      "#include <unordered_map>\n"
+      "int f() {\n"
+      "  std::unordered_map<int, int> m;\n"
+      "  int t = 0;\n"
+      "  for (const auto& [k, v] : m) t += v;\n"
+      "  return t;\n"
+      "}\n";
+  EXPECT_EQ(rule_ids(run_rules("core/agg.cpp", src)),
+            std::vector<std::string>{"unordered-iteration-ordering"});
+  // Same code outside a canonical-output path is allowed.
+  EXPECT_TRUE(run_rules("net/agg.cpp", src).empty());
+}
+
+TEST(Rules, PointerOrderingFlagsDefaultComparatorsOnly) {
+  const std::string bad =
+      "#include <set>\n"
+      "struct N { int id; };\n"
+      "std::set<N*> addresses_fn();\n";
+  const std::vector<lint::Finding> fs = run_rules("loc/p.cpp", bad);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "pointer-ordering");
+  const std::string good =
+      "#include <set>\n"
+      "struct N { int id; };\n"
+      "struct ById { bool operator()(const N* a, const N* b) const; };\n"
+      "std::set<N*, ById> addresses_fn();\n";
+  EXPECT_TRUE(run_rules("loc/p.cpp", good).empty());
+}
+
+TEST(Rules, MutableGlobalContexts) {
+  const std::vector<lint::Finding> fs = run_rules(
+      "routing/g.cpp",
+      "int g_bad = 0;\n"
+      "constexpr int kOk = 1;\n"
+      "int ok_fn() {\n"
+      "  static int counter = 0;\n"
+      "  int local = 2;\n"
+      "  return ++counter + local;\n"
+      "}\n");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].line, 1u);
+  EXPECT_EQ(fs[1].line, 4u);
+  // Allowlisted files may hold process-wide state.
+  EXPECT_TRUE(run_rules("util/check.cpp", "int g_failures = 0;\n").empty());
+}
+
+TEST(Rules, ModuleLayeringBackEdgeAndUnknownModule) {
+  const std::vector<lint::Finding> back = run_rules(
+      "util/low.cpp", "#include \"routing/high.hpp\"\nint a_fn();\n");
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].rule, "module-layering");
+  EXPECT_NE(back[0].message.find("back-edge"), std::string::npos);
+  const std::vector<lint::Finding> unknown = run_rules(
+      "util/low.cpp", "#include \"mystery/x.hpp\"\nint a_fn();\n");
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_NE(unknown[0].message.find("not in the layering table"),
+            std::string::npos);
+  // Allowed edge and intra-module edge are clean.
+  EXPECT_TRUE(
+      run_rules("routing/r.cpp", "#include \"net/packet.hpp\"\nint a_fn();\n")
+          .empty());
+  EXPECT_TRUE(run_rules("routing/r.cpp",
+                        "#include \"routing/other.hpp\"\nint a_fn();\n")
+                  .empty());
+}
+
+TEST(Rules, ExhaustiveEnumTagDrivesSwitchChecks) {
+  const std::string src =
+      "// alert-lint: exhaustive-enum\n"
+      "enum class Mode { A, B };\n"
+      "int f(Mode m) {\n"
+      "  switch (m) {\n"
+      "    case Mode::A: return 1;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n";
+  const std::vector<lint::Finding> fs = run_rules("sim/m.cpp", src);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "exhaustive-enum");
+  EXPECT_NE(fs[0].message.find("B"), std::string::npos);
+  // Without the tag the same switch is fine.
+  const std::string untagged =
+      "enum class Mode { A, B };\n"
+      "int f(Mode m) {\n"
+      "  switch (m) {\n"
+      "    case Mode::A: return 1;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n";
+  EXPECT_TRUE(run_rules("sim/m.cpp", untagged).empty());
+}
+
+TEST(Rules, FindingsDedupAcrossIdenticalHitsOnOneLine) {
+  // Two printf calls on one line: one finding, like the retired linter.
+  const std::vector<lint::Finding> fs = run_rules(
+      "core/out.cpp", "void f() { printf(\"a\"); printf(\"b\"); }\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "raw-stdout");
+}
+
+// --- baseline -------------------------------------------------------------
+
+TEST(Baseline, FingerprintIgnoresWhitespaceOnly) {
+  const auto a = lint::baseline_fingerprint("r", "p", "int  x =  1;");
+  const auto b = lint::baseline_fingerprint("r", "p", "  int x = 1;  ");
+  const auto c = lint::baseline_fingerprint("r", "p", "int x = 2;");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Baseline, ParseRejectsMalformedLinesButKeepsGoing) {
+  std::vector<std::string> errors;
+  const lint::Baseline b = lint::Baseline::parse(
+      "# comment\n"
+      "\n"
+      "rule-a core/x.cpp 00000000deadbeef grandfathered: legacy counter\n"
+      "rule-b core/y.cpp nothex reason\n"
+      "rule-c core/z.cpp 0000000000000001\n",
+      &errors);
+  EXPECT_EQ(b.size(), 1u);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_NE(errors[0].find("line 4"), std::string::npos);
+  EXPECT_NE(errors[1].find("line 5"), std::string::npos);
+}
+
+TEST(Baseline, AbsorbsMatchingFindingAndReportsStale) {
+  lint::Finding f;
+  f.rule = "mutable-global";
+  f.path = "core/x.cpp";
+  f.line = 3;
+  const std::string line_text = "int g_bad = 0;";
+  const std::vector<lint::Finding> findings{f};
+  const std::vector<std::string_view> lines{line_text};
+  const std::string rendered = lint::Baseline::render(findings, lines);
+  std::vector<std::string> errors;
+  lint::Baseline b = lint::Baseline::parse(rendered, &errors);
+  EXPECT_TRUE(errors.empty());
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_TRUE(b.absorbs(f, line_text));
+  EXPECT_TRUE(b.stale().empty());
+  lint::Baseline fresh = lint::Baseline::parse(rendered, nullptr);
+  EXPECT_FALSE(fresh.absorbs(f, "int g_bad = 99;"));  // line changed
+  EXPECT_EQ(fresh.stale().size(), 1u);
+}
+
+// --- output formats -------------------------------------------------------
+
+lint::ScanReport sample_report() {
+  lint::ScanReport r;
+  lint::Finding f;
+  f.rule = "wall-clock";
+  f.path = "sim/a.cpp";
+  f.line = 7;
+  f.column = 3;
+  f.message = "host clock with \"quotes\" and\nnewline";
+  r.findings.push_back(f);
+  r.files_scanned = 2;
+  r.waived = 1;
+  return r;
+}
+
+TEST(Output, JsonIsWellFormedAndEscaped) {
+  std::ostringstream out;
+  lint::write_json(out, sample_report());
+  const auto doc = alert::obs::parse_json(out.str());
+  ASSERT_TRUE(doc.has_value());
+  const auto* findings = doc->find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_EQ(findings->size(), 1u);
+  EXPECT_EQ(findings->at(0).find("rule")->as_string(), "wall-clock");
+  EXPECT_EQ(findings->at(0).find("line")->as_u64(), 7u);
+}
+
+TEST(Output, SarifHasRequiredShape) {
+  std::ostringstream out;
+  const std::vector<lint::RuleInfo> rules{
+      {"wall-clock", "host clock read", lint::Severity::Error}};
+  lint::write_sarif(out, sample_report(), rules);
+  const auto doc = alert::obs::parse_json(out.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("version")->as_string(), "2.1.0");
+  const auto& run = doc->find("runs")->at(0);
+  EXPECT_EQ(run.find("tool")->find("driver")->find("name")->as_string(),
+            "alertsim-analyzer");
+  const auto& result = run.find("results")->at(0);
+  EXPECT_EQ(result.find("ruleId")->as_string(), "wall-clock");
+  const auto& region = result.find("locations")
+                           ->at(0)
+                           .find("physicalLocation")
+                           ->find("region");
+  EXPECT_EQ(region->find("startLine")->as_u64(), 7u);
+}
+
+}  // namespace

@@ -1,0 +1,29 @@
+// Fixture: pointer-ordering — address-keyed containers and sorts vary run
+// to run under ASLR. Three positives (set key, map key, default-comparator
+// sort); the comparator-equipped variants and the waived line pass.
+// EXPECT: pointer-ordering 3
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+struct NodeStub {
+  int id;
+};
+struct ByIdStub {
+  bool operator()(const NodeStub* a, const NodeStub* b) const {
+    return a->id < b->id;
+  }
+};
+
+int pointer_ordering_fixture() {
+  std::set<NodeStub*> bad_set;
+  std::map<NodeStub*, int> bad_map;
+  std::set<NodeStub*, ByIdStub> good_set;
+  std::vector<NodeStub*> nodes;
+  std::sort(nodes.begin(), nodes.end());
+  std::sort(nodes.begin(), nodes.end(), ByIdStub{});
+  std::set<NodeStub*> waived_set;  // alert-lint: allow(pointer-ordering)
+  return static_cast<int>(bad_set.size() + bad_map.size() +
+                          good_set.size() + waived_set.size());
+}

@@ -1,0 +1,22 @@
+// Fixture: unordered-iteration-ordering — core/ feeds canonical/digest
+// output, so iterating hash containers there is flagged. Two positives
+// (range-for and explicit .begin()); the ordered map, the waived loop and
+// membership lookups all pass.
+// EXPECT: unordered-iteration-ordering 2
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+int sum_unordered_fixture() {
+  std::unordered_map<int, int> counts;
+  std::unordered_set<int> seen;
+  std::map<int, int> ordered;
+  int total = 0;
+  for (const auto& [k, v] : counts) total += v;
+  auto it = seen.begin();
+  for (const auto& [k, v] : ordered) total += v;
+  for (const auto& [k, v] : counts) total += v;  // alert-lint: allow(unordered-iteration-ordering)
+  total += static_cast<int>(seen.count(3));
+  (void)it;
+  return total;
+}

@@ -10,3 +10,7 @@ float waived_ok = 1.0f;  // alert-lint: allow(float-type)
 // "float" inside words must not match:
 int floatify_count = 0;
 int a_float_free_zone(double not_a_float) { return static_cast<int>(not_a_float); }
+
+// The three TU-scope mutable variables above are also mutable-global
+// findings — the rules compose on the same lines.
+// EXPECT: mutable-global 3

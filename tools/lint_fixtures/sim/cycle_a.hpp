@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: module-layering include-cycle detection. cycle_a and cycle_b
+// include each other; the DFS reports the one edge that closes the cycle
+// (in cycle_b, the lexically later file), so this file stays clean.
+#include "sim/cycle_b.hpp"
+
+inline int cycle_a_value() { return 1; }

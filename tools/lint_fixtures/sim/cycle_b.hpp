@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: the back half of the cycle_a <-> cycle_b include cycle; the
+// include below closes the cycle and is the edge that gets reported.
+// EXPECT: module-layering 1
+#include "sim/cycle_a.hpp"
+
+inline int cycle_b_value() { return 2; }

@@ -1,0 +1,8 @@
+// Fixture: module-layering — util/ sits at the bottom of the dependency
+// DAG and may not include net/. One flagged back-edge; the waived include
+// on the next line must not count.
+// EXPECT: module-layering 1
+#include "net/packet_stub.hpp"
+#include "net/mac_stub.hpp"  // alert-lint: allow(module-layering)
+
+int layering_backedge_fixture() { return 0; }

@@ -1,0 +1,26 @@
+// Fixture: mutable-global — static-storage mutable state outside the
+// allowlisted files (util/check.cpp, util/logging.cpp). Four positives:
+// namespace scope, nested-namespace scope, function-local static, static
+// data member. const/constexpr declarations and the waived line pass.
+// EXPECT: mutable-global 4
+#include <string>
+
+int g_bad_counter = 0;
+const int kGoodConst = 1;
+constexpr int kGoodConstexpr = 2;
+int g_waived_counter = 0;  // alert-lint: allow(mutable-global)
+
+namespace stub {
+std::string g_bad_name;
+}  // namespace stub
+
+int bump_fixture() {
+  static int calls = 0;
+  static const int kLimit = 7;
+  return ++calls + kLimit + g_bad_counter + kGoodConst + kGoodConstexpr;
+}
+
+struct CounterStub {
+  static int live;
+  int instance_ok = 0;
+};

@@ -14,3 +14,7 @@ std::mt19937 waived_engine;  // alert-lint: allow(raw-random)
 
 // Mentions in comments must not count: rand(), std::random_device.
 const char* not_code = "srand(1); std::mt19937 in a string";
+
+// The two TU-scope engines above are also mutable-global findings (the
+// raw-random waiver on one of them does not silence the other rule).
+// EXPECT: mutable-global 2
