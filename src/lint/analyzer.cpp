@@ -14,6 +14,8 @@
 #include <utility>
 
 #include "lint/baseline.hpp"
+#include "lint/callgraph.hpp"
+#include "lint/index.hpp"
 #include "lint/rules.hpp"
 #include "util/thread_pool.hpp"
 
@@ -116,19 +118,39 @@ std::vector<RuleInfo> rule_catalog(const AnalyzerConfig& config) {
 
 AnalyzeResult analyze(const AnalyzerOptions& options) {
   AnalyzeResult result;
-  const std::vector<std::string> paths = discover_sources(options.root);
+  std::vector<std::string> paths = discover_sources(options.root);
+  if (!options.exclude_paths.empty()) {
+    std::erase_if(paths, [&](const std::string& p) {
+      return AnalyzerConfig::path_in(p, options.exclude_paths);
+    });
+  }
 
-  // Lex everything in parallel; rules keep no per-file state, so their
-  // check_file passes run concurrently too (Sink is the only shared
-  // object and it locks internally).
+  // Lex and index everything in parallel; rules keep no per-file state, so
+  // their check_file passes run concurrently too (Sink is the only shared
+  // object and it locks internally). The per-file index slices feed the
+  // whole-program ProgramIndex/CallGraph, built once and shared by every
+  // rule's finish_program pass.
   std::vector<std::unique_ptr<Rule>> rules = make_default_rules(options.config);
+  if (!options.disabled_rules.empty()) {
+    const std::set<std::string> off(options.disabled_rules.begin(),
+                                    options.disabled_rules.end());
+    std::erase_if(rules, [&](const std::unique_ptr<Rule>& r) {
+      return off.count(r->info().id) != 0;
+    });
+  }
   Sink sink(options.config);
   result.files.resize(paths.size());
+  std::vector<FileIndex> slices(paths.size());
   {
     util::ThreadPool pool(options.threads);
     pool.parallel_for(paths.size(), [&](std::size_t i) {
       const fs::path full = fs::path(options.root) / paths[i];
-      result.files[i] = build_file_data(paths[i], read_file(full));
+      // Disjoint by construction: task i owns slot i of the pre-sized
+      // vectors, so the resize above and these writes never race.
+      result.files[i] =  // alert-lint: allow(lock-discipline)
+          build_file_data(paths[i], read_file(full));
+      slices[i] =
+          index_file(result.files[i], options.config.worker_entry_points);
       for (const auto& rule : rules) {
         rule->check_file(result.files[i], sink);
       }
@@ -136,6 +158,13 @@ AnalyzeResult analyze(const AnalyzerOptions& options) {
   }
   for (const auto& rule : rules) {
     rule->finish(result.files, sink);
+  }
+  {
+    const ProgramIndex index(result.files, std::move(slices));
+    const CallGraph graph(index, &options.config);
+    for (const auto& rule : rules) {
+      rule->finish_program(index, graph, sink);
+    }
   }
 
   // Header self-sufficiency is compiler-backed, not token-backed: every

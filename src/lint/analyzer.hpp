@@ -30,6 +30,13 @@ struct AnalyzerOptions {
   std::vector<std::string> only_paths;
   /// Baseline file contents ("" = no baseline).
   std::string baseline_text;
+  /// Rel-path prefixes dropped from the scan entirely (e.g. the analyzer's
+  /// own deliberately-broken lint_fixtures/ when scanning tools/).
+  std::vector<std::string> exclude_paths;
+  /// Rule ids switched off for this scan (e.g. hotpath-allocation over
+  /// tests/, where allocation in helpers is fine). Unknown ids are the
+  /// driver's problem — it validates against rule_catalog before calling.
+  std::vector<std::string> disabled_rules;
   std::size_t threads = 0;  ///< 0 = hardware concurrency
 };
 

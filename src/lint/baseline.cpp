@@ -121,6 +121,16 @@ Baseline Baseline::parse(std::string_view text,
       }
       continue;
     }
+    // --write-baseline emits "TODO: justify" placeholders; committing one
+    // unedited defeats the whole point of requiring a reason.
+    if (e.reason.rfind("TODO", 0) == 0) {
+      if (errors != nullptr) {
+        errors->push_back("line " + std::to_string(line_no) +
+                          ": replace the TODO placeholder with a real "
+                          "justification");
+      }
+      continue;
+    }
     b.entries_.push_back(std::move(e));
   }
   return b;

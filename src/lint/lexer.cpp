@@ -130,7 +130,17 @@ class Lexer {
   Token lex_line_comment() {
     Token t = start_token(TokenKind::LineComment);
     const std::size_t begin = pos_;
-    while (pos_ < src_.size() && src_[pos_] != '\n') advance();
+    while (pos_ < src_.size()) {
+      // Translation phase 2: a backslash-newline splice continues the
+      // comment onto the next physical line, so text there is never code.
+      if (src_[pos_] == '\\' && peek(1) == '\n') {
+        advance();  // backslash
+        advance();  // newline
+        continue;
+      }
+      if (src_[pos_] == '\n') break;
+      advance();
+    }
     finish(t, begin);
     return t;
   }

@@ -21,6 +21,9 @@
 
 namespace alert::analysis_tools {
 
+class ProgramIndex;
+class CallGraph;
+
 struct RuleInfo {
   std::string id;
   std::string description;       ///< one-line, shown by --list-rules and SARIF
@@ -71,7 +74,29 @@ struct AnalyzerConfig {
         "faults"}},
       {"campaign", {"util", "analysis", "core", "obs", "routing"}},
       {"lint", {"util", "obs"}},
+      // Test-only module (tests/integration/): end-to-end suites sit above
+      // the whole DAG, so every module is a legal dependency.
+      {"integration",
+       {"util", "analysis", "obs", "crypto", "sim", "faults", "net", "loc",
+        "routing", "attack", "core", "campaign", "lint"}},
   };
+  /// rng-discipline / lock-discipline: callables whose lambda arguments run
+  /// on util::ThreadPool worker threads.
+  std::vector<std::string> worker_entry_points{"submit", "parallel_for"};
+  /// wallclock-in-sim: directories whose functions must not reach a host
+  /// clock read through the call graph (digest-sensitive simulated time).
+  std::vector<std::string> simtime_dirs{"core/", "sim/", "routing/"};
+  /// wallclock-in-sim: paths whose clock reads are sanctioned (the obs
+  /// self-profiler measures host time by design and never feeds digests).
+  std::vector<std::string> wallclock_exempt_paths{"obs/"};
+  /// hotpath-allocation: roots ("Class::name" or bare name) of the event
+  /// dispatch / MAC / channel hot paths (the pooling targets of ROADMAP
+  /// item 1). Functions transitively reachable from these must not allocate.
+  std::vector<std::string> hotpath_roots{
+      "Simulator::step",      "Simulator::run_until",
+      "Mac::acquire",         "ChannelModel::lose_frame",
+      "Network::deliver_broadcast", "Network::deliver_unicast",
+      "Network::send_hello"};
   /// Per-rule severity overrides (default: every rule is an Error).
   std::map<std::string, Severity> severity_overrides;
   /// Rules disabled entirely.
@@ -122,6 +147,18 @@ class Rule {
   /// is sorted by rel_path.
   virtual void finish(const std::vector<FileData>& files, Sink& sink) {
     (void)files;
+    (void)sink;
+  }
+
+  /// Whole-program pass over the shared symbol index and call graph
+  /// (lint/index.hpp, lint/callgraph.hpp); runs serially after finish().
+  /// The analyzer builds the index once — per-file slices in the parallel
+  /// phase, assembly and the graph serially — and every rule queries the
+  /// same instance.
+  virtual void finish_program(const ProgramIndex& index, const CallGraph& graph,
+                              Sink& sink) {
+    (void)index;
+    (void)graph;
     (void)sink;
   }
 };

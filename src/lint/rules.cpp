@@ -18,6 +18,10 @@ std::vector<std::unique_ptr<Rule>> make_default_rules(
   rules.push_back(detail::make_pointer_ordering());
   rules.push_back(detail::make_exhaustive_enum());
   rules.push_back(detail::make_mutable_global(config));
+  rules.push_back(detail::make_rng_discipline(config));
+  rules.push_back(detail::make_wallclock_in_sim(config));
+  rules.push_back(detail::make_lock_discipline(config));
+  rules.push_back(detail::make_hotpath_allocation(config));
   return rules;
 }
 

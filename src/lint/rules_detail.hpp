@@ -23,4 +23,9 @@ std::unique_ptr<Rule> make_pointer_ordering();
 std::unique_ptr<Rule> make_exhaustive_enum();
 std::unique_ptr<Rule> make_mutable_global(const AnalyzerConfig& c);
 
+std::unique_ptr<Rule> make_rng_discipline(const AnalyzerConfig& c);
+std::unique_ptr<Rule> make_wallclock_in_sim(const AnalyzerConfig& c);
+std::unique_ptr<Rule> make_lock_discipline(const AnalyzerConfig& c);
+std::unique_ptr<Rule> make_hotpath_allocation(const AnalyzerConfig& c);
+
 }  // namespace alert::analysis_tools::detail

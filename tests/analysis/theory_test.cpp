@@ -4,7 +4,7 @@
 
 #include <cmath>
 
-#include "util/rng.hpp"
+#include "util/rng.hpp"  // alert-lint: allow(module-layering) test uses util helpers; src-level analysis stays dependency-free
 
 namespace alert::analysis {
 namespace {
@@ -109,10 +109,10 @@ TEST_P(PmfSweep, ExpectedRfsMatchesClosedForm) {
               static_cast<double>(H - sigma) / 2.0, 1e-12);
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Cases, PmfSweep,
-    ::testing::Values(std::pair{5, 1}, std::pair{5, 3}, std::pair{7, 2},
-                      std::pair{10, 1}, std::pair{4, 4}));
+constexpr std::pair<int, int> kPmfCases[] = {
+    {5, 1}, {5, 3}, {7, 2}, {10, 1}, {4, 4}};
+
+INSTANTIATE_TEST_SUITE_P(Cases, PmfSweep, ::testing::ValuesIn(kPmfCases));
 
 TEST(Theory, ExpectedRfsIncreasesLinearlyWithH) {
   // Fig. 7b: approximately linear growth. Check successive differences

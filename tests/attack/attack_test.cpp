@@ -6,7 +6,7 @@
 #include "attack/timing_attack.hpp"
 #include "attack/zone_residency.hpp"
 #include "net/mobility.hpp"
-#include "sim/simulator.hpp"
+#include "sim/simulator.hpp"  // alert-lint: allow(module-layering) test drives the adversary against a live simulator
 
 namespace alert::attack {
 namespace {

@@ -7,7 +7,7 @@
 #include <sstream>
 
 #include "net/mobility.hpp"
-#include "sim/simulator.hpp"
+#include "sim/simulator.hpp"  // alert-lint: allow(module-layering) test replays traces through a live simulator
 
 namespace alert::attack {
 namespace {

@@ -5,7 +5,7 @@
 #include <string>
 #include <string_view>
 
-#include "campaign/spec.hpp"
+#include "campaign/spec.hpp"  // alert-lint: allow(module-layering) test checks fault scenarios round-trip campaign specs
 #include "core/scenario_codec.hpp"
 
 namespace alert::core {

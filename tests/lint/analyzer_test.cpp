@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "lint/baseline.hpp"
+#include "lint/callgraph.hpp"
 #include "lint/file_data.hpp"
+#include "lint/index.hpp"
 #include "lint/lexer.hpp"
 #include "lint/output.hpp"
 #include "lint/rules.hpp"
@@ -39,6 +41,24 @@ std::vector<std::string> rule_ids(const std::vector<lint::Finding>& fs) {
   std::vector<std::string> out;
   for (const lint::Finding& f : fs) out.push_back(f.rule);
   return out;
+}
+
+/// Like run_rules but for the whole-program families: builds the shared
+/// ProgramIndex/CallGraph the analyzer would and runs finish_program.
+std::vector<lint::Finding> run_program_rules(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const lint::AnalyzerConfig& config = {}) {
+  std::vector<lint::FileData> files;
+  for (const auto& [rel_path, source] : sources) {
+    files.push_back(lint::build_file_data(rel_path, source));
+  }
+  lint::Sink sink(config);
+  const lint::ProgramIndex index(files);
+  const lint::CallGraph graph(index, &config);
+  for (const auto& rule : lint::make_default_rules(config)) {
+    rule->finish_program(index, graph, sink);
+  }
+  return sink.take();
 }
 
 // --- lexer ----------------------------------------------------------------
@@ -97,6 +117,34 @@ TEST(Lexer, DigitSeparatorsStayOneNumber) {
     }
   }
   FAIL() << "no number token";
+}
+
+TEST(Lexer, LineCommentSplicesAcrossBackslashNewline) {
+  // Translation phase 2: the splice keeps the next physical line inside
+  // the comment, so rand() there is never code — and the line numbering
+  // of real tokens afterwards must stay physical.
+  const lint::TokenStream ts =
+      lint::lex("// splices onward \\\nrand();\nint after = 1;\n");
+  ASSERT_FALSE(ts.empty());
+  EXPECT_EQ(ts[0].kind, lint::TokenKind::LineComment);
+  EXPECT_NE(ts[0].text.find("rand()"), std::string::npos);
+  for (const lint::Token& t : ts) {
+    EXPECT_FALSE(t.kind == lint::TokenKind::Identifier && t.text == "rand");
+    if (t.text == "after") {
+      EXPECT_EQ(t.line, 3u);
+    }
+  }
+  // Same splice inside a string literal: one token, correct line after.
+  const lint::TokenStream ts2 =
+      lint::lex("const char* s = \"a \\\nb\";\nint next = 2;\n");
+  int strings = 0;
+  for (const lint::Token& t : ts2) {
+    strings += t.kind == lint::TokenKind::String;
+    if (t.text == "next") {
+      EXPECT_EQ(t.line, 3u);
+    }
+  }
+  EXPECT_EQ(strings, 1);
 }
 
 // --- waivers --------------------------------------------------------------
@@ -218,6 +266,231 @@ TEST(Rules, FindingsDedupAcrossIdenticalHitsOnOneLine) {
   EXPECT_EQ(fs[0].rule, "raw-stdout");
 }
 
+// --- symbol index and call graph ------------------------------------------
+
+TEST(Index, CollectsFunctionsLambdasLocksWritesAndAllocs) {
+  const std::string src =
+      "struct Worker {\n"
+      "  void run();\n"
+      "};\n"
+      "void Worker::run() {\n"
+      "  int shared = 0;\n"
+      "  std::mutex m;\n"
+      "  pool.parallel_for(4, [&](int i) {\n"
+      "    std::lock_guard<std::mutex> hold(m);\n"
+      "    shared += i;\n"
+      "  });\n"
+      "  helper();\n"
+      "  items_.push_back(shared);\n"
+      "  auto* p = new int[2];\n"
+      "  delete[] p;\n"
+      "}\n"
+      "void helper() {}\n";
+  const lint::FileData f = lint::build_file_data("sim/w.cpp", src);
+  const lint::FileIndex idx = lint::index_file(f);
+  ASSERT_EQ(idx.functions.size(), 2u);
+  const lint::FunctionInfo& run = idx.functions[0];
+  EXPECT_EQ(run.qualified, "Worker::run");
+  ASSERT_EQ(run.lambdas.size(), 1u);
+  EXPECT_TRUE(run.lambdas[0].worker);
+  EXPECT_TRUE(run.lambdas[0].has_default_ref());
+  bool calls_helper = false;
+  for (const lint::CallSite& c : run.calls) calls_helper |= c.callee == "helper";
+  EXPECT_TRUE(calls_helper);
+  // The only recorded writes: the guarded worker write and the member
+  // push_back — declaration initializers (`int shared = 0`) are not writes.
+  ASSERT_EQ(run.writes.size(), 2u);
+  EXPECT_EQ(run.writes[0].target, "shared");
+  EXPECT_TRUE(run.writes[0].in_worker);
+  EXPECT_EQ(run.writes[0].held_mutexes.count("m"), 1u);
+  EXPECT_EQ(run.writes[1].target, "items_");
+  EXPECT_FALSE(run.writes[1].in_worker);
+  // Allocation kinds: the raw new and the growing push_back.
+  ASSERT_EQ(run.allocs.size(), 2u);
+  EXPECT_EQ(run.allocs[0].kind, lint::AllocSite::Kind::Grow);
+  EXPECT_EQ(run.allocs[1].kind, lint::AllocSite::Kind::New);
+}
+
+TEST(Index, RecordsClockUsesAndRngVars) {
+  const std::string src =
+      "long stamp() { return std::chrono::steady_clock::now().count(); }\n"
+      "void draw() { Rng task_rng(7); task_rng.next(); }\n";
+  const lint::FileData f = lint::build_file_data("util/t.cpp", src);
+  const lint::FileIndex idx = lint::index_file(f);
+  ASSERT_EQ(idx.functions.size(), 2u);
+  ASSERT_EQ(idx.functions[0].clock_uses.size(), 1u);
+  EXPECT_EQ(idx.functions[0].clock_uses[0].line, 1u);
+  EXPECT_TRUE(idx.functions[1].clock_uses.empty());
+  EXPECT_EQ(idx.rng_vars.count("task_rng"), 1u);
+}
+
+TEST(CallGraph, ReachabilityAndChains) {
+  const std::string src =
+      "void leaf() {}\n"
+      "void mid() { leaf(); }\n"
+      "void root() { mid(); }\n"
+      "void island() {}\n";
+  std::vector<lint::FileData> files;
+  files.push_back(lint::build_file_data("sim/c.cpp", src));
+  const lint::ProgramIndex index(files);
+  const lint::CallGraph graph(index);
+  const std::vector<std::size_t> roots = graph.match("root");
+  ASSERT_EQ(roots.size(), 1u);
+  const lint::CallGraph::Reachability r = graph.reach(roots);
+  const std::size_t leaf = index.by_name("leaf").front();
+  const std::size_t island = index.by_name("island").front();
+  EXPECT_TRUE(r.reached[leaf]);
+  EXPECT_FALSE(r.reached[island]);
+  EXPECT_EQ(graph.chain(r, leaf), "root -> mid -> leaf");
+  const lint::CallGraph::ReverseReach rev = graph.reach_reverse({leaf});
+  EXPECT_TRUE(rev.reached[roots.front()]);
+  EXPECT_EQ(graph.chain(rev, roots.front()), "root -> mid -> leaf");
+}
+
+TEST(CallGraph, BareCallResolutionFollowsUnqualifiedLookup) {
+  // A bare call cannot land on another class's member; a member of the
+  // enclosing class hides free functions of the same name.
+  const std::string a =
+      "struct JsonWriter {\n"
+      "  void field();\n"
+      "  void value();\n"
+      "};\n"
+      "void JsonWriter::field() { value(); }\n"
+      "void JsonWriter::value() {}\n"
+      "void emit_all() { value(); }\n";
+  const std::string b =
+      "struct Parser {\n"
+      "  void value();\n"
+      "};\n"
+      "void Parser::value() {}\n";
+  std::vector<lint::FileData> files;
+  files.push_back(lint::build_file_data("obs/a.cpp", a));
+  files.push_back(lint::build_file_data("obs/b.cpp", b));
+  const lint::ProgramIndex index(files);
+  const lint::CallGraph graph(index);
+  const auto has_edge = [&](const std::string& from, const std::string& to) {
+    const std::size_t fi = index.by_qualified(from).front();
+    for (const lint::CallGraph::Edge& e : graph.edges()[fi]) {
+      if (index.functions()[e.target].qualified == to) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_edge("JsonWriter::field", "JsonWriter::value"));
+  EXPECT_FALSE(has_edge("JsonWriter::field", "Parser::value"));
+  // From a free function, a bare name resolves to free functions only —
+  // neither class's member is callable without an object.
+  const std::size_t emit = index.by_name("emit_all").front();
+  EXPECT_TRUE(graph.edges()[emit].empty());
+}
+
+TEST(CallGraph, ModuleDagPrunesImpossibleEdges) {
+  // obs never includes campaign, so a bare-name hit there is a collision;
+  // a method-style call may still cross backwards (callback interfaces).
+  const std::string obs_src =
+      "void trace_flush() { load_entry(); }\n"
+      "struct Tracer {\n"
+      "  void emit();\n"
+      "};\n"
+      "void Tracer::emit() { sink.store(1); }\n";
+  const std::string campaign_src =
+      "void load_entry() {}\n"
+      "struct Cache {\n"
+      "  void store(int v);\n"
+      "};\n"
+      "void Cache::store(int v) { (void)v; }\n";
+  std::vector<lint::FileData> files;
+  files.push_back(lint::build_file_data("obs/t.cpp", obs_src));
+  files.push_back(lint::build_file_data("campaign/c.cpp", campaign_src));
+  const lint::ProgramIndex index(files);
+  const lint::AnalyzerConfig config;
+  const lint::CallGraph pruned(index, &config);
+  const lint::CallGraph open(index, nullptr);
+  const std::size_t flush = index.by_name("trace_flush").front();
+  const std::size_t emit = index.by_qualified("Tracer::emit").front();
+  EXPECT_FALSE(open.edges()[flush].empty());    // name collision kept
+  EXPECT_TRUE(pruned.edges()[flush].empty());   // DAG kills the bare edge
+  EXPECT_FALSE(pruned.edges()[emit].empty());   // method edge survives
+}
+
+// --- whole-program rule families ------------------------------------------
+
+TEST(ProgramRules, RngDisciplineFlagsSeedingAndWorkerSharing) {
+  const std::string src =
+      "void a() { Rng rng(time(nullptr)); }\n"
+      "void b(Rng& rng) { pool.submit([&rng] { rng.next(); }); }\n"
+      "void c(unsigned seed) { Rng rng(seed); }\n";
+  const std::vector<lint::Finding> fs =
+      run_program_rules({{"util/r.cpp", src}});
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].rule, "rng-discipline");
+  EXPECT_EQ(fs[0].line, 1u);
+  EXPECT_EQ(fs[1].line, 2u);
+  // The RNG implementation itself is exempt.
+  EXPECT_TRUE(run_program_rules({{"util/rng.cpp", src}}).empty());
+}
+
+TEST(ProgramRules, WallclockInSimDirectAndTransitive) {
+  const std::string util_src =
+      "long sample() { return clock(); }\n";
+  const std::string sim_src =
+      "long measure() { return sample(); }\n";
+  const std::vector<lint::Finding> fs = run_program_rules(
+      {{"sim/m.cpp", sim_src}, {"util/h.cpp", util_src}});
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "wallclock-in-sim");
+  EXPECT_EQ(fs[0].path, "sim/m.cpp");
+  EXPECT_NE(fs[0].message.find("measure -> sample"), std::string::npos);
+  // The same clock read behind the obs profiling allowlist is sanctioned.
+  EXPECT_TRUE(run_program_rules(
+                  {{"sim/m.cpp", sim_src}, {"obs/h.cpp", util_src}})
+                  .empty());
+}
+
+TEST(ProgramRules, LockDisciplineNeedsACommonMutex) {
+  const std::string bad =
+      "void tally(ThreadPool& pool) {\n"
+      "  int total = 0;\n"
+      "  pool.parallel_for(4, [&](int i) { total += i; });\n"
+      "  total += 1;\n"
+      "}\n";
+  const std::vector<lint::Finding> fs =
+      run_program_rules({{"core/t.cpp", bad}});
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "lock-discipline");
+  EXPECT_EQ(fs[0].line, 3u);
+  const std::string good =
+      "void tally(ThreadPool& pool) {\n"
+      "  std::mutex m;\n"
+      "  int total = 0;\n"
+      "  pool.parallel_for(4, [&](int i) {\n"
+      "    std::scoped_lock hold(m);\n"
+      "    total += i;\n"
+      "  });\n"
+      "  std::scoped_lock hold(m);\n"
+      "  total += 1;\n"
+      "}\n";
+  EXPECT_TRUE(run_program_rules({{"core/t.cpp", good}}).empty());
+}
+
+TEST(ProgramRules, HotpathAllocationStopsAtReachability) {
+  const std::string src =
+      "struct Simulator {\n"
+      "  void step();\n"
+      "  void cold();\n"
+      "  void dispatch();\n"
+      "};\n"
+      "void Simulator::step() { dispatch(); }\n"
+      "void Simulator::dispatch() { queue_.push_back(1); }\n"
+      "void Simulator::cold() { queue_.push_back(2); }\n";
+  const std::vector<lint::Finding> fs =
+      run_program_rules({{"sim/s.cpp", src}});
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "hotpath-allocation");
+  EXPECT_EQ(fs[0].line, 7u);
+  EXPECT_NE(fs[0].message.find("Simulator::step -> Simulator::dispatch"),
+            std::string::npos);
+}
+
 // --- baseline -------------------------------------------------------------
 
 TEST(Baseline, FingerprintIgnoresWhitespaceOnly) {
@@ -243,6 +516,15 @@ TEST(Baseline, ParseRejectsMalformedLinesButKeepsGoing) {
   EXPECT_NE(errors[1].find("line 5"), std::string::npos);
 }
 
+TEST(Baseline, RejectsTodoPlaceholderReason) {
+  std::vector<std::string> errors;
+  const lint::Baseline b = lint::Baseline::parse(
+      "rule-a core/x.cpp 00000000deadbeef TODO: justify\n", &errors);
+  EXPECT_EQ(b.size(), 0u);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("TODO"), std::string::npos);
+}
+
 TEST(Baseline, AbsorbsMatchingFindingAndReportsStale) {
   lint::Finding f;
   f.rule = "mutable-global";
@@ -251,7 +533,12 @@ TEST(Baseline, AbsorbsMatchingFindingAndReportsStale) {
   const std::string line_text = "int g_bad = 0;";
   const std::vector<lint::Finding> findings{f};
   const std::vector<std::string_view> lines{line_text};
-  const std::string rendered = lint::Baseline::render(findings, lines);
+  // --write-baseline output must be edited before it parses: swap the
+  // placeholder reason for a real one, as the workflow demands.
+  std::string rendered = lint::Baseline::render(findings, lines);
+  const std::size_t todo = rendered.find("TODO: justify");
+  ASSERT_NE(todo, std::string::npos);
+  rendered.replace(todo, 13, "grandfathered: legacy counter");
   std::vector<std::string> errors;
   lint::Baseline b = lint::Baseline::parse(rendered, &errors);
   EXPECT_TRUE(errors.empty());

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "net/mobility.hpp"
-#include "sim/simulator.hpp"
+#include "sim/simulator.hpp"  // alert-lint: allow(module-layering) test runs the location service on a live simulator
 
 namespace alert::loc {
 namespace {

@@ -4,7 +4,7 @@
 
 #include <set>
 
-#include "sim/simulator.hpp"
+#include "sim/simulator.hpp"  // alert-lint: allow(module-layering) test exercises pseudonym rollover under simulated time
 
 namespace alert::loc {
 namespace {

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/experiment.hpp"
+#include "core/experiment.hpp"  // alert-lint: allow(module-layering) energy accounting is asserted through a full experiment run
 
 namespace alert::net {
 namespace {

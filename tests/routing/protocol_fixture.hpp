@@ -10,7 +10,7 @@
 #include "loc/location_service.hpp"
 #include "loc/pseudonym.hpp"
 #include "net/network.hpp"
-#include "sim/simulator.hpp"
+#include "sim/simulator.hpp"  // alert-lint: allow(module-layering) fixture schedules protocol events on a live simulator
 
 namespace alert::routing::testing {
 

@@ -4,7 +4,7 @@
 
 #include <set>
 
-#include "core/experiment.hpp"
+#include "core/experiment.hpp"  // alert-lint: allow(module-layering) ZAP coverage is asserted through a full experiment run
 #include "protocol_fixture.hpp"
 
 namespace alert::routing {

@@ -2,8 +2,8 @@
 
 #include <cstdint>
 
-#include "core/experiment.hpp"
-#include "core/scenario.hpp"
+#include "core/experiment.hpp"  // alert-lint: allow(module-layering) determinism is asserted over full core scenarios
+#include "core/scenario.hpp"  // alert-lint: allow(module-layering) determinism is asserted over full core scenarios
 #include "sim/simulator.hpp"
 
 /// Bit-reproducibility contract: two runs with the same seed must replay the

@@ -7,6 +7,7 @@
 ///   alertsim-analyzer [--root=src] [--baseline=FILE] [--format=text|json|
 ///       sarif] [--output=FILE] [--sarif-out=FILE] [--skip-headers]
 ///       [--cxx=BIN] [--diff-base=REF] [--threads=N]
+///       [--disable=rule,rule,...] [--exclude=prefix,prefix,...]
 ///   alertsim-analyzer --self-test [--fixtures=DIR] [--parity=FILE]
 ///   alertsim-analyzer --write-baseline=FILE [--root=src]
 ///   alertsim-analyzer --list-rules
@@ -33,6 +34,21 @@ namespace {
 
 namespace lint = alert::analysis_tools;
 namespace fs = std::filesystem;
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != ' ') {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
 
 std::string read_file_or_empty(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -262,6 +278,23 @@ int main(int argc, char** argv) {
       std::cerr << "alertsim-analyzer: baseline file '" << baseline_path
                 << "' does not exist\n";
       return 2;
+    }
+  }
+  options.exclude_paths = split_csv(args->get("exclude", std::string()));
+  options.disabled_rules = split_csv(args->get("disable", std::string()));
+  if (!options.disabled_rules.empty()) {
+    std::set<std::string> known;
+    for (const lint::RuleInfo& r : lint::rule_catalog(options.config)) {
+      known.insert(r.id);
+    }
+    for (const std::string& id : options.disabled_rules) {
+      if (known.count(id) == 0) {
+        std::cerr << "alertsim-analyzer: --disable names unknown rule '" << id
+                  << "' (see --list-rules)\n";
+        return 2;
+      }
+      // Not a token rule — implemented as the compiler-backed pass.
+      if (id == "header-self-sufficiency") options.check_headers = false;
     }
   }
   const std::string diff_base = args->get("diff-base", std::string());

@@ -1,0 +1,31 @@
+// Fixture: lock-discipline — an accumulator written from a ThreadPool
+// worker task and again outside it with no common mutex (flagged at the
+// worker write), next to a twin that guards every write with the same
+// lock and stays silent.
+// EXPECT: lock-discipline 1
+#include <mutex>
+
+namespace alert::core {
+
+int unguarded_total(ThreadPool& pool) {
+  int grand = 0;
+  pool.parallel_for(8, [&grand](int i) {
+    grand += i;  // flagged: worker write, no guard
+  });
+  grand += 1;  // second unguarded write of the same name
+  return grand;
+}
+
+int guarded_total(ThreadPool& pool) {
+  std::mutex m;
+  int total = 0;
+  pool.parallel_for(8, [&](int i) {
+    std::lock_guard<std::mutex> hold(m);
+    total += i;  // fine: same mutex held at every write
+  });
+  std::lock_guard<std::mutex> hold(m);
+  total += 1;
+  return total;
+}
+
+}  // namespace alert::core

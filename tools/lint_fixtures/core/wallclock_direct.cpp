@@ -1,0 +1,13 @@
+// Fixture: wallclock-in-sim, direct form. core/ is simulated-time but
+// outside the legacy wall-clock rule's dirs (sim/, net/, routing/), so
+// the direct host-clock read here is this rule's to report.
+// EXPECT: wallclock-in-sim 1
+#include <chrono>
+
+namespace alert::core {
+
+long checkpoint_stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace alert::core

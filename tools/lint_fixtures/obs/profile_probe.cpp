@@ -1,0 +1,13 @@
+// Fixture: a host-clock read inside obs/ — the allowlisted profiling
+// layer. Neither this file nor simulated-time callers of
+// profile_probe_sample() may be flagged: obs clock reads never feed
+// digests, so they are not wallclock-in-sim sources.
+#include <chrono>
+
+namespace alert::obs {
+
+long profile_probe_sample() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace alert::obs

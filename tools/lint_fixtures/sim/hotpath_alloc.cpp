@@ -1,0 +1,34 @@
+// Fixture: hotpath-allocation — Simulator::step (a configured hot-path
+// root) reaches dispatch_pending(), whose three allocation kinds are each
+// flagged once: a growing-container call, a raw new, and a std::function
+// construction. cold_setup() also allocates but nothing on the hot path
+// calls it, so it pins the reachability boundary by staying silent.
+// EXPECT: hotpath-allocation 3
+
+namespace alert::sim {
+
+class Simulator {
+ public:
+  void step();
+  void cold_setup();
+
+ private:
+  void dispatch_pending();
+  EventList pending_;
+};
+
+void Simulator::step() { dispatch_pending(); }
+
+void Simulator::dispatch_pending() {
+  pending_.push_back(next_event());          // flagged: growing container
+  auto* scratch = new Event[4];              // flagged: raw new
+  std::function<void()> hook = make_hook();  // flagged: std::function
+  hook();
+  delete[] scratch;
+}
+
+void Simulator::cold_setup() {
+  pending_.resize(64);  // fine: not reachable from any hot-path root
+}
+
+}  // namespace alert::sim

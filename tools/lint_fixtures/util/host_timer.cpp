@@ -1,0 +1,13 @@
+// Fixture: a host-clock read outside both the exempt obs/ paths and the
+// simulated-time dirs. No finding in this file — util/ may measure host
+// time — but sim/wallclock_transitive.cpp reaches host_timer_sample()
+// through a call and must be flagged over there.
+#include <chrono>
+
+namespace alert::util {
+
+long host_timer_sample() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace alert::util

@@ -1,0 +1,39 @@
+// Fixture: rng-discipline — entropy/time seeding and RNG engines shared
+// into ThreadPool worker tasks. Four findings: an entropy-constructed
+// engine, an entropy reseed, an explicit by-ref capture into submit, and
+// a default [&] capture into parallel_for. The config-seeded engine and
+// the by-value capture stay silent.
+// EXPECT: rng-discipline 4
+
+namespace alert::util {
+
+unsigned entropy_seeded_ctor() {
+  Rng rng(static_cast<unsigned>(time(nullptr)));  // flagged: time-seeded
+  return rng.next();
+}
+
+void entropy_reseed(Rng& rng) {
+  rng.seed(static_cast<unsigned>(clock()));  // flagged: clock-seeded
+}
+
+unsigned config_seeded(unsigned config_seed) {
+  Rng rng(config_seed);  // fine: seed flows from the scenario config
+  return rng.next();
+}
+
+void worker_shared_explicit(ThreadPool& pool, Rng& rng) {
+  pool.submit([&rng] { rng.next(); });  // flagged: by-ref into a worker
+}
+
+void worker_shared_default(ThreadPool& pool) {
+  Rng task_rng(7);
+  pool.parallel_for(4, [&](int i) {  // flagged: default [&] reaches task_rng
+    task_rng.discard(i);
+  });
+}
+
+void worker_forked_copy(ThreadPool& pool, Rng& rng) {
+  pool.submit([fork = rng.fork(1)]() mutable { fork.next(); });  // fine
+}
+
+}  // namespace alert::util
