@@ -9,6 +9,7 @@
 #include "crypto/sha1.hpp"
 #include "crypto/symmetric.hpp"
 #include "obs/profile.hpp"
+#include "perf/kernels.hpp"
 #include "routing/zone.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
@@ -148,6 +149,34 @@ void BM_PartitionUntilSeparated(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PartitionUntilSeparated);
+
+/// The exact event-dispatch kernel behind BENCH_core.json's
+/// ns_per_event_dispatch (src/perf/kernels.hpp): exploring it here with
+/// google-benchmark measures the same workload the committed baseline pins,
+/// so the two numbers are directly comparable.
+void BM_PerfKernelDispatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perf::run_dispatch_batch(n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PerfKernelDispatch)->Arg(4096)->Arg(65536);
+
+/// The neighbour-query kernel behind BENCH_core.json's
+/// ns_per_neighbour_query: a fixed-seed static topology (the constructor
+/// cost stays outside the timed loop) scanned at deterministic centers.
+void BM_PerfKernelNeighbourQuery(benchmark::State& state) {
+  const perf::QueryTopology topology(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology.run_queries(256));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          256);
+}
+BENCHMARK(BM_PerfKernelNeighbourQuery)->Arg(200)->Arg(2000);
 
 void BM_FullReplication(benchmark::State& state) {
   core::ScenarioConfig cfg;

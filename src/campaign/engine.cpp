@@ -15,6 +15,7 @@
 #include "campaign/cache.hpp"
 #include "campaign/journal.hpp"
 #include "core/scenario_codec.hpp"
+#include "obs/resource.hpp"
 #include "obs/series.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
@@ -208,6 +209,9 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
   } else {
     default_reduce(spec, points, ctx, manifest);
   }
+  // Measurement-only and opt-in: stamped after every unit completed so the
+  // peak covers the whole campaign, never recorded into cache entries.
+  if (options.record_peak_rss) manifest.peak_rss_bytes = obs::peak_rss_bytes();
   for (const std::string& note : spec.notes) manifest.notes.push_back(note);
 
   // --- present -------------------------------------------------------------

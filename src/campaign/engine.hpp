@@ -43,6 +43,11 @@ struct CampaignOptions {
   std::string trace_out;
   std::string metrics_out;  ///< manifest path; empty = don't write
   bool print = true;        ///< banner/table/notes to stdout (obs helpers)
+  /// Stamp obs::peak_rss_bytes() onto the manifest after the run. Off by
+  /// default: peak RSS is host state, so recording it would break the
+  /// cold-vs-cached manifest byte-identity contract. Opt in per run
+  /// (--peak-rss on the benches/driver; the perf suite always records it).
+  bool record_peak_rss = false;
 };
 
 struct CampaignOutcome {

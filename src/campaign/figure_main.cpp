@@ -23,6 +23,7 @@ int figure_main(const char* name, int argc, char** argv) {
   options.cache_dir = args->get("cache-dir", std::string());
   options.use_cache = !args->get("no-cache", false);
   options.force = args->get("force", false);
+  options.record_peak_rss = args->get("peak-rss", false);
 
   for (const auto& key : args->unused()) {
     std::fprintf(stderr, "%s: unknown flag --%s\n", name, key.c_str());

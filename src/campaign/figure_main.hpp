@@ -11,6 +11,7 @@
 ///                     .alertsim-cache)
 ///   --no-cache        run every unit live, touch no cache state
 ///   --force           execute even on cache hit, refreshing the entry
+///   --peak-rss        stamp obs::peak_rss_bytes() onto the manifest
 
 namespace alert::campaign {
 

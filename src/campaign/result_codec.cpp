@@ -97,6 +97,7 @@ void write_run_result_json(std::ostream& out, const core::RunResult& run) {
   w.field("energy_per_delivered_j", run.energy_per_delivered_j);
   w.field("energy_max_node_j", run.energy_max_node_j);
   w.field("trace_digest", run.trace_digest);
+  w.field("events_executed", run.events_executed);
   w.field("packets_opened", run.packets_opened);
   w.field("packets_expired", run.packets_expired);
 
@@ -205,6 +206,7 @@ std::optional<core::RunResult> parse_run_result(std::string_view json,
   run.energy_per_delivered_j = dbl("energy_per_delivered_j");
   run.energy_max_node_j = dbl("energy_max_node_j");
   run.trace_digest = u64("trace_digest");
+  run.events_executed = u64("events_executed");
   run.packets_opened = u64("packets_opened");
   run.packets_expired = u64("packets_expired");
 

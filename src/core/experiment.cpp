@@ -329,6 +329,7 @@ RunResult run_once(const ScenarioConfig& config,
 
   RunResult result;
   result.trace_digest = simulator.trace_digest();
+  result.events_executed = simulator.events_executed();
   result.packets_opened = network.ledger().totals().opened;
   result.packets_expired = network.ledger().totals().expired;
   result.sent = sent;

@@ -55,6 +55,7 @@ struct RunResult {
   double energy_max_node_j = 0.0;     ///< battery-death hotspot
   // Correctness instrumentation (see sim/simulator.hpp, net/packet_ledger.hpp):
   std::uint64_t trace_digest = 0;     ///< seed-deterministic event-trace hash
+  std::uint64_t events_executed = 0;  ///< simulator events this replication
   std::uint64_t packets_opened = 0;   ///< uids created by this replication
   std::uint64_t packets_expired = 0;  ///< still in flight at the horizon
   // Observability (config.obs): frozen per-replication registry + profile.

@@ -37,6 +37,10 @@ void RunManifest::write_json(std::ostream& out) const {
   for (const std::uint64_t d : trace_digests) w.value(d);
   w.end_array();
 
+  // Optional: present only when memory recording was requested, so default
+  // manifests stay byte-identical across live/cached/resumed runs.
+  if (peak_rss_bytes > 0) w.field("peak_rss_bytes", peak_rss_bytes);
+
   w.key("metrics");
   metrics.write_json(w);
 

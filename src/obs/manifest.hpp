@@ -43,6 +43,13 @@ struct RunManifest {
   /// manifest (order: completion order; the multiset is deterministic).
   std::vector<std::uint64_t> trace_digests;
 
+  /// Peak resident-set size of the emitting process (obs::peak_rss_bytes),
+  /// stamped only when memory recording was requested (--peak-rss / the
+  /// perf suite). 0 = not measured, and the field is omitted from the JSON
+  /// so byte-identity contracts (cold vs cached campaign manifests) are
+  /// untouched by default.
+  std::uint64_t peak_rss_bytes = 0;
+
   MetricsSnapshot metrics;
   ProfileReport profile;
   std::vector<util::Series> series;

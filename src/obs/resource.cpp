@@ -1,0 +1,24 @@
+#include "obs/resource.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace alert::obs {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  const auto max_rss = static_cast<std::uint64_t>(usage.ru_maxrss);
+#if defined(__APPLE__)
+  return max_rss;  // ru_maxrss is already bytes on Darwin
+#else
+  return max_rss * 1024;  // Linux/BSD report KiB
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace alert::obs

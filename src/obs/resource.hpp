@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file resource.hpp
+/// Process resource observations for run manifests and the perf suite
+/// (src/perf): currently the peak resident-set size, read straight from the
+/// kernel's accounting (`getrusage(RUSAGE_SELF)`), so macro benches report
+/// memory without an external wrapper like /usr/bin/time.
+///
+/// Peak RSS is process-cumulative and monotone — it never shrinks, and a
+/// second measurement in the same process covers everything that ran before
+/// it. It is host observability only and must never feed determinism
+/// digests or cache keys (same contract as the wall-clock self-profiler).
+
+#include <cstdint>
+
+namespace alert::obs {
+
+/// Peak resident-set size of the calling process in bytes, or 0 when the
+/// platform offers no `getrusage` (the caller treats 0 as "not measured";
+/// manifests omit the field entirely).
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace alert::obs

@@ -1,0 +1,70 @@
+#include "perf/kernels.hpp"
+
+#include <utility>
+
+#include "campaign/spec.hpp"
+#include "net/mobility.hpp"
+#include "util/check.hpp"
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace alert::perf {
+
+std::uint64_t run_dispatch_batch(std::size_t events) {
+  sim::Simulator simulator;
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < events; ++i) {
+    simulator.schedule_at(static_cast<double>(i) * 1e-6, [&acc] { ++acc; });
+  }
+  simulator.run_until(static_cast<double>(events) * 1e-6);
+  ALERT_INVARIANT(acc == events, "dispatch batch lost events");
+  return simulator.events_executed();
+}
+
+QueryTopology::QueryTopology(std::size_t node_count, std::uint64_t seed)
+    : simulator_(std::make_unique<sim::Simulator>()) {
+  net::NetworkConfig config;
+  config.node_count = node_count;
+  // Horizon 0: the constructor places nodes but schedules no periodic
+  // processes, so the topology is pure t=0 state.
+  network_ = std::make_unique<net::Network>(
+      *simulator_, config,
+      std::make_unique<net::StaticPlacement>(config.field), util::Rng(seed),
+      0.0);
+}
+
+QueryTopology::~QueryTopology() = default;
+
+std::uint64_t QueryTopology::run_queries(std::size_t queries) const {
+  // Query centers come from their own fixed-seed stream, re-created per
+  // call so repeated measurements of one topology scan identical centers.
+  util::Rng centers(kKernelSeed ^ 0x5EA4C4ULL);
+  const double radius = network_->config().radio_range_m;
+  std::uint64_t found = 0;
+  for (std::size_t i = 0; i < queries; ++i) {
+    const util::Vec2 center = centers.point_in(network_->config().field);
+    found += network_->nodes_within(center, radius, 0.0).size();
+  }
+  return found;
+}
+
+core::ScenarioConfig macro_scenario(std::size_t node_count,
+                                    double duration_s) {
+  core::ScenarioConfig config = campaign::paper_default_scenario();
+  config.node_count = node_count;
+  config.duration_s = duration_s;
+  return config;
+}
+
+MacroRunStats run_macro_once(const core::ScenarioConfig& config) {
+  const core::RunResult run = core::run_once(config, 0);
+  MacroRunStats stats;
+  stats.events_executed = run.events_executed;
+  stats.delivered = run.delivered;
+  if (const obs::MetricValue* tx = run.metrics.find("net.tx")) {
+    stats.frames_tx = tx->total;
+  }
+  return stats;
+}
+
+}  // namespace alert::perf

@@ -1,0 +1,45 @@
+#include "perf/measure.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace alert::perf {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  ALERT_INVARIANT(q >= 0.0 && q <= 1.0, "quantile q outside [0,1]");
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Measurement summarize(std::vector<double> samples) {
+  Measurement m;
+  if (samples.empty()) return m;
+  std::sort(samples.begin(), samples.end());
+  m.median = quantile_sorted(samples, 0.5);
+  m.iqr = quantile_sorted(samples, 0.75) - quantile_sorted(samples, 0.25);
+  m.min = samples.front();
+  m.max = samples.back();
+  m.repeats = samples.size();
+  m.samples = std::move(samples);
+  return m;
+}
+
+Measurement measure(const std::function<double()>& once,
+                    const MeasureOptions& options) {
+  ALERT_INVARIANT(options.repeats > 0, "measure needs at least one repeat");
+  for (std::size_t i = 0; i < options.warmup; ++i) (void)once();
+  std::vector<double> samples;
+  samples.reserve(options.repeats);
+  for (std::size_t i = 0; i < options.repeats; ++i) {
+    samples.push_back(once());
+  }
+  return summarize(std::move(samples));
+}
+
+}  // namespace alert::perf

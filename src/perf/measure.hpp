@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file measure.hpp
+/// Noise-aware measurement methodology for the pinned benchmark suite
+/// (docs/BENCHMARKS.md): every metric is the median of N identical repeats
+/// after a discarded warmup, with the interquartile range as the dispersion
+/// figure. Median-of-N is robust to the one-sided noise a shared machine
+/// injects (preemption, frequency ramps, cold caches all make repeats
+/// slower, never faster); the IQR is reported alongside so a baseline
+/// refresh can tell a drifting machine from a drifting program.
+///
+/// All host timing goes through obs::monotonic_ns(); nothing here touches
+/// simulated time, RNG streams, determinism digests or cache keys.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace alert::perf {
+
+struct MeasureOptions {
+  std::size_t warmup = 1;   ///< discarded leading runs (cache/branch warm)
+  std::size_t repeats = 7;  ///< kept runs; the metric is their median
+};
+
+/// One measured metric: order statistics over `repeats` runs of the same
+/// deterministic workload.
+struct Measurement {
+  double median = 0.0;
+  double iqr = 0.0;  ///< q75 - q25, the committed dispersion figure
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t repeats = 0;
+  std::vector<double> samples;  ///< sorted ascending
+};
+
+/// Linear-interpolation quantile of an ascending-sorted sample vector
+/// (q in [0,1]; empty input yields 0).
+[[nodiscard]] double quantile_sorted(const std::vector<double>& sorted,
+                                     double q);
+
+/// Median / IQR / min / max of an arbitrary sample set.
+[[nodiscard]] Measurement summarize(std::vector<double> samples);
+
+/// Run `once` warmup-times discarded, then repeats-times recorded. `once`
+/// returns the metric value for one repeat (e.g. ns per operation over a
+/// fixed batch); it must be deterministic in everything but wall time.
+[[nodiscard]] Measurement measure(const std::function<double()>& once,
+                                  const MeasureOptions& options);
+
+}  // namespace alert::perf

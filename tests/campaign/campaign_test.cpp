@@ -93,6 +93,8 @@ TEST(ResultCodec, RoundTripIsByteStable) {
   EXPECT_EQ(parsed->delivered, run.delivered);
   EXPECT_EQ(parsed->trace_digest, run.trace_digest);
   EXPECT_EQ(parsed->hello_messages, run.hello_messages);
+  EXPECT_GT(run.events_executed, 0u);
+  EXPECT_EQ(parsed->events_executed, run.events_executed);
 }
 
 TEST(ResultCodec, RejectsWrongSchema) {

@@ -41,7 +41,8 @@ int usage(const char* msg) {
       "usage: alertsim-campaign (--all | --figure NAME | --spec PATH | "
       "--list)\n"
       "       [--reps N] [--threads N] [--out-dir DIR] [--trace-out FILE]\n"
-      "       [--cache-dir DIR] [--no-cache] [--force] [--log-level L]\n");
+      "       [--cache-dir DIR] [--no-cache] [--force] [--peak-rss]\n"
+      "       [--log-level L]\n");
   return 2;
 }
 
@@ -63,6 +64,7 @@ int main(int argc, char** argv) {
   base_options.cache_dir = args->get("cache-dir", std::string());
   base_options.use_cache = !args->get("no-cache", false);
   base_options.force = args->get("force", false);
+  base_options.record_peak_rss = args->get("peak-rss", false);
 
   for (const auto& key : args->unused()) {
     return usage(("unknown flag --" + key).c_str());

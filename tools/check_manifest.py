@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
 """check_manifest — validate alertsim run-manifest JSON (and optionally a
-Chrome trace file) emitted by the figure benches and alertsim_cli.
+Chrome trace file or a benchmark baseline) emitted by the figure benches,
+alertsim_cli and alertsim-perf.
 
-Schema: "alertsim-run-manifest/1" (see docs/OBSERVABILITY.md). Pure stdlib
-so CI can run it with any python3, no installs.
+Schemas: "alertsim-run-manifest/1" (docs/OBSERVABILITY.md) and
+"alertsim-bench/1" (docs/BENCHMARKS.md). Pure stdlib so CI can run it with
+any python3, no installs.
 
 Usage:
   tools/check_manifest.py manifest.json [more.json ...]
   tools/check_manifest.py --trace run_trace.json manifest.json
+  tools/check_manifest.py --bench BENCH_core.json --bench BENCH_campaign.json
 
 Exit status: 0 = all files valid, 1 = validation failure, 2 = usage error.
 """
@@ -19,6 +22,7 @@ import json
 import sys
 
 SCHEMA_ID = "alertsim-run-manifest/1"
+BENCH_SCHEMA_ID = "alertsim-bench/1"
 METRIC_KINDS = {"counter", "gauge", "sample", "histogram"}
 
 
@@ -143,6 +147,50 @@ def check_manifest(doc) -> None:
     notes = doc.get("notes")
     expect(isinstance(notes, list) and all(is_str(n) for n in notes),
            "'notes' must be an array of strings")
+    if "peak_rss_bytes" in doc:  # optional: stamped only under --peak-rss
+        expect(is_int(doc["peak_rss_bytes"]) and doc["peak_rss_bytes"] > 0,
+               "'peak_rss_bytes' must be a positive integer when present")
+
+
+def check_bench_report(doc) -> None:
+    """Validate an "alertsim-bench/1" baseline (BENCH_core.json, ...)."""
+    expect(isinstance(doc, dict), "bench root must be a JSON object")
+    expect(doc.get("schema") == BENCH_SCHEMA_ID,
+           f"'schema' must be '{BENCH_SCHEMA_ID}' (got {doc.get('schema')!r})")
+    expect(is_str(doc.get("suite")) and doc["suite"],
+           "'suite' must be a non-empty string")
+    expect(is_str(doc.get("version")) and doc["version"],
+           "'version' must be a non-empty string")
+    host = doc.get("host")
+    expect(isinstance(host, dict), "'host' must be an object")
+    for key in ("os", "compiler", "build_type"):
+        expect(is_str(host.get(key)), f"host.'{key}' must be a string")
+    expect(is_int(host.get("hardware_threads")),
+           "host.'hardware_threads' must be an integer")
+    metrics = doc.get("metrics")
+    expect(isinstance(metrics, list) and metrics,
+           "'metrics' must be a non-empty array")
+    names = []
+    for i, m in enumerate(metrics):
+        mw = f"metrics[{i}]"
+        expect(isinstance(m, dict), f"{mw}: must be an object")
+        expect(is_str(m.get("name")) and m["name"],
+               f"{mw}: 'name' must be a non-empty string")
+        names.append(m["name"])
+        expect(is_str(m.get("unit")) and m["unit"],
+               f"{mw}: 'unit' must be a non-empty string")
+        expect(is_num(m.get("value")), f"{mw}: 'value' must be a number")
+        expect(is_num(m.get("iqr")) and m["iqr"] >= 0,
+               f"{mw}: 'iqr' must be a non-negative number")
+        expect(is_int(m.get("repeats")) and m["repeats"] >= 1,
+               f"{mw}: 'repeats' must be a positive integer")
+        expect(isinstance(m.get("higher_is_better"), bool),
+               f"{mw}: 'higher_is_better' must be a boolean")
+        expect(is_num(m.get("tolerance_pct")) and m["tolerance_pct"] > 0,
+               f"{mw}: 'tolerance_pct' must be a positive number "
+               "(a zero tolerance makes the gate vacuous)")
+    expect(names == sorted(names), "metric names must be sorted")
+    expect(len(names) == len(set(names)), "metric names must be unique")
 
 
 def check_chrome_trace(doc) -> None:
@@ -172,6 +220,8 @@ def check_file(path: str, kind: str) -> bool:
     try:
         if kind == "trace":
             check_chrome_trace(doc)
+        elif kind == "bench":
+            check_bench_report(doc)
         else:
             check_manifest(doc)
     except Fail as e:
@@ -189,14 +239,20 @@ def main() -> int:
     parser.add_argument("--trace", action="append", default=[],
                         help="Chrome trace_event JSON file to validate "
                              "(repeatable)")
+    parser.add_argument("--bench", action="append", default=[],
+                        help="alertsim-bench/1 baseline JSON to validate "
+                             "(repeatable)")
     args = parser.parse_args()
-    if not args.manifests and not args.trace:
-        parser.error("nothing to check: pass manifest files and/or --trace")
+    if not args.manifests and not args.trace and not args.bench:
+        parser.error("nothing to check: pass manifest files, --trace "
+                     "and/or --bench")
     ok = True
     for path in args.manifests:
         ok = check_file(path, "manifest") and ok
     for path in args.trace:
         ok = check_file(path, "trace") and ok
+    for path in args.bench:
+        ok = check_file(path, "bench") and ok
     return 0 if ok else 1
 
 
