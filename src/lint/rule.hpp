@@ -63,23 +63,24 @@ struct AnalyzerConfig {
       {"analysis", {}},
       {"obs", {"util"}},
       {"crypto", {"util"}},
-      {"sim", {"util", "obs"}},
+      {"scale", {"util"}},
+      {"sim", {"util", "obs", "scale"}},
       {"faults", {"util", "sim", "obs"}},
-      {"net", {"util", "sim", "crypto", "faults", "obs"}},
+      {"net", {"util", "sim", "crypto", "faults", "obs", "scale"}},
       {"loc", {"util", "net", "crypto"}},
       {"routing", {"util", "net", "loc", "crypto", "obs"}},
       {"attack", {"util", "net"}},
       {"core",
        {"util", "sim", "net", "routing", "loc", "crypto", "attack", "obs",
-        "faults"}},
+        "faults", "scale"}},
       {"campaign", {"util", "analysis", "core", "obs", "routing"}},
-      {"perf", {"util", "obs", "sim", "net", "core", "campaign"}},
+      {"perf", {"util", "obs", "sim", "net", "core", "campaign", "scale"}},
       {"lint", {"util", "obs"}},
       // Test-only module (tests/integration/): end-to-end suites sit above
       // the whole DAG, so every module is a legal dependency.
       {"integration",
        {"util", "analysis", "obs", "crypto", "sim", "faults", "net", "loc",
-        "routing", "attack", "core", "campaign", "lint"}},
+        "routing", "attack", "core", "campaign", "lint", "scale"}},
   };
   /// rng-discipline / lock-discipline: callables whose lambda arguments run
   /// on util::ThreadPool worker threads.

@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "crypto/sha1.hpp"
@@ -67,6 +68,7 @@ Network::Network(sim::Simulator& simulator, NetworkConfig config,
   if (obs::Profiler* profiler = sim_.profiler(); profiler != nullptr) {
     tx_scope_ = profiler->scope("net.transmit");
     deliver_scope_ = profiler->scope("net.deliver");
+    query_scope_ = profiler->scope("net.query");
     mac_.set_profiler(profiler);
   }
   default_provider_ =
@@ -91,9 +93,20 @@ Network::Network(sim::Simulator& simulator, NetworkConfig config,
   }
   handlers_.assign(nodes_.size(), nullptr);
 
+  delivery_ids_.resize(nodes_.size());
+  if (config_.scale.grid) {
+    grid_ = std::make_unique<scale::SpatialGrid>(
+        config_.field, config_.radio_range_m,
+        static_cast<std::uint32_t>(nodes_.size()));
+  }
+  if (config_.scale.pool_packets) {
+    packet_pool_ = std::make_unique<scale::SlabPool<PooledFrame>>();
+  }
+
   mobility_->initialize(nodes_, rng_);
   for (auto& n : nodes_) {
     rotate_pseudonym(*n);
+    if (grid_ != nullptr) index_segment(*n);
     schedule_mobility(*n);
   }
 
@@ -118,6 +131,18 @@ Network::~Network() = default;
 std::vector<NodeId> Network::nodes_within(util::Vec2 center, double radius,
                                           sim::Time t) const {
   std::vector<NodeId> out;
+  if (grid_ != nullptr) {
+    // The grid's candidates pass the same exact distance filter the scan
+    // applies, so after the ascending sort the result is identical.
+    out.resize(nodes_.size());
+    const std::size_t found = grid_->collect_in_disc(
+        center, radius,
+        [this, t](std::uint32_t id) { return nodes_[id]->position(t); },
+        out.data());
+    out.resize(found);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
   const double r2 = radius * radius;
   for (const auto& n : nodes_) {
     if (util::distance_sq(n->position(t), center) <= r2) {
@@ -125,6 +150,55 @@ std::vector<NodeId> Network::nodes_within(util::Vec2 center, double radius,
     }
   }
   return out;
+}
+
+std::size_t Network::neighbour_count(util::Vec2 center, double radius,
+                                     sim::Time t) const {
+  ALERT_OBS_TIMED(sim_.profiler(), query_scope_);
+  if (grid_ != nullptr) {
+    return grid_->count_in_disc(center, radius, [this, t](std::uint32_t id) {
+      return nodes_[id]->position(t);
+    });
+  }
+  const double r2 = radius * radius;
+  std::size_t count = 0;
+  for (const auto& n : nodes_) {
+    if (util::distance_sq(n->position(t), center) <= r2) ++count;
+  }
+  return count;
+}
+
+std::size_t Network::gather_receivers(util::Vec2 center, double radius,
+                                      sim::Time t) {
+  ALERT_OBS_TIMED(sim_.profiler(), query_scope_);
+  if (grid_ != nullptr) {
+    const std::size_t found = grid_->collect_in_disc(
+        center, radius,
+        [this, t](std::uint32_t id) { return nodes_[id]->position(t); },
+        delivery_ids_.data());
+    std::sort(delivery_ids_.begin(),
+              delivery_ids_.begin() + static_cast<std::ptrdiff_t>(found));
+    return found;
+  }
+  const double r2 = radius * radius;
+  std::size_t count = 0;
+  for (const auto& n : nodes_) {
+    if (util::distance_sq(n->position(t), center) <= r2) {
+      delivery_ids_[count++] = n->id();
+    }
+  }
+  return count;
+}
+
+void Network::index_segment(Node& node) {
+  // Cover only the sub-segment queries can reach: from the node's position
+  // now (reindexing happens at waypoint events, i.e. segment starts) to
+  // where it will be at the earlier of segment end and horizon. This keeps
+  // a far-future leg — or a hold-forever segment — from smearing coverage
+  // across cells no query will ever need.
+  const sim::Time now = sim_.now();
+  const sim::Time end = std::max(std::min(node.segment_end(), horizon_), now);
+  grid_->update(node.id(), node.position(now), node.position(end));
 }
 
 NodeId Network::resolve_pseudonym(Pseudonym p) const {
@@ -159,6 +233,7 @@ void Network::schedule_mobility(Node& node) {
   Node* n = &node;
   sim_.schedule_at(end, [this, n] {
     mobility_->next_segment(*n, sim_.now(), rng_);
+    if (grid_ != nullptr) index_segment(*n);
     schedule_mobility(*n);
   });
 }
@@ -197,7 +272,7 @@ void Network::transmit_unicast(Node& from, Pseudonym to, Packet pkt,
   const sim::Time now = sim_.now();
   const util::Vec2 pos = from.position(now);
   const std::size_t contenders =
-      nodes_within(pos, config_.radio_range_m, now).size();
+      neighbour_count(pos, config_.radio_range_m, now);
   const MacGrant grant =
       mac_.acquire(from, pkt.size_bytes, now + processing_delay, contenders,
                    rng_);
@@ -209,6 +284,23 @@ void Network::transmit_unicast(Node& from, Pseudonym to, Packet pkt,
   const sim::Time arrive =
       grant.start + grant.tx_time +
       mac_.propagation_delay(config_.radio_range_m);
+  if (packet_pool_ != nullptr) {
+    const auto h = packet_pool_->acquire();
+    PooledFrame& frame = packet_pool_->at(h);
+    frame.pkt = std::move(pkt);
+    frame.sender = sender;
+    frame.receiver = receiver;
+    frame.to = to;
+    frame.attempt = attempt;
+    sim_.schedule_at(arrive, [this, h] {
+      // Slots live in fixed chunks, so the reference survives any pool
+      // growth a nested (re)transmission causes during delivery.
+      const PooledFrame& f = packet_pool_->at(h);
+      deliver_unicast(f.sender, f.receiver, f.to, f.pkt, f.attempt);
+      packet_pool_->release(h);
+    });
+    return;
+  }
   sim_.schedule_at(arrive,
                    [this, sender, receiver, to, attempt,
                     pkt = std::move(pkt)] {
@@ -225,7 +317,7 @@ void Network::broadcast(Node& from, Packet pkt, double processing_delay) {
   const sim::Time now = sim_.now();
   const util::Vec2 pos = from.position(now);
   const std::size_t contenders =
-      nodes_within(pos, config_.radio_range_m, now).size();
+      neighbour_count(pos, config_.radio_range_m, now);
   const MacGrant grant =
       mac_.acquire(from, pkt.size_bytes, now + processing_delay, contenders,
                    rng_);
@@ -238,6 +330,19 @@ void Network::broadcast(Node& from, Packet pkt, double processing_delay) {
       mac_.propagation_delay(config_.radio_range_m);
   // Capture the sender position at transmission time: receivers are the
   // nodes inside the range disc around where the frame was emitted.
+  if (packet_pool_ != nullptr) {
+    const auto h = packet_pool_->acquire();
+    PooledFrame& frame = packet_pool_->at(h);
+    frame.pkt = std::move(pkt);
+    frame.origin = pos;
+    frame.sender = sender;
+    sim_.schedule_at(arrive, [this, h] {
+      const PooledFrame& f = packet_pool_->at(h);
+      deliver_broadcast(f.sender, f.pkt, f.origin);
+      packet_pool_->release(h);
+    });
+    return;
+  }
   sim_.schedule_at(arrive, [this, sender, pos, pkt = std::move(pkt)] {
     deliver_broadcast(sender, pkt, pos);
   });
@@ -247,8 +352,10 @@ void Network::deliver_broadcast(NodeId sender, const Packet& pkt,
                                 util::Vec2 sender_pos) {
   ALERT_OBS_TIMED(sim_.profiler(), deliver_scope_);
   const sim::Time now = sim_.now();
-  for (const NodeId id :
-       nodes_within(sender_pos, config_.radio_range_m, now)) {
+  const std::size_t receiver_count =
+      gather_receivers(sender_pos, config_.radio_range_m, now);
+  for (std::size_t i = 0; i < receiver_count; ++i) {
+    const NodeId id = delivery_ids_[i];
     if (id == sender) continue;
     Node& receiver = *nodes_[id];
     if (!receiver.alive()) continue;  // crashed radios hear nothing

@@ -1,5 +1,6 @@
 #include "perf/kernels.hpp"
 
+#include <cmath>
 #include <utility>
 
 #include "campaign/spec.hpp"
@@ -10,8 +11,10 @@
 
 namespace alert::perf {
 
-std::uint64_t run_dispatch_batch(std::size_t events) {
+std::uint64_t run_dispatch_batch(std::size_t events,
+                                 sim::QueueBackend backend) {
   sim::Simulator simulator;
+  simulator.set_queue_backend(backend);
   std::uint64_t acc = 0;
   for (std::size_t i = 0; i < events; ++i) {
     simulator.schedule_at(static_cast<double>(i) * 1e-6, [&acc] { ++acc; });
@@ -21,10 +24,13 @@ std::uint64_t run_dispatch_batch(std::size_t events) {
   return simulator.events_executed();
 }
 
-QueryTopology::QueryTopology(std::size_t node_count, std::uint64_t seed)
+QueryTopology::QueryTopology(std::size_t node_count, std::uint64_t seed,
+                             bool grid, double field_side_m)
     : simulator_(std::make_unique<sim::Simulator>()) {
   net::NetworkConfig config;
   config.node_count = node_count;
+  config.field = util::Rect{0.0, 0.0, field_side_m, field_side_m};
+  config.scale.grid = grid;
   // Horizon 0: the constructor places nodes but schedules no periodic
   // processes, so the topology is pure t=0 state.
   network_ = std::make_unique<net::Network>(
@@ -53,6 +59,20 @@ core::ScenarioConfig macro_scenario(std::size_t node_count,
   core::ScenarioConfig config = campaign::paper_default_scenario();
   config.node_count = node_count;
   config.duration_s = duration_s;
+  return config;
+}
+
+core::ScenarioConfig scale_scenario(std::size_t node_count, double duration_s,
+                                    scale::Backends backends) {
+  core::ScenarioConfig config = macro_scenario(node_count, duration_s);
+  // Grow the arena with the population so density (and therefore per-node
+  // neighbourhood size) stays at the paper's 200 nodes / km^2. A fixed
+  // field would make every broadcast physically O(n) and no index could
+  // change that.
+  const double side =
+      std::sqrt(static_cast<double>(node_count) / 200.0) * 1000.0;
+  config.field = util::Rect{0.0, 0.0, side, side};
+  config.scale = backends;
   return config;
 }
 

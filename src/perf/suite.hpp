@@ -9,6 +9,12 @@
 ///   campaign  — campaign-engine scheduling throughput in units/s through
 ///               the cold (execute + store) and warm (content-addressed
 ///               cache replay) paths, and peak RSS → BENCH_campaign.json
+///   scale     — the alert::scale backends at arena scale: grid
+///               neighbour-query ns/op and calendar event-dispatch ns/op
+///               at 10k nodes, a fig14a-style 10k-node macro run with all
+///               backends on (events/s) plus its speedup over the
+///               linear-scan / binary-heap / malloc configuration, and
+///               peak RSS → BENCH_scale.json
 ///
 /// "Pinned" means the workload shapes, seeds and repeat counts are fixed in
 /// suite.cpp: a measured number is only comparable against a baseline

@@ -1,0 +1,295 @@
+#pragma once
+
+/// \file calendar_queue.hpp
+/// A calendar priority queue (R. Brown, CACM 1988) generic over entries
+/// exposing `.time` (double, >= 0) and `.seq` (unique uint64 tie-break).
+///
+/// Items hash into `nbuckets_` day-buckets by their "year" — floor(time /
+/// width) — and a cursor year advances monotonically as minima are popped.
+/// Extraction scans only the cursor year's bucket; push and pop are O(1)
+/// amortized while the width tracks the inter-event gap, which periodic
+/// rebuilds (triggered by size doubling/shrinking past the bucket count)
+/// re-estimate from the live span. All cursor arithmetic is on integer
+/// years, never on accumulated floating-point windows, so the mapping from
+/// time to bucket is exact and reproducible: the pop order is the strict
+/// (time, seq) total order, bit-identical to a binary heap's.
+///
+/// Why the min is still the global min: the cursor invariant is that no
+/// live item has a year earlier than the cursor's (push of an earlier item
+/// rewinds the cursor; popping the minimum cannot strand anything behind
+/// it). Scanning the cursor bucket for items OF that year therefore sees
+/// every candidate for the minimum; a full fruitless lap falls back to a
+/// global scan that jumps the cursor to the true minimum's year — the
+/// escape hatch for sparse far-future backlogs.
+///
+/// Entries live in a slab (`slots_`) recycled through an intrusive
+/// freelist: steady-state push/pop allocates nothing; the only growth sites
+/// are the slab doubling in alloc_slot() and the bucket re-hash in
+/// rebuild(), both amortized O(1) per operation.
+///
+/// The queue draws no randomness and reads no clocks (rebuild heuristics
+/// depend only on the operation sequence), so backend selection cannot
+/// perturb determinism digests.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace alert::scale {
+
+template <typename T>
+class CalendarQueue {
+ public:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::size_t kMinBuckets = 16;
+
+  CalendarQueue() { buckets_.assign(kMinBuckets, kNil); }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  [[nodiscard]] double bucket_width() const { return width_; }
+
+  void push(T item) {
+    ALERT_INVARIANT(item.time >= 0.0, "CalendarQueue times must be >= 0");
+    const std::uint64_t y = year_of(item.time);
+    if (size_ == 0 || y < cur_year_) cur_year_ = y;
+    const std::uint32_t slot = alloc_slot(std::move(item));
+    slots_[slot].year = y;
+    link(slot, bucket_of(y));
+    ++size_;
+    if (min_slot_ != kNil && precedes(slot, min_slot_)) min_slot_ = slot;
+    if (size_ > buckets_.size() * 2) rebuild();
+  }
+
+  /// The live (time, seq) minimum. Requires !empty().
+  [[nodiscard]] const T& min() {
+    find_min();
+    return slots_[min_slot_].item;
+  }
+
+  /// Extract the minimum. Requires !empty().
+  T pop_min() {
+    find_min();
+    const std::uint32_t slot = min_slot_;
+    unlink(slot, bucket_of(slots_[slot].year));
+    min_slot_ = kNil;
+    T out = std::move(slots_[slot].item);
+    free_slot(slot);
+    --size_;
+    // Popping the minimum leaves nothing earlier than its year.
+    if (size_ > 0) cur_year_ = year_of(out.time);
+    if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 8) {
+      rebuild();
+    }
+    return out;
+  }
+
+  /// Unlink every item matching `pred`; returns how many were removed.
+  /// O(size + buckets). Used for tombstone compaction.
+  template <typename Pred>
+  std::size_t remove_if(Pred&& pred) {
+    std::size_t removed = 0;
+    for (std::uint32_t& head : buckets_) {
+      std::uint32_t slot = head;
+      std::uint32_t prev = kNil;
+      while (slot != kNil) {
+        const std::uint32_t next = slots_[slot].next;
+        if (pred(static_cast<const T&>(slots_[slot].item))) {
+          if (prev == kNil) {
+            head = next;
+          } else {
+            slots_[prev].next = next;
+          }
+          slots_[slot].item = T{};  // drop held resources deterministically
+          free_slot(slot);
+          ++removed;
+        } else {
+          prev = slot;
+        }
+        slot = next;
+      }
+    }
+    size_ -= removed;
+    min_slot_ = kNil;
+    if (removed > 0 && buckets_.size() > kMinBuckets &&
+        size_ < buckets_.size() / 8) {
+      rebuild();
+    }
+    return removed;
+  }
+
+  /// Visit every live item (audit support; unspecified order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const std::uint32_t head : buckets_) {
+      for (std::uint32_t slot = head; slot != kNil; slot = slots_[slot].next) {
+        fn(static_cast<const T&>(slots_[slot].item));
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    T item{};
+    std::uint64_t year = 0;
+    std::uint32_t next = kNil;
+  };
+
+  /// Years past this would overflow the uint64 conversion; everything
+  /// beyond collapses into one far-future year (they share a bucket and
+  /// are ordered by the exact (time, seq) compare when their turn comes —
+  /// this is how sentinel times like sim's kForever stay safe).
+  static constexpr double kYearCapF = 9.0e18;
+  static constexpr std::uint64_t kYearCap = 9'000'000'000'000'000'000ull;
+
+  [[nodiscard]] std::uint64_t year_of(double t) const {
+    const double y = t * inv_width_;
+    if (y >= kYearCapF) return kYearCap;
+    return static_cast<std::uint64_t>(y);
+  }
+
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t year) const {
+    return static_cast<std::size_t>(year % buckets_.size());
+  }
+
+  [[nodiscard]] bool precedes(std::uint32_t a, std::uint32_t b) const {
+    const T& x = slots_[a].item;
+    const T& y = slots_[b].item;
+    return x.time < y.time || (x.time == y.time && x.seq < y.seq);
+  }
+
+  void link(std::uint32_t slot, std::size_t bucket) {
+    slots_[slot].next = buckets_[bucket];
+    buckets_[bucket] = static_cast<std::uint32_t>(slot);
+  }
+
+  /// Remove `slot` from `bucket`'s chain (walks the chain for the
+  /// predecessor; chains hold O(1) items while the width is calibrated).
+  void unlink(std::uint32_t slot, std::size_t bucket) {
+    std::uint32_t cur = buckets_[bucket];
+    std::uint32_t prev = kNil;
+    while (cur != slot) {
+      ALERT_INVARIANT(cur != kNil, "CalendarQueue slot missing from bucket");
+      prev = cur;
+      cur = slots_[cur].next;
+    }
+    if (prev == kNil) {
+      buckets_[bucket] = slots_[slot].next;
+    } else {
+      slots_[prev].next = slots_[slot].next;
+    }
+  }
+
+  [[nodiscard]] std::uint32_t alloc_slot(T item) {
+    if (free_head_ != kNil) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = slots_[slot].next;
+      slots_[slot].item = std::move(item);
+      return slot;
+    }
+    // The slab's only growth site; doubling keeps it amortized O(1).
+    slots_.push_back(Slot{std::move(item), 0, kNil});
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  void free_slot(std::uint32_t slot) {
+    slots_[slot].next = free_head_;
+    free_head_ = slot;
+  }
+
+  /// Locate the live minimum and cache it in min_slot_.
+  void find_min() {
+    ALERT_INVARIANT(size_ > 0, "CalendarQueue::min on empty queue");
+    if (min_slot_ != kNil) return;
+    std::uint64_t y = cur_year_;
+    for (std::size_t lap = 0; lap <= buckets_.size(); ++lap) {
+      const std::size_t bucket = bucket_of(y);
+      std::uint32_t best = kNil;
+      for (std::uint32_t slot = buckets_[bucket]; slot != kNil;
+           slot = slots_[slot].next) {
+        if (slots_[slot].year != y) continue;
+        if (best == kNil || precedes(slot, best)) best = slot;
+      }
+      if (best != kNil) {
+        min_slot_ = best;
+        cur_year_ = y;
+        return;
+      }
+      ++y;
+    }
+    // A whole fruitless lap: the backlog is sparse relative to the bucket
+    // span. Scan everything once and jump the cursor to the true minimum.
+    std::uint32_t best = kNil;
+    for (const std::uint32_t head : buckets_) {
+      for (std::uint32_t slot = head; slot != kNil; slot = slots_[slot].next) {
+        if (best == kNil || precedes(slot, best)) best = slot;
+      }
+    }
+    ALERT_INVARIANT(best != kNil, "CalendarQueue lost track of its items");
+    min_slot_ = best;
+    cur_year_ = slots_[best].year;
+  }
+
+  /// Re-hash every item into a bucket array sized to the live count, with
+  /// the width re-estimated from the live span (span / size * 4 targets a
+  /// few items per in-play bucket). Deterministic: inputs are only the
+  /// live items. Amortized O(1) per operation via the doubling triggers.
+  void rebuild() {
+    // Thread every live item onto one chain before the bucket array is
+    // reshaped (slot storage itself is untouched).
+    std::uint32_t all = kNil;
+    double min_t = std::numeric_limits<double>::infinity();
+    double max_t = 0.0;
+    for (std::uint32_t& head : buckets_) {
+      std::uint32_t slot = head;
+      while (slot != kNil) {
+        const std::uint32_t next = slots_[slot].next;
+        const double t = slots_[slot].item.time;
+        if (t < min_t) min_t = t;
+        if (t > max_t && t < kYearCapF) max_t = t;
+        slots_[slot].next = all;
+        all = slot;
+        slot = next;
+      }
+      head = kNil;
+    }
+
+    std::size_t target = kMinBuckets;
+    while (target < size_) target *= 2;
+    buckets_.assign(target, kNil);
+    if (size_ > 0 && max_t > min_t) {
+      width_ = (max_t - min_t) / static_cast<double>(size_) * 4.0;
+      if (width_ < 1e-9) width_ = 1e-9;
+    }
+    inv_width_ = 1.0 / width_;
+
+    std::uint64_t min_year = kYearCap;
+    std::uint32_t slot = all;
+    while (slot != kNil) {
+      const std::uint32_t next = slots_[slot].next;
+      const std::uint64_t y = year_of(slots_[slot].item.time);
+      slots_[slot].year = y;
+      if (y < min_year) min_year = y;
+      link(slot, bucket_of(y));
+      slot = next;
+    }
+    if (size_ > 0) cur_year_ = min_year;
+    min_slot_ = kNil;
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> buckets_;
+  std::uint32_t free_head_ = kNil;
+  std::uint32_t min_slot_ = kNil;  ///< cached minimum; kNil = not located
+  std::size_t size_ = 0;
+  std::uint64_t cur_year_ = 0;
+  double width_ = 0.01;  ///< initial guess; rebuilds calibrate immediately
+  double inv_width_ = 100.0;
+};
+
+}  // namespace alert::scale

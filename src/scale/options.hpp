@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file options.hpp
+/// Scenario-level selection of the alert::scale backends. Every flag
+/// defaults to off, and the scenario codec only emits `scale.*` keys when
+/// any() is true — the exact pattern the fault block uses — so canonical
+/// scenario text, campaign cache keys and every committed digest stay
+/// byte-identical for configurations that never opt in.
+///
+/// The backends are drop-in replacements, not approximations: with any
+/// combination of flags enabled, determinism digests must stay bit-identical
+/// to the linear-scan / binary-heap / malloc-per-packet configuration (the
+/// equivalence suite in tests/integration/scale_equivalence_test.cpp pins
+/// this). The flags trade memory and setup cost for asymptotics only.
+
+namespace alert::scale {
+
+/// Which scale backends a scenario runs with. Carried by value through
+/// core::ScenarioConfig -> net::NetworkConfig.
+struct Backends {
+  /// Uniform-grid spatial index behind Network::nodes_within (O(k) range
+  /// queries instead of an O(n) scan per transmission).
+  bool grid = false;
+  /// Calendar-queue EventQueue backend (near-O(1) schedule/pop at millions
+  /// of pending events instead of the binary heap's O(log n)).
+  bool calendar = false;
+  /// Slab-pooled delivery packets: in-flight Packet payloads are recycled
+  /// through a scale::SlabPool instead of a fresh heap object per frame.
+  bool pool_packets = false;
+
+  [[nodiscard]] constexpr bool any() const {
+    return grid || calendar || pool_packets;
+  }
+  constexpr bool operator==(const Backends&) const = default;
+};
+
+}  // namespace alert::scale

@@ -160,7 +160,7 @@ TEST(ExperimentDeathTest, BenchReplicationsRejectsBadEnv) {
   // for 30 replications and getting 10 wastes hours of sweeps.
   for (const char* bad : {"junk", "0", "-3", "10x", "999999999999999999999"}) {
     ::setenv("ALERTSIM_REPS", bad, 1);
-    EXPECT_EXIT(bench_replications(10), ::testing::ExitedWithCode(2),
+    EXPECT_EXIT((void)bench_replications(10), ::testing::ExitedWithCode(2),
                 "is invalid")
         << "ALERTSIM_REPS=" << bad;
   }

@@ -233,5 +233,95 @@ TEST(Network, MovingReceiverEscapesUnicast) {
   EXPECT_EQ(listener.last_reason, DropReason::OutOfRange);
 }
 
+TEST(Network, PseudonymResolutionMatchesFullScan) {
+  // Pins the hash-map fast path of resolve_pseudonym to the obvious O(N)
+  // definition — for every node's current pseudonym, before and after
+  // rotations (which retire the old mapping into the grace registry).
+  sim::Simulator simulator;
+  NetworkConfig cfg;
+  cfg.node_count = 40;
+  Network net(simulator, cfg, std::make_unique<StaticPlacement>(cfg.field),
+              util::Rng(21), 1000.0);
+  const auto check_all = [&net] {
+    for (NodeId id = 0; id < net.size(); ++id) {
+      const Pseudonym p = net.node(id).pseudonym();
+      NodeId scanned = kInvalidNode;
+      for (NodeId j = 0; j < net.size(); ++j) {
+        if (net.node(j).pseudonym() == p) {
+          scanned = j;
+          break;
+        }
+      }
+      ASSERT_EQ(scanned, id);
+      EXPECT_EQ(net.resolve_pseudonym(p), id);
+    }
+  };
+  check_all();
+  std::vector<Pseudonym> old;
+  for (NodeId id = 0; id < net.size(); ++id) {
+    old.push_back(net.node(id).pseudonym());
+    net.rotate_pseudonym(net.node(id));
+  }
+  check_all();
+  // Retired pseudonyms still resolve (grace period for in-flight frames).
+  for (NodeId id = 0; id < net.size(); ++id) {
+    EXPECT_EQ(net.resolve_pseudonym(old[id]), id);
+  }
+  EXPECT_EQ(net.resolve_pseudonym(0xFFFFFFFFDEADULL), kInvalidNode);
+}
+
+TEST(Network, GridNeighbourQueriesMatchLinearScan) {
+  // Two networks, identical seed and mobility, one with the spatial grid:
+  // nodes_within must agree exactly at arbitrary times mid-flight.
+  auto build = [](bool grid) {
+    NetworkConfig cfg;
+    cfg.node_count = 120;
+    cfg.scale.grid = grid;
+    auto simulator = std::make_unique<sim::Simulator>();
+    auto net = std::make_unique<Network>(
+        *simulator, cfg,
+        std::make_unique<RandomWaypoint>(cfg.field, 20.0), util::Rng(77),
+        /*horizon=*/50.0);
+    return std::make_pair(std::move(simulator), std::move(net));
+  };
+  auto [sim_a, linear] = build(false);
+  auto [sim_b, gridded] = build(true);
+  util::Rng centers(123);
+  for (double t = 0.0; t <= 40.0; t += 5.0) {
+    sim_a->run_until(t);
+    sim_b->run_until(t);
+    for (int q = 0; q < 20; ++q) {
+      const util::Vec2 c = centers.point_in(linear->config().field);
+      const double r = centers.uniform(50.0, 400.0);
+      EXPECT_EQ(linear->nodes_within(c, r, t), gridded->nodes_within(c, r, t))
+          << "t=" << t;
+    }
+  }
+}
+
+TEST(Network, PooledPacketsLeakFreeAfterTraffic) {
+  NetworkConfig cfg;
+  cfg.node_count = 30;
+  cfg.scale.pool_packets = true;
+  sim::Simulator simulator;
+  Network net(simulator, cfg, std::make_unique<StaticPlacement>(cfg.field),
+              util::Rng(31), /*horizon=*/30.0);
+  Recorder rec;
+  for (NodeId id = 0; id < net.size(); ++id) net.attach_handler(id, &rec);
+  simulator.run_until(5.0);  // hello broadcasts flow through the pool
+  Packet pkt;
+  pkt.kind = PacketKind::Data;
+  pkt.size_bytes = 512;
+  for (int i = 0; i < 20; ++i) {
+    net.unicast(net.node(0),
+                net.node(static_cast<NodeId>(1 + (i % 20))).pseudonym(), pkt);
+  }
+  simulator.run_until(30.0);
+  const Network::PoolStats stats = net.packet_pool_stats();
+  EXPECT_EQ(stats.in_use, 0u) << "pooled delivery frames leaked";
+  EXPECT_GT(stats.high_water, 0u) << "traffic never went through the pool";
+  EXPECT_GE(stats.capacity, stats.high_water);
+}
+
 }  // namespace
 }  // namespace alert::net
