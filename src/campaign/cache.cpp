@@ -47,6 +47,20 @@ std::optional<core::RunResult> ResultCache::load(
   return run;
 }
 
+bool ResultCache::entry_exists(const std::string& key) const {
+  std::error_code ec;
+  return fs::exists(object_path(key), ec);
+}
+
+void ResultCache::remove(const std::string& key) const {
+  std::error_code ec;
+  fs::remove(object_path(key), ec);
+  if (ec) {
+    ALERT_LOG_WARN("cache: cannot remove %s: %s", key.c_str(),
+                   ec.message().c_str());
+  }
+}
+
 bool ResultCache::store(const std::string& key,
                         const core::RunResult& run) const {
   const fs::path final_path(object_path(key));
@@ -56,6 +70,7 @@ bool ResultCache::store(const std::string& key,
     ALERT_LOG_ERROR("cache: cannot create %s: %s",
                     final_path.parent_path().string().c_str(),
                     ec.message().c_str());
+    store_errors_.fetch_add(1);
     return false;
   }
   // Unique temp name in the final directory (rename is atomic within one
@@ -74,6 +89,7 @@ bool ResultCache::store(const std::string& key,
     if (!out) {
       ALERT_LOG_ERROR("cache: cannot open %s for writing",
                       tmp_path.string().c_str());
+      store_errors_.fetch_add(1);
       return false;
     }
     write_run_result_json(out, run);
@@ -81,6 +97,7 @@ bool ResultCache::store(const std::string& key,
       ALERT_LOG_ERROR("cache: short write to %s", tmp_path.string().c_str());
       out.close();
       fs::remove(tmp_path, ec);
+      store_errors_.fetch_add(1);
       return false;
     }
   }
@@ -90,6 +107,7 @@ bool ResultCache::store(const std::string& key,
                     tmp_path.string().c_str(), final_path.string().c_str(),
                     ec.message().c_str());
     fs::remove(tmp_path, ec);
+    store_errors_.fetch_add(1);
     return false;
   }
   return true;

@@ -16,6 +16,8 @@
 /// authoritative record for crash-safe resume (the per-campaign journal is
 /// bookkeeping on top; see journal.hpp).
 
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -39,10 +41,31 @@ class ResultCache {
 
   /// Atomically store (temp file + rename). Returns false and logs on I/O
   /// failure — the campaign still completes, it just cannot resume free.
+  /// Failures are also counted (store_errors()) so a sweep silently degraded
+  /// to cache-less execution is visible in the campaign summary
+  /// (`campaign.cache.store_errors`).
   bool store(const std::string& key, const core::RunResult& run) const;
+
+  /// Entry present under the final name? Cheaper than load() — used by the
+  /// distributed queue's claim scans, where parsing every entry per poll
+  /// would dominate. A present-but-corrupt entry still reads as done here;
+  /// the dist aggregator heals that case by deleting the entry (see
+  /// docs/DIST.md failure matrix).
+  [[nodiscard]] bool entry_exists(const std::string& key) const;
+
+  /// Remove the entry under the final name (corrupt-entry healing).
+  void remove(const std::string& key) const;
+
+  /// store() calls that failed over this cache's lifetime (thread-safe).
+  [[nodiscard]] std::size_t store_errors() const {
+    return store_errors_.load();
+  }
 
  private:
   std::string root_;
+  /// mutable: store() is logically const (the cache is write-through state
+  /// on disk); the counter is observability, not cache content.
+  mutable std::atomic<std::size_t> store_errors_{0};
 };
 
 }  // namespace alert::campaign

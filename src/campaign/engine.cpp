@@ -22,18 +22,6 @@
 
 namespace alert::campaign {
 
-namespace {
-
-struct WorkUnit {
-  std::size_t point = 0;
-  std::uint64_t rep = 0;
-  std::size_t slot = 0;  ///< into the flat results array
-  std::string key;
-  bool traced = false;
-};
-
-/// Manifest writes go through a temp file + rename so a campaign killed
-/// mid-write can never leave a torn manifest under the final name.
 bool write_manifest_atomic(const obs::RunManifest& manifest,
                            const std::string& path) {
   namespace fs = std::filesystem;
@@ -60,101 +48,41 @@ bool write_manifest_atomic(const obs::RunManifest& manifest,
   return true;
 }
 
-}  // namespace
-
-CampaignOutcome run_campaign(const CampaignSpec& spec,
-                             const CampaignOptions& options) {
-  CampaignOutcome outcome;
-  outcome.reps = options.reps > 0
-                     ? options.reps
-                     : core::bench_replications(spec.fallback_reps);
-
-  if (options.print) {
-    obs::print_figure_banner(spec.banner, paper_defaults_line());
-  }
-
-  // --- expand the grid into work units ------------------------------------
-  std::vector<WorkUnit> units;
-  std::vector<std::size_t> point_reps(spec.points.size(), 0);
+UnitGrid expand_units(const CampaignSpec& spec, std::size_t reps_option,
+                      bool trace_first) {
+  UnitGrid grid;
+  grid.reps = reps_option > 0 ? reps_option
+                              : core::bench_replications(spec.fallback_reps);
+  grid.point_reps.assign(spec.points.size(), 0);
   for (std::size_t p = 0; p < spec.points.size(); ++p) {
-    point_reps[p] = spec.points[p].reps_override > 0
-                        ? spec.points[p].reps_override
-                        : outcome.reps;
-    for (std::uint64_t r = 0; r < point_reps[p]; ++r) {
+    grid.point_reps[p] = spec.points[p].reps_override > 0
+                             ? spec.points[p].reps_override
+                             : grid.reps;
+    for (std::uint64_t r = 0; r < grid.point_reps[p]; ++r) {
       WorkUnit unit;
       unit.point = p;
       unit.rep = r;
-      unit.slot = units.size();
+      unit.slot = grid.units.size();
       unit.key = core::scenario_unit_key(spec.points[p].config, r);
-      unit.traced = p == 0 && r == 0 && !options.trace_out.empty();
-      units.push_back(std::move(unit));
+      unit.traced = p == 0 && r == 0 && trace_first;
+      grid.units.push_back(std::move(unit));
     }
   }
-  outcome.units_total = units.size();
+  return grid;
+}
 
-  std::unique_ptr<ResultCache> cache;
-  std::unique_ptr<Journal> journal;
-  if (options.use_cache && !units.empty()) {
-    const std::string root =
-        options.cache_dir.empty() ? default_cache_root() : options.cache_dir;
-    cache = std::make_unique<ResultCache>(root);
-    journal = std::make_unique<Journal>(root + "/journal", spec.name);
-  }
+core::RunResult execute_unit(const CampaignSpec& spec, const WorkUnit& unit,
+                             const std::string& trace_out) {
+  core::ScenarioConfig cfg = spec.points[unit.point].config;
+  cfg.obs.profile = true;
+  if (unit.traced) cfg.obs.trace_out = trace_out;
+  return core::run_once(cfg, unit.rep);
+}
 
-  // --- schedule across the pool -------------------------------------------
-  // Each unit writes its own pre-sized slot; completion order never matters
-  // because aggregation below walks slots in point/replication order.
-  std::vector<core::RunResult> results(units.size());
-  std::atomic<std::size_t> cache_hits{0};
-  std::atomic<std::size_t> executed{0};
-  std::atomic<std::size_t> done{0};
-  {
-    util::ThreadPool pool(options.threads);
-    for (const WorkUnit& unit : units) {
-      pool.submit([&spec, &options, &results, &cache, &journal, &cache_hits,
-                   &executed, &done, &unit, total = units.size()] {
-        const PointSpec& point = spec.points[unit.point];
-        bool cached = false;
-        if (cache != nullptr && !options.force) {
-          if (auto hit = cache->load(unit.key)) {
-            // Writes are disjoint: `results` is pre-sized and every unit
-            // owns exactly one slot, so no two tasks touch the same entry.
-            results[unit.slot] =  // alert-lint: allow(lock-discipline)
-                std::move(*hit);
-            cached = true;
-          }
-        }
-        if (cached && unit.traced) {
-          // Re-execute for the trace side effect only; the cached result
-          // still feeds the manifest so its bytes stay identical.
-          core::ScenarioConfig cfg = point.config;
-          cfg.obs.profile = true;
-          cfg.obs.trace_out = options.trace_out;
-          (void)core::run_once(cfg, unit.rep);
-        }
-        if (!cached) {
-          core::ScenarioConfig cfg = point.config;
-          cfg.obs.profile = true;
-          if (unit.traced) cfg.obs.trace_out = options.trace_out;
-          results[unit.slot] = core::run_once(cfg, unit.rep);
-          if (cache != nullptr) cache->store(unit.key, results[unit.slot]);
-          executed.fetch_add(1);
-        } else {
-          cache_hits.fetch_add(1);
-        }
-        if (journal != nullptr) journal->mark_done(unit.key);
-        const std::size_t finished = done.fetch_add(1) + 1;
-        ALERT_LOG_INFO("campaign %s: unit %zu/%zu %s (point %zu rep %llu)",
-                       spec.name.c_str(), finished, total,
-                       cached ? "cached" : "ran", unit.point,
-                       static_cast<unsigned long long>(unit.rep));
-      });
-    }
-    pool.wait_idle();
-  }
-  outcome.cache_hits = cache_hits.load();
-  outcome.executed = executed.load();
-
+obs::RunManifest assemble_manifest(const CampaignSpec& spec,
+                                   const UnitGrid& grid,
+                                   std::vector<core::RunResult>&& results,
+                                   bool record_peak_rss) {
   // --- fold replications in deterministic point/replication order ---------
   std::vector<PointResult> points(spec.points.size());
   std::size_t slot = 0;
@@ -162,8 +90,8 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
     PointResult& pr = points[p];
     pr.index = p;
     pr.spec = &spec.points[p];
-    pr.runs.reserve(point_reps[p]);
-    for (std::size_t r = 0; r < point_reps[p]; ++r, ++slot) {
+    pr.runs.reserve(grid.point_reps[p]);
+    for (std::size_t r = 0; r < grid.point_reps[p]; ++r, ++slot) {
       pr.result.add(results[slot]);
       pr.runs.push_back(std::move(results[slot]));
     }
@@ -172,14 +100,14 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
   }
 
   // --- assemble the manifest (mirrors bench::Figure) ----------------------
-  obs::RunManifest& manifest = outcome.manifest;
+  obs::RunManifest manifest;
   manifest.name = spec.name;
   manifest.title = spec.title;
   manifest.x_label = spec.x_label;
   manifest.y_label = spec.y_label;
   const core::ScenarioConfig defaults = paper_default_scenario();
   manifest.seed = defaults.seed;
-  manifest.replications = outcome.reps;
+  manifest.replications = grid.reps;
   manifest.add_param("node_count", std::to_string(defaults.node_count));
   manifest.add_param("speed_mps", std::to_string(defaults.speed_mps));
   manifest.add_param("radio_range_m",
@@ -203,7 +131,7 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
                                   pr.result.trace_digests.end());
   }
 
-  const ReduceContext ctx{outcome.reps};
+  const ReduceContext ctx{grid.reps};
   if (spec.reduce) {
     spec.reduce(points, ctx, manifest);
   } else {
@@ -211,8 +139,87 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
   }
   // Measurement-only and opt-in: stamped after every unit completed so the
   // peak covers the whole campaign, never recorded into cache entries.
-  if (options.record_peak_rss) manifest.peak_rss_bytes = obs::peak_rss_bytes();
+  if (record_peak_rss) manifest.peak_rss_bytes = obs::peak_rss_bytes();
   for (const std::string& note : spec.notes) manifest.notes.push_back(note);
+  return manifest;
+}
+
+CampaignOutcome run_campaign(const CampaignSpec& spec,
+                             const CampaignOptions& options) {
+  CampaignOutcome outcome;
+
+  if (options.print) {
+    obs::print_figure_banner(spec.banner, paper_defaults_line());
+  }
+
+  // --- expand the grid into work units ------------------------------------
+  UnitGrid grid = expand_units(spec, options.reps, !options.trace_out.empty());
+  outcome.reps = grid.reps;
+  outcome.units_total = grid.units.size();
+
+  std::unique_ptr<ResultCache> cache;
+  std::unique_ptr<Journal> journal;
+  if (options.use_cache && !grid.units.empty()) {
+    const std::string root =
+        options.cache_dir.empty() ? default_cache_root() : options.cache_dir;
+    cache = std::make_unique<ResultCache>(root);
+    journal = std::make_unique<Journal>(root + "/journal", spec.name);
+  }
+
+  // --- schedule across the pool -------------------------------------------
+  // Each unit writes its own pre-sized slot; completion order never matters
+  // because aggregation below walks slots in point/replication order.
+  std::vector<core::RunResult> results(grid.units.size());
+  std::atomic<std::size_t> cache_hits{0};
+  std::atomic<std::size_t> executed{0};
+  std::atomic<std::size_t> done{0};
+  {
+    util::ThreadPool pool(options.threads);
+    for (const WorkUnit& unit : grid.units) {
+      pool.submit([&spec, &options, &results, &cache, &journal, &cache_hits,
+                   &executed, &done, &unit, total = grid.units.size()] {
+        bool cached = false;
+        if (cache != nullptr && !options.force) {
+          if (auto hit = cache->load(unit.key)) {
+            // Writes are disjoint: `results` is pre-sized and every unit
+            // owns exactly one slot, so no two tasks touch the same entry.
+            results[unit.slot] =  // alert-lint: allow(lock-discipline)
+                std::move(*hit);
+            cached = true;
+          }
+        }
+        if (cached && unit.traced) {
+          // Re-execute for the trace side effect only; the cached result
+          // still feeds the manifest so its bytes stay identical.
+          (void)execute_unit(spec, unit, options.trace_out);
+        }
+        if (!cached) {
+          results[unit.slot] = execute_unit(spec, unit, options.trace_out);
+          if (cache != nullptr) cache->store(unit.key, results[unit.slot]);
+          executed.fetch_add(1);
+        } else {
+          cache_hits.fetch_add(1);
+        }
+        if (journal != nullptr) journal->mark_done(unit.key);
+        const std::size_t finished = done.fetch_add(1) + 1;
+        ALERT_LOG_INFO("campaign %s: unit %zu/%zu %s (point %zu rep %llu)",
+                       spec.name.c_str(), finished, total,
+                       cached ? "cached" : "ran", unit.point,
+                       static_cast<unsigned long long>(unit.rep));
+      });
+    }
+    pool.wait_idle();
+  }
+  outcome.cache_hits = cache_hits.load();
+  outcome.executed = executed.load();
+  if (cache != nullptr) outcome.cache_store_errors = cache->store_errors();
+  if (journal != nullptr) {
+    outcome.journal_write_errors = journal->write_errors();
+  }
+
+  outcome.manifest = assemble_manifest(spec, grid, std::move(results),
+                                       options.record_peak_rss);
+  obs::RunManifest& manifest = outcome.manifest;
 
   // --- present -------------------------------------------------------------
   if (options.print) {
@@ -232,11 +239,22 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
   ALERT_LOG_INFO("campaign %s: %zu units, %zu cached, %zu executed",
                  spec.name.c_str(), outcome.units_total, outcome.cache_hits,
                  outcome.executed);
+  if (outcome.cache_store_errors > 0 || outcome.journal_write_errors > 0) {
+    ALERT_LOG_WARN(
+        "campaign %s: degraded persistence — %zu cache store errors, %zu "
+        "journal write errors (completed units will re-execute on resume)",
+        spec.name.c_str(), outcome.cache_store_errors,
+        outcome.journal_write_errors);
+  }
 
   obs::MetricsRegistry progress;
   progress.counter("campaign.units.total").inc(outcome.units_total);
   progress.counter("campaign.units.cached").inc(outcome.cache_hits);
   progress.counter("campaign.units.executed").inc(outcome.executed);
+  progress.counter("campaign.cache.store_errors")
+      .inc(outcome.cache_store_errors);
+  progress.counter("campaign.journal.write_errors")
+      .inc(outcome.journal_write_errors);
   outcome.progress = progress.snapshot();
 
   if (!options.metrics_out.empty()) {

@@ -13,16 +13,25 @@
 /// the output. Cached units replay their recorded wall-clock self-profile,
 /// so even the profile section reproduces. This is what makes interrupt +
 /// resume equivalent to an uninterrupted run (the campaign smoke test's
-/// assertion).
+/// assertion), and what makes the distributed fan-out (src/dist/) converge
+/// to the same bytes no matter how many workers died along the way.
+///
+/// The unit pipeline is exposed piecewise — expand_units / execute_unit /
+/// assemble_manifest — so the dist worker loop and aggregator run exactly
+/// the engine's expansion, execution, and fold; run_campaign is the
+/// single-process composition of the three.
 ///
 /// Per-unit progress is reported through alert::obs counters
 /// (campaign.units.*, exposed on CampaignOutcome::progress) and
 /// ALERT_LOG_INFO lines; neither feeds the manifest.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "campaign/spec.hpp"
+#include "core/experiment.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 
@@ -56,12 +65,66 @@ struct CampaignOutcome {
   std::size_t units_total = 0;
   std::size_t cache_hits = 0;
   std::size_t executed = 0;    ///< live simulations (excludes trace replays)
-  /// campaign.units.{total,cached,executed} counters.
+  /// I/O failures the run survived in degraded mode: cache entries that
+  /// could not be stored (those units re-execute next run) and journal
+  /// lines that never reached disk. Non-zero means the sweep ran cache-less
+  /// in part — surfaced in the driver summary so it is never silent.
+  std::size_t cache_store_errors = 0;
+  std::size_t journal_write_errors = 0;
+  /// campaign.units.{total,cached,executed} counters, plus
+  /// campaign.cache.store_errors / campaign.journal.write_errors.
   obs::MetricsSnapshot progress;
   int exit_code = 0;  ///< non-zero when the manifest could not be written
 };
 
 [[nodiscard]] CampaignOutcome run_campaign(const CampaignSpec& spec,
                                            const CampaignOptions& options);
+
+// --- the unit pipeline, exposed for the distributed queue (src/dist/) ------
+
+/// One (point, replication) work unit of a campaign.
+struct WorkUnit {
+  std::size_t point = 0;
+  std::uint64_t rep = 0;
+  std::size_t slot = 0;  ///< into the flat results array (expansion order)
+  std::string key;       ///< core::scenario_unit_key — the cache identity
+  bool traced = false;   ///< first unit when a trace sink was requested
+};
+
+/// The expanded unit grid of one campaign: every unit in deterministic
+/// point-major/replication-minor order, plus the per-point replication
+/// counts the fold needs.
+struct UnitGrid {
+  std::size_t reps = 0;                 ///< resolved campaign-level reps
+  std::vector<std::size_t> point_reps;  ///< one entry per spec point
+  std::vector<WorkUnit> units;
+};
+
+/// Expand the spec's points into work units. `reps_option` as in
+/// CampaignOptions::reps; `trace_first` marks unit (0, 0) traced.
+[[nodiscard]] UnitGrid expand_units(const CampaignSpec& spec,
+                                    std::size_t reps_option,
+                                    bool trace_first = false);
+
+/// Execute one unit live (self-profile always on, exactly as the pooled
+/// path runs it). `trace_out` attaches the structured trace sink when the
+/// unit is traced.
+[[nodiscard]] core::RunResult execute_unit(const CampaignSpec& spec,
+                                           const WorkUnit& unit,
+                                           const std::string& trace_out = {});
+
+/// Fold per-unit results (indexed by WorkUnit::slot) in deterministic
+/// point/replication order and assemble the run manifest — params, merged
+/// metrics/profile, sorted digests, reducer series, notes. Consumes
+/// `results`.
+[[nodiscard]] obs::RunManifest assemble_manifest(
+    const CampaignSpec& spec, const UnitGrid& grid,
+    std::vector<core::RunResult>&& results, bool record_peak_rss = false);
+
+/// Write through a temp file + rename so a process killed mid-write can
+/// never leave a torn manifest under the final name. Returns false and
+/// logs on failure.
+bool write_manifest_atomic(const obs::RunManifest& manifest,
+                           const std::string& path);
 
 }  // namespace alert::campaign

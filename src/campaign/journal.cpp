@@ -1,6 +1,8 @@
 #include "campaign/journal.hpp"
 
+#include <algorithm>
 #include <filesystem>
+#include <sstream>
 #include <system_error>
 
 #include "util/logging.hpp"
@@ -8,8 +10,19 @@
 namespace alert::campaign {
 
 namespace {
+
 constexpr const char* kJournalHeader = "alertsim-campaign-journal/1";
+
+/// Split one record line into whitespace-separated tokens.
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> out;
+  std::string token;
+  while (in >> token) out.push_back(std::move(token));
+  return out;
 }
+
+}  // namespace
 
 Journal::Journal(const std::string& dir, const std::string& name) {
   namespace fs = std::filesystem;
@@ -34,19 +47,31 @@ Journal::Journal(const std::string& dir, const std::string& name) {
       }
       // Only complete, well-formed records count — a torn tail line from a
       // killed process is dropped here and rewritten when the unit reruns.
-      if (line.rfind("done ", 0) == 0 && line.size() > 5) {
-        done_.insert(line.substr(5));
+      // (A torn key can also surface as a complete-looking line with a
+      // truncated hex key; it matches no real unit, so it is inert.)
+      const std::vector<std::string> parts = tokens_of(line);
+      if (parts.size() == 2 && parts[0] == "done") {
+        done_.insert(parts[1]);
+      } else if (parts.size() == 3 && parts[0] == "claimed") {
+        ++claims_[parts[1]];
+        workers_.insert(parts[2]);
+      } else if (parts.size() == 3 && parts[0] == "failed") {
+        ++failures_[parts[1]];
+      } else if (parts.size() == 3 && parts[0] == "reclaimed") {
+        ++reclaims_;
       }
     }
   }
   out_.open(path_, std::ios::app);
   if (!out_) {
     ALERT_LOG_ERROR("journal: cannot open %s for append", path_.c_str());
+    write_error_logged_ = true;
+    ++write_errors_;
     return;
   }
   if (!existed) {
-    out_ << kJournalHeader << ' ' << name << '\n';
-    out_.flush();
+    std::lock_guard lk(mutex_);
+    append_line(std::string(kJournalHeader) + ' ' + name);
   }
 }
 
@@ -60,12 +85,105 @@ std::size_t Journal::done_count() const {
   return done_.size();
 }
 
+void Journal::append_line(const std::string& line) {
+  if (!out_.is_open()) {
+    ++write_errors_;
+    return;
+  }
+  // One buffered write + flush per line: the stream buffer is empty between
+  // records, so each record reaches the kernel as a single O_APPEND write —
+  // concurrent workers interleave whole lines.
+  out_ << line << '\n';
+  out_.flush();
+  if (!out_.good()) {
+    ++write_errors_;
+    if (!write_error_logged_) {
+      // Log once, not per record: a full disk would otherwise flood stderr
+      // with one error per completed unit.
+      write_error_logged_ = true;
+      ALERT_LOG_ERROR(
+          "journal: write to %s failed — resume records from here on are "
+          "lost (counted in campaign.journal.write_errors)",
+          path_.c_str());
+    }
+    out_.clear();  // keep trying: a transient failure shouldn't wedge it
+  }
+}
+
 void Journal::mark_done(const std::string& key) {
   std::lock_guard lk(mutex_);
   if (!done_.insert(key).second) return;
-  if (!out_) return;
-  out_ << "done " << key << '\n';
-  out_.flush();
+  append_line("done " + key);
+}
+
+void Journal::mark_claimed(const std::string& key, const std::string& worker) {
+  std::lock_guard lk(mutex_);
+  ++claims_[key];
+  workers_.insert(worker);
+  append_line("claimed " + key + ' ' + worker);
+}
+
+void Journal::mark_failed(const std::string& key, const std::string& worker) {
+  std::lock_guard lk(mutex_);
+  ++failures_[key];
+  append_line("failed " + key + ' ' + worker);
+}
+
+void Journal::mark_reclaimed(const std::string& key,
+                             const std::string& stale_worker) {
+  std::lock_guard lk(mutex_);
+  ++reclaims_;
+  append_line("reclaimed " + key + ' ' + stale_worker);
+}
+
+std::size_t Journal::claim_count(const std::string& key) const {
+  std::lock_guard lk(mutex_);
+  const auto it = claims_.find(key);
+  return it == claims_.end() ? 0 : it->second;
+}
+
+std::size_t Journal::max_claim_count() const {
+  std::lock_guard lk(mutex_);
+  std::size_t max = 0;
+  for (const auto& [key, count] : claims_) max = std::max(max, count);
+  return max;
+}
+
+std::size_t Journal::total_retries() const {
+  std::lock_guard lk(mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, count] : claims_) {
+    if (count > 1) total += count - 1;
+  }
+  return total;
+}
+
+std::size_t Journal::failed_count(const std::string& key) const {
+  std::lock_guard lk(mutex_);
+  const auto it = failures_.find(key);
+  return it == failures_.end() ? 0 : it->second;
+}
+
+std::size_t Journal::total_failed() const {
+  std::lock_guard lk(mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, count] : failures_) total += count;
+  return total;
+}
+
+std::size_t Journal::total_reclaimed() const {
+  std::lock_guard lk(mutex_);
+  return reclaims_;
+}
+
+std::vector<std::string> Journal::workers() const {
+  std::lock_guard lk(mutex_);
+  return {workers_.begin(), workers_.end()};
+}
+
+std::size_t Journal::write_errors() const {
+  std::lock_guard lk(mutex_);
+  return write_errors_;
 }
 
 }  // namespace alert::campaign

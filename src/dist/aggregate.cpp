@@ -1,0 +1,119 @@
+#include "dist/aggregate.hpp"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "campaign/engine.hpp"
+#include "campaign/journal.hpp"
+#include "obs/series.hpp"
+#include "util/logging.hpp"
+
+namespace alert::dist {
+
+AggregateOutcome aggregate_campaign(const campaign::CampaignSpec& spec,
+                                    const AggregateOptions& options) {
+  AggregateOutcome out;
+
+  if (options.print) {
+    obs::print_figure_banner(spec.banner, campaign::paper_defaults_line());
+  }
+
+  campaign::UnitGrid grid =
+      campaign::expand_units(spec, options.reps, false);
+  out.units_total = grid.units.size();
+
+  const std::string root = options.cache_dir.empty()
+                               ? campaign::default_cache_root()
+                               : options.cache_dir;
+  const campaign::ResultCache cache(root);
+  WorkQueue queue(cache, spec.name);
+  out.poisoned_keys = queue.poisoned_keys();
+
+  std::vector<core::RunResult> results(grid.units.size());
+  for (const campaign::WorkUnit& unit : grid.units) {
+    if (queue.is_poisoned(unit.key)) {
+      ++out.units_poisoned;
+      continue;
+    }
+    if (!cache.entry_exists(unit.key)) {
+      ++out.units_pending;
+      continue;
+    }
+    auto loaded = cache.load(unit.key);
+    if (!loaded) {
+      // Present but unparsable — a torn write on a non-POSIX filesystem or
+      // external corruption. Heal by deletion: the unit reads as not-done
+      // again, so the next worker pass re-executes it.
+      ALERT_LOG_WARN("dist: healing corrupt cache entry for unit %s",
+                     unit.key.c_str());
+      cache.remove(unit.key);
+      ++out.healed_corrupt;
+      ++out.units_pending;
+      continue;
+    }
+    results[unit.slot] = std::move(*loaded);
+    ++out.units_done;
+  }
+
+  if (out.units_done != out.units_total) {
+    ALERT_LOG_ERROR(
+        "dist: campaign %s incomplete — %zu/%zu done, %zu pending, %zu "
+        "poisoned, %zu healed (rerun workers, then aggregate again)",
+        spec.name.c_str(), out.units_done, out.units_total, out.units_pending,
+        out.units_poisoned, out.healed_corrupt);
+    if (options.print) {
+      std::ostringstream line;
+      line << "aggregate: incomplete (" << out.units_done << "/"
+           << out.units_total << " units done, " << out.units_poisoned
+           << " poisoned)";
+      obs::print_text_line(line.str());
+      for (const std::string& key : out.poisoned_keys) {
+        obs::print_text_line("poisoned: " + key);
+      }
+    }
+    out.exit_code = 3;
+    return out;
+  }
+
+  out.manifest = campaign::assemble_manifest(
+      spec, grid, std::move(results), options.record_peak_rss);
+
+  if (options.dist_summary) {
+    // Reopen the journal to read the converged multi-worker history (each
+    // process's live view is only its own appends plus the file at open).
+    const campaign::Journal journal(root + "/journal", spec.name);
+    out.manifest.has_dist = true;
+    out.manifest.dist.workers = journal.workers().size();
+    out.manifest.dist.reclaimed_leases = journal.total_reclaimed();
+    out.manifest.dist.retries = journal.total_retries();
+    out.manifest.dist.poisoned_units = out.poisoned_keys.size();
+  }
+
+  if (options.print) {
+    if (!out.manifest.series.empty()) {
+      obs::print_series_table(out.manifest.title, out.manifest.x_label,
+                              out.manifest.y_label, out.manifest.series);
+    }
+    if (!out.manifest.notes.empty()) obs::print_text_line("");
+    for (const std::string& note : out.manifest.notes) {
+      obs::print_text_line(note);
+    }
+  }
+  ALERT_LOG_INFO("dist: campaign %s aggregated — %zu units from cache",
+                 spec.name.c_str(), out.units_done);
+
+  if (!options.metrics_out.empty()) {
+    if (!campaign::write_manifest_atomic(out.manifest, options.metrics_out)) {
+      out.exit_code = 1;
+      return out;
+    }
+    if (options.print) {
+      obs::print_text_line("manifest: " + options.metrics_out);
+    }
+  }
+  return out;
+}
+
+}  // namespace alert::dist

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file aggregate.hpp
+/// Final assembly of a distributed sweep: load every unit's result from the
+/// shared cache and fold it through the engine's own assemble_manifest, so
+/// the emitted "alertsim-run-manifest/1" document is byte-identical to a
+/// single-process campaign::run_campaign over the same spec — no matter how
+/// many workers produced the cache, how many died, or how often units
+/// retried. Cached units carry their recorded wall-clock self-profiles, so
+/// even the profile section reproduces.
+///
+/// The aggregator is also the corrupt-entry healer: an entry that exists
+/// but fails to parse is deleted (the next worker pass re-executes the
+/// unit) and the aggregation reports incomplete rather than emitting a
+/// manifest with a hole in it.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "dist/queue.hpp"
+#include "obs/manifest.hpp"
+
+namespace alert::dist {
+
+struct AggregateOptions {
+  std::size_t reps = 0;      ///< as CampaignOptions::reps
+  std::string cache_dir;     ///< empty = campaign::default_cache_root()
+  std::string metrics_out;   ///< manifest path; empty = don't write
+  bool print = true;         ///< banner/table/notes (obs helpers)
+  bool record_peak_rss = false;
+  /// Stamp the manifest's optional `dist` block (workers, reclaimed leases,
+  /// retries, poisoned units — from the journal and quarantine records).
+  /// Off by default: the block breaks byte-comparison against a
+  /// single-process manifest, so it is opt-in like peak_rss_bytes.
+  bool dist_summary = false;
+};
+
+struct AggregateOutcome {
+  obs::RunManifest manifest;  ///< only meaningful when exit_code == 0
+  std::size_t units_total = 0;
+  std::size_t units_done = 0;
+  std::size_t units_poisoned = 0;
+  std::size_t units_pending = 0;  ///< not terminal — sweep still running
+  std::size_t healed_corrupt = 0; ///< corrupt entries deleted for re-execution
+  std::vector<std::string> poisoned_keys;
+  /// 0 = complete manifest emitted; 3 = incomplete (pending, poisoned or
+  /// healed units — rerun workers, then aggregate again); 1 = manifest
+  /// write failure.
+  int exit_code = 0;
+};
+
+/// Aggregate `spec`'s sweep from the shared cache.
+[[nodiscard]] AggregateOutcome aggregate_campaign(
+    const campaign::CampaignSpec& spec, const AggregateOptions& options);
+
+}  // namespace alert::dist

@@ -1,0 +1,148 @@
+#include "dist/lease.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include <unistd.h>
+
+#include "util/logging.hpp"
+
+namespace alert::dist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Unique temp-file suffix within this process. Deliberate process-wide
+/// state: the counter only names temp files and never influences results.
+std::uint64_t next_temp_id() {
+  static std::atomic<std::uint64_t> sequence{0};  // alert-lint: allow(mutable-global)
+  return sequence.fetch_add(1);
+}
+
+}  // namespace
+
+LeaseDir::LeaseDir(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    ALERT_LOG_ERROR("lease: cannot create %s: %s", dir_.c_str(),
+                    ec.message().c_str());
+  }
+}
+
+std::string LeaseDir::lease_path(const std::string& key) const {
+  return (fs::path(dir_) / (key + ".lease")).string();
+}
+
+std::string LeaseDir::write_temp(const std::string& owner,
+                                 std::uint64_t sequence) const {
+  std::ostringstream name;
+  name << ".tmp." << static_cast<unsigned long>(::getpid()) << "."
+       << next_temp_id();
+  const fs::path tmp = fs::path(dir_) / name.str();
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    ALERT_LOG_ERROR("lease: cannot open %s for writing",
+                    tmp.string().c_str());
+    return {};
+  }
+  out << kLeaseSchema << ' ' << owner << ' ' << sequence << '\n';
+  out.flush();
+  if (!out.good()) {
+    out.close();
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    ALERT_LOG_ERROR("lease: short write to %s", tmp.string().c_str());
+    return {};
+  }
+  return tmp.string();
+}
+
+bool LeaseDir::try_acquire(const std::string& key, const std::string& owner) {
+  const std::string tmp = write_temp(owner, 0);
+  if (tmp.empty()) return false;
+  std::error_code ec;
+  // link(2): fails with EEXIST when the lease is already held — first
+  // claimer wins, unlike rename's last-writer-wins.
+  fs::create_hard_link(tmp, lease_path(key), ec);
+  std::error_code remove_ec;
+  fs::remove(tmp, remove_ec);
+  return !ec;
+}
+
+bool LeaseDir::renew(const std::string& key, const std::string& owner) {
+  const auto current = read(key);
+  if (!current || current->owner != owner) return false;
+  const std::string tmp = write_temp(owner, current->sequence + 1);
+  if (tmp.empty()) return false;
+  std::error_code ec;
+  // rename over our own lease: atomic content+mtime refresh. A breaker that
+  // renamed the lease away between read() and here gets clobbered back into
+  // existence — that race only duplicates work, never loses it (results are
+  // content-addressed), and the TTL is orders above the heartbeat period.
+  fs::rename(tmp, lease_path(key), ec);
+  if (ec) {
+    std::error_code remove_ec;
+    fs::remove(tmp, remove_ec);
+    return false;
+  }
+  return true;
+}
+
+void LeaseDir::release(const std::string& key, const std::string& owner) {
+  const auto current = read(key);
+  if (!current || current->owner != owner) return;
+  std::error_code ec;
+  fs::remove(lease_path(key), ec);
+}
+
+std::optional<LeaseInfo> LeaseDir::read(const std::string& key) const {
+  std::ifstream in(lease_path(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string schema;
+  LeaseInfo info;
+  if (!(in >> schema >> info.owner >> info.sequence)) return std::nullopt;
+  if (schema != kLeaseSchema) return std::nullopt;
+  return info;
+}
+
+std::optional<double> LeaseDir::age_seconds(const std::string& key) const {
+  std::error_code ec;
+  const fs::file_time_type mtime = fs::last_write_time(lease_path(key), ec);
+  if (ec) return std::nullopt;
+  const auto age = fs::file_time_type::clock::now() - mtime;
+  return std::chrono::duration<double>(age).count();
+}
+
+std::optional<LeaseInfo> LeaseDir::try_break(const std::string& key) {
+  std::ostringstream name;
+  name << ".broken." << static_cast<unsigned long>(::getpid()) << "."
+       << next_temp_id();
+  const fs::path tomb = fs::path(dir_) / name.str();
+  std::error_code ec;
+  // rename succeeds for exactly one concurrent breaker (the others see
+  // ENOENT), so a reclaim is observed — and counted — once.
+  fs::rename(lease_path(key), tomb, ec);
+  if (ec) return std::nullopt;
+  LeaseInfo info;
+  {
+    std::ifstream in(tomb, std::ios::binary);
+    std::string schema;
+    if (!(in >> schema >> info.owner >> info.sequence) ||
+        schema != kLeaseSchema) {
+      info.owner = "<unreadable>";
+      info.sequence = 0;
+    }
+  }
+  std::error_code remove_ec;
+  fs::remove(tomb, remove_ec);
+  return info;
+}
+
+}  // namespace alert::dist

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file lease.hpp
+/// Atomic lease files over a shared directory — the claim primitive of the
+/// distributed campaign queue (docs/DIST.md). One lease file per work unit:
+///
+///   <dir>/<key>.lease        single line "alertsim-lease/1 <owner> <seq>"
+///
+/// Acquisition writes the content to a unique temp file in the same
+/// directory and hard-links it to the lease name: link(2) fails with EEXIST
+/// when the lease exists, so exactly one of any number of concurrent
+/// claimers wins — the same no-torn-state discipline as ResultCache::store,
+/// strengthened from "last writer wins" (rename) to "first claimer wins"
+/// (link). Renewal rewrites the content through temp + rename, refreshing
+/// the file's mtime; staleness is mtime age against the caller's TTL, so no
+/// clocks are embedded in the protocol beyond the shared filesystem's.
+/// Breaking a stale lease renames it to a unique tombstone first — rename
+/// succeeds for exactly one breaker, so a reclaim is counted once no matter
+/// how many workers race it.
+///
+/// Correctness never rests on the lease: results are content-addressed and
+/// deterministic, so the worst a lost renew/break race can cause is one
+/// unit executing twice and the second store refreshing an identical entry.
+/// Leases bound wasted work and drive the retry/poison accounting.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace alert::dist {
+
+inline constexpr const char* kLeaseSchema = "alertsim-lease/1";
+
+/// Parsed lease content.
+struct LeaseInfo {
+  std::string owner;          ///< worker id that holds the lease
+  std::uint64_t sequence = 0; ///< renewals so far (diagnostics only)
+};
+
+class LeaseDir {
+ public:
+  /// Binds (and creates) the lease directory.
+  explicit LeaseDir(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] std::string lease_path(const std::string& key) const;
+
+  /// Atomically claim `key` for `owner`. Exactly one concurrent caller
+  /// wins; returns false when the lease already exists or on I/O failure.
+  [[nodiscard]] bool try_acquire(const std::string& key,
+                                 const std::string& owner);
+
+  /// Refresh the lease's content and mtime (the heartbeat). Returns false —
+  /// without touching anything — when the lease no longer names `owner`
+  /// (it was reclaimed as stale and possibly re-acquired).
+  bool renew(const std::string& key, const std::string& owner);
+
+  /// Drop the lease if it still names `owner` (the normal completion path).
+  void release(const std::string& key, const std::string& owner);
+
+  /// Current holder; nullopt when unleased or unreadable.
+  [[nodiscard]] std::optional<LeaseInfo> read(const std::string& key) const;
+
+  /// Seconds since the lease was last acquired/renewed (mtime age);
+  /// nullopt when unleased.
+  [[nodiscard]] std::optional<double> age_seconds(
+      const std::string& key) const;
+
+  /// Break a lease believed stale: atomically rename it away and return the
+  /// previous holder. Exactly one of any number of concurrent breakers gets
+  /// a value; the rest (and breaks of unleased keys) get nullopt. The
+  /// caller owns the retry/poison accounting for the returned holder.
+  [[nodiscard]] std::optional<LeaseInfo> try_break(const std::string& key);
+
+ private:
+  /// Write lease content to a unique temp path; empty string on failure.
+  [[nodiscard]] std::string write_temp(const std::string& owner,
+                                       std::uint64_t sequence) const;
+
+  std::string dir_;
+};
+
+}  // namespace alert::dist

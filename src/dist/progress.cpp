@@ -1,0 +1,117 @@
+#include "dist/progress.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include <unistd.h>
+
+#include "obs/json.hpp"
+#include "obs/json_value.hpp"
+#include "util/logging.hpp"
+
+namespace alert::dist {
+
+namespace fs = std::filesystem;
+
+bool write_progress_atomic(const std::string& dir,
+                           const WorkerProgress& progress) {
+  const fs::path final_path = fs::path(dir) / (progress.worker + ".json");
+  const fs::path tmp =
+      fs::path(dir) / (".tmp." + progress.worker + "." +
+                       std::to_string(static_cast<unsigned long>(::getpid())));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      ALERT_LOG_ERROR("dist: cannot open %s for writing",
+                      tmp.string().c_str());
+      return false;
+    }
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.field("schema", kProgressSchema);
+    w.field("worker", progress.worker);
+    w.field("campaign", progress.campaign);
+    w.field("claimed", progress.claimed);
+    w.field("executed", progress.executed);
+    w.field("failed", progress.failed);
+    w.field("reclaimed", progress.reclaimed);
+    w.field("store_errors", progress.store_errors);
+    w.field("journal_write_errors", progress.journal_write_errors);
+    w.end_object();
+    out << '\n';
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      ALERT_LOG_ERROR("dist: short write to %s", tmp.string().c_str());
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    ALERT_LOG_ERROR("dist: rename %s -> %s failed: %s", tmp.string().c_str(),
+                    final_path.string().c_str(), ec.message().c_str());
+    return false;
+  }
+  return true;
+}
+
+std::vector<WorkerProgress> read_progress(const std::string& dir) {
+  std::vector<WorkerProgress> out;
+  std::error_code ec;
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.empty() || name[0] == '.') continue;
+    if (entry.path().extension() != ".json") continue;
+    files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const auto doc = obs::parse_json(buffer.str());
+    if (!doc || !doc->is_object()) continue;
+    const obs::JsonValue* schema = doc->find("schema");
+    if (schema == nullptr || schema->as_string() != kProgressSchema) continue;
+    WorkerProgress p;
+    if (const auto* v = doc->find("worker")) p.worker = v->as_string();
+    if (const auto* v = doc->find("campaign")) p.campaign = v->as_string();
+    if (const auto* v = doc->find("claimed")) p.claimed = v->as_u64();
+    if (const auto* v = doc->find("executed")) p.executed = v->as_u64();
+    if (const auto* v = doc->find("failed")) p.failed = v->as_u64();
+    if (const auto* v = doc->find("reclaimed")) p.reclaimed = v->as_u64();
+    if (const auto* v = doc->find("store_errors")) {
+      p.store_errors = v->as_u64();
+    }
+    if (const auto* v = doc->find("journal_write_errors")) {
+      p.journal_write_errors = v->as_u64();
+    }
+    if (p.worker.empty()) continue;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+AggregateProgress aggregate_progress(
+    const std::vector<WorkerProgress>& workers) {
+  AggregateProgress total;
+  total.workers = workers.size();
+  for (const WorkerProgress& p : workers) {
+    total.claimed += p.claimed;
+    total.executed += p.executed;
+    total.failed += p.failed;
+    total.reclaimed += p.reclaimed;
+    total.store_errors += p.store_errors;
+    total.journal_write_errors += p.journal_write_errors;
+  }
+  return total;
+}
+
+}  // namespace alert::dist

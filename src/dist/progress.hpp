@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file progress.hpp
+/// Per-worker progress counters streamed through the shared directory:
+/// after every terminal unit event a worker rewrites (temp + rename)
+/// `<dist>/progress/<worker>.json`, schema "alertsim-dist-progress/1".
+/// The coordinator/aggregator reads all of them plus the journal to build
+/// the live aggregate view and the optional manifest `dist` block. Progress
+/// is observability only — it never feeds the manifest's result sections,
+/// so a torn or missing progress file can never corrupt a sweep.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alert::dist {
+
+inline constexpr const char* kProgressSchema = "alertsim-dist-progress/1";
+
+/// One worker's counters (monotone within a worker process's lifetime).
+struct WorkerProgress {
+  std::string worker;
+  std::string campaign;
+  std::uint64_t claimed = 0;    ///< leases acquired
+  std::uint64_t executed = 0;   ///< units completed live
+  std::uint64_t failed = 0;     ///< failed attempts observed
+  std::uint64_t reclaimed = 0;  ///< stale leases this worker broke
+  std::uint64_t store_errors = 0;
+  std::uint64_t journal_write_errors = 0;
+};
+
+/// Atomically (temp + rename) write `progress` into `dir`. Returns false
+/// and logs on I/O failure.
+bool write_progress_atomic(const std::string& dir,
+                           const WorkerProgress& progress);
+
+/// Read every parseable `<worker>.json` under `dir`, sorted by worker id.
+/// Unparseable files are skipped (a worker may be mid-rename on a
+/// non-atomic filesystem); they repair themselves on the next update.
+[[nodiscard]] std::vector<WorkerProgress> read_progress(
+    const std::string& dir);
+
+/// Sum of a progress set (workers = number of entries).
+struct AggregateProgress {
+  std::uint64_t workers = 0;
+  std::uint64_t claimed = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t reclaimed = 0;
+  std::uint64_t store_errors = 0;
+  std::uint64_t journal_write_errors = 0;
+};
+
+[[nodiscard]] AggregateProgress aggregate_progress(
+    const std::vector<WorkerProgress>& workers);
+
+}  // namespace alert::dist

@@ -1,0 +1,210 @@
+#include "dist/queue.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include <unistd.h>
+
+#include "util/logging.hpp"
+
+namespace alert::dist {
+
+namespace fs = std::filesystem;
+
+double RetryPolicy::backoff_s(std::size_t failures) const {
+  if (failures == 0) return 0.0;
+  double delay = backoff_base_s;
+  for (std::size_t i = 1; i < failures && delay < backoff_cap_s; ++i) {
+    delay *= 2.0;
+  }
+  return std::min(delay, backoff_cap_s);
+}
+
+const char* unit_state_name(UnitState state) {
+  switch (state) {
+    case UnitState::Ready:
+      return "ready";
+    case UnitState::Done:
+      return "done";
+    case UnitState::Leased:
+      return "leased";
+    case UnitState::Backoff:
+      return "backoff";
+    case UnitState::Poisoned:
+      return "poisoned";
+  }
+  return "unknown";
+}
+
+WorkQueue::WorkQueue(const campaign::ResultCache& cache,
+                     const std::string& campaign, RetryPolicy policy)
+    : cache_(&cache),
+      dist_dir_((fs::path(cache.root()) / "dist" / campaign).string()),
+      policy_(policy),
+      leases_((fs::path(dist_dir_) / "leases").string()) {
+  std::error_code ec;
+  fs::create_directories(fs::path(dist_dir_) / "attempts", ec);
+  fs::create_directories(fs::path(dist_dir_) / "poisoned", ec);
+  fs::create_directories(fs::path(dist_dir_) / "progress", ec);
+  if (ec) {
+    ALERT_LOG_ERROR("dist: cannot create %s subdirectories: %s",
+                    dist_dir_.c_str(), ec.message().c_str());
+  }
+}
+
+std::string WorkQueue::progress_dir() const {
+  return (fs::path(dist_dir_) / "progress").string();
+}
+
+std::string WorkQueue::attempts_path(const std::string& key) const {
+  return (fs::path(dist_dir_) / "attempts" / key).string();
+}
+
+std::string WorkQueue::poison_path(const std::string& key) const {
+  return (fs::path(dist_dir_) / "poisoned" / key).string();
+}
+
+bool WorkQueue::is_done(const std::string& key) const {
+  return cache_->entry_exists(key);
+}
+
+bool WorkQueue::is_poisoned(const std::string& key) const {
+  std::error_code ec;
+  return fs::exists(poison_path(key), ec);
+}
+
+std::size_t WorkQueue::failures(const std::string& key) const {
+  std::ifstream in(attempts_path(key));
+  std::size_t count = 0;
+  if (!(in >> count)) return 0;
+  return count;
+}
+
+UnitState WorkQueue::state(const std::string& key) const {
+  if (is_done(key)) return UnitState::Done;
+  if (is_poisoned(key)) return UnitState::Poisoned;
+  if (leases_.read(key).has_value()) return UnitState::Leased;
+  const std::size_t failed = failures(key);
+  if (failed > 0) {
+    // The attempts file's mtime is the last failure; the unit re-enters
+    // Ready once the exponential backoff delay has elapsed.
+    std::error_code ec;
+    const fs::file_time_type mtime =
+        fs::last_write_time(attempts_path(key), ec);
+    if (!ec) {
+      const double age =
+          std::chrono::duration<double>(fs::file_time_type::clock::now() -
+                                        mtime)
+              .count();
+      if (age < policy_.backoff_s(failed)) return UnitState::Backoff;
+    }
+  }
+  return UnitState::Ready;
+}
+
+bool WorkQueue::try_claim(const std::string& key, const std::string& worker) {
+  if (state(key) != UnitState::Ready) return false;
+  if (!leases_.try_acquire(key, worker)) return false;
+  // Close the complete-between-check-and-acquire window: another worker may
+  // have claimed, stored and released this unit after our Ready check. The
+  // store always lands before the release, so a post-acquire done-check
+  // suffices to keep a finished unit from being claimed (and executed) again.
+  if (is_done(key)) {
+    leases_.release(key, worker);
+    return false;
+  }
+  return true;
+}
+
+void WorkQueue::write_failures(const std::string& key,
+                               std::size_t count) const {
+  std::ostringstream name;
+  name << ".tmp." << static_cast<unsigned long>(::getpid()) << "." << key;
+  const fs::path tmp = fs::path(dist_dir_) / "attempts" / name.str();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << count << '\n';
+    if (!out.good()) {
+      ALERT_LOG_ERROR("dist: cannot write attempts file for %s", key.c_str());
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, attempts_path(key), ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+  }
+}
+
+void WorkQueue::poison(const std::string& key, std::size_t failure_count,
+                       const std::string& worker) const {
+  std::ostringstream name;
+  name << ".tmp." << static_cast<unsigned long>(::getpid()) << "." << key;
+  const fs::path tmp = fs::path(dist_dir_) / "poisoned" / name.str();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << "alertsim-poison/1\n"
+        << "failures " << failure_count << '\n'
+        << "last_worker " << worker << '\n';
+    if (!out.good()) {
+      ALERT_LOG_ERROR("dist: cannot write poison record for %s", key.c_str());
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, poison_path(key), ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+  }
+  ALERT_LOG_WARN(
+      "dist: unit %s quarantined after %zu failed attempts (last worker %s) "
+      "— the sweep continues without it",
+      key.c_str(), failure_count, worker.c_str());
+}
+
+std::size_t WorkQueue::record_failure(const std::string& key,
+                                      const std::string& worker) {
+  // Only the lease holder (or the single winning breaker, via try_reclaim)
+  // calls this, so the read-modify-write below is never concurrent for one
+  // key.
+  const std::size_t count = failures(key) + 1;
+  write_failures(key, count);
+  if (count > policy_.max_retries) poison(key, count, worker);
+  leases_.release(key, worker);
+  return count;
+}
+
+std::optional<LeaseInfo> WorkQueue::try_reclaim(const std::string& key,
+                                                double ttl_s) {
+  const auto age = leases_.age_seconds(key);
+  if (!age || *age <= ttl_s) return std::nullopt;
+  auto broken = leases_.try_break(key);
+  if (!broken) return std::nullopt;  // another breaker won
+  if (is_done(key)) {
+    // The holder finished the unit but died (or stalled) before releasing:
+    // the result is in the cache, so this was not a failed attempt.
+    return broken;
+  }
+  const std::size_t count = failures(key) + 1;
+  write_failures(key, count);
+  if (count > policy_.max_retries) poison(key, count, broken->owner);
+  return broken;
+}
+
+std::vector<std::string> WorkQueue::poisoned_keys() const {
+  std::vector<std::string> keys;
+  std::error_code ec;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dist_dir_) / "poisoned", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.empty() && name[0] != '.') keys.push_back(name);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace alert::dist

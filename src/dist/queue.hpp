@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file queue.hpp
+/// The shared-directory work queue: binds one campaign's unit set to the
+/// lease, retry and quarantine state living under the result-cache root
+/// (docs/DIST.md):
+///
+///   <cache>/objects/...                     done-ness (entry exists)
+///   <cache>/dist/<campaign>/leases/         in-flight claims (lease.hpp)
+///   <cache>/dist/<campaign>/attempts/<key>  failed-attempt count; the
+///                                           file's mtime is the last
+///                                           failure time (backoff clock)
+///   <cache>/dist/<campaign>/poisoned/<key>  quarantine record
+///   <cache>/dist/<campaign>/progress/       per-worker counters
+///
+/// A unit is *terminal* when Done or Poisoned; the sweep converges when
+/// every unit is terminal. Failed units retry with bounded exponential
+/// backoff; a unit whose failures exceed the retry budget is quarantined
+/// into poisoned/ so one crashing scenario can never stall the sweep.
+/// All state transitions are single files written via the temp+rename /
+/// hard-link disciplines, so any process can be SIGKILLed at any point
+/// without leaving torn state.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "dist/lease.hpp"
+
+namespace alert::dist {
+
+/// Retry budget and backoff schedule for failed units.
+struct RetryPolicy {
+  /// A unit may *fail* this many times beyond its first attempt before
+  /// quarantine: total executions are bounded by 1 + max_retries.
+  std::size_t max_retries = 2;
+  double backoff_base_s = 0.25;  ///< delay before the first retry
+  double backoff_cap_s = 8.0;    ///< exponential growth stops here
+
+  /// Delay before a unit with `failures` recorded failures may be
+  /// reclaimed: min(base * 2^(failures-1), cap); 0 for no failures.
+  [[nodiscard]] double backoff_s(std::size_t failures) const;
+};
+
+enum class UnitState : std::uint8_t {
+  Ready,     ///< claimable now
+  Done,      ///< cache entry exists
+  Leased,    ///< another worker holds a fresh lease
+  Backoff,   ///< failed recently; claimable after the backoff delay
+  Poisoned,  ///< quarantined — exceeded the retry budget
+};
+
+[[nodiscard]] const char* unit_state_name(UnitState state);
+
+class WorkQueue {
+ public:
+  /// Binds the queue for `campaign` under `cache`'s root. `cache` must
+  /// outlive the queue.
+  WorkQueue(const campaign::ResultCache& cache, const std::string& campaign,
+            RetryPolicy policy = {});
+
+  [[nodiscard]] const std::string& dist_dir() const { return dist_dir_; }
+  [[nodiscard]] std::string progress_dir() const;
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+  [[nodiscard]] LeaseDir& leases() { return leases_; }
+
+  [[nodiscard]] bool is_done(const std::string& key) const;
+  [[nodiscard]] bool is_poisoned(const std::string& key) const;
+  /// Failed attempts recorded for `key` (the attempts file).
+  [[nodiscard]] std::size_t failures(const std::string& key) const;
+  [[nodiscard]] UnitState state(const std::string& key) const;
+
+  /// Claim a Ready unit. Checks state first, then races the lease — exactly
+  /// one concurrent claimer of a Ready unit wins.
+  [[nodiscard]] bool try_claim(const std::string& key,
+                               const std::string& worker);
+  /// Heartbeat passthrough (lease.hpp semantics).
+  bool renew(const std::string& key, const std::string& worker) {
+    return leases_.renew(key, worker);
+  }
+  /// Completion path: the unit's result is stored — drop the lease.
+  void release(const std::string& key, const std::string& worker) {
+    leases_.release(key, worker);
+  }
+
+  /// Lease-holder observed a failed execution: bump the attempts file
+  /// (resetting the backoff clock), quarantine when the budget is spent,
+  /// and drop the lease. Returns the new failure count.
+  std::size_t record_failure(const std::string& key,
+                             const std::string& worker);
+
+  /// Break `key`'s lease if it is older than `ttl_s` and charge the crashed
+  /// attempt to the unit (failure bump + possible quarantine). Returns the
+  /// stale holder when this caller won the break; nullopt otherwise.
+  [[nodiscard]] std::optional<LeaseInfo> try_reclaim(const std::string& key,
+                                                     double ttl_s);
+
+  /// All quarantined unit keys, sorted.
+  [[nodiscard]] std::vector<std::string> poisoned_keys() const;
+
+ private:
+  [[nodiscard]] std::string attempts_path(const std::string& key) const;
+  [[nodiscard]] std::string poison_path(const std::string& key) const;
+  /// Atomically write the attempts file (mtime = now = failure time).
+  void write_failures(const std::string& key, std::size_t count) const;
+  /// Quarantine `key` after `failure_count` failures, blaming `worker`.
+  void poison(const std::string& key, std::size_t failure_count,
+              const std::string& worker) const;
+
+  const campaign::ResultCache* cache_;
+  std::string dist_dir_;
+  RetryPolicy policy_;
+  LeaseDir leases_;
+};
+
+}  // namespace alert::dist

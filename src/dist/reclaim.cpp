@@ -1,0 +1,27 @@
+#include "dist/reclaim.hpp"
+
+#include "util/logging.hpp"
+
+namespace alert::dist {
+
+ReclaimStats reclaim_stale_leases(WorkQueue& queue,
+                                  const std::vector<campaign::WorkUnit>& units,
+                                  double ttl_s, campaign::Journal* journal) {
+  ReclaimStats stats;
+  for (const campaign::WorkUnit& unit : units) {
+    const auto age = queue.leases().age_seconds(unit.key);
+    if (!age || *age <= ttl_s) continue;
+    ++stats.scanned;
+    const auto broken = queue.try_reclaim(unit.key, ttl_s);
+    if (!broken) continue;  // another scanner won the break
+    ++stats.reclaimed;
+    if (journal != nullptr) journal->mark_reclaimed(unit.key, broken->owner);
+    if (queue.is_poisoned(unit.key)) ++stats.poisoned;
+    ALERT_LOG_WARN(
+        "dist: reclaimed stale lease on %s from %s (age %.1fs > ttl %.1fs)",
+        unit.key.c_str(), broken->owner.c_str(), *age, ttl_s);
+  }
+  return stats;
+}
+
+}  // namespace alert::dist

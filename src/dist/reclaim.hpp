@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file reclaim.hpp
+/// Stale-lease reclaim pass: scan a campaign's unit grid and break every
+/// lease older than the TTL, charging the crashed attempt to the unit
+/// (failure bump, possible quarantine — WorkQueue::try_reclaim semantics).
+/// Workers run this pass opportunistically between claims and the
+/// coordinator runs it on its poll loop, so a killed worker's units are
+/// back in circulation within one TTL of its death no matter who notices
+/// first. The tombstone-rename protocol guarantees each reclaim is counted
+/// exactly once across any number of concurrent scanners.
+
+#include <cstddef>
+#include <vector>
+
+#include "campaign/engine.hpp"
+#include "campaign/journal.hpp"
+#include "dist/queue.hpp"
+
+namespace alert::dist {
+
+struct ReclaimStats {
+  std::size_t scanned = 0;    ///< leases older than the TTL we raced for
+  std::size_t reclaimed = 0;  ///< breaks this caller won
+  std::size_t poisoned = 0;   ///< reclaims that exhausted the retry budget
+};
+
+/// One reclaim pass over `units`. When `journal` is non-null every won
+/// break is recorded as a `reclaimed <key> <stale worker>` line.
+ReclaimStats reclaim_stale_leases(WorkQueue& queue,
+                                  const std::vector<campaign::WorkUnit>& units,
+                                  double ttl_s,
+                                  campaign::Journal* journal = nullptr);
+
+}  // namespace alert::dist

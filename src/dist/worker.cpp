@@ -1,0 +1,312 @@
+#include "dist/worker.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include <unistd.h>
+
+#include "campaign/cache.hpp"
+#include "campaign/journal.hpp"
+#include "dist/progress.hpp"
+#include "dist/reclaim.hpp"
+#include "obs/series.hpp"
+#include "util/logging.hpp"
+
+namespace alert::dist {
+
+namespace {
+
+/// Fault-injection plan parsed from the environment (see worker.hpp).
+struct CrashPlan {
+  bool armed = false;
+  std::size_t point = 0;
+  std::uint64_t rep = 0;
+  enum class Mode { Kill, Fail, Flaky } mode = Mode::Kill;
+
+  [[nodiscard]] bool matches(const campaign::WorkUnit& unit) const {
+    return armed && unit.point == point && unit.rep == rep;
+  }
+};
+
+CrashPlan crash_plan_from_env() {
+  CrashPlan plan;
+  const char* unit = std::getenv("ALERTSIM_DIST_CRASH_UNIT");
+  if (unit == nullptr || *unit == '\0') return plan;
+  unsigned long point = 0;
+  unsigned long long rep = 0;
+  if (std::sscanf(unit, "%lu:%llu", &point, &rep) != 2) {
+    ALERT_LOG_WARN("dist: unparseable ALERTSIM_DIST_CRASH_UNIT '%s' ignored",
+                   unit);
+    return plan;
+  }
+  plan.point = static_cast<std::size_t>(point);
+  plan.rep = static_cast<std::uint64_t>(rep);
+  plan.mode = CrashPlan::Mode::Kill;
+  if (const char* mode = std::getenv("ALERTSIM_DIST_CRASH_MODE")) {
+    const std::string m = mode;
+    if (m == "fail") {
+      plan.mode = CrashPlan::Mode::Fail;
+    } else if (m == "flaky") {
+      plan.mode = CrashPlan::Mode::Flaky;
+    } else if (m != "kill" && !m.empty()) {
+      ALERT_LOG_WARN("dist: unknown ALERTSIM_DIST_CRASH_MODE '%s' ignored",
+                     mode);
+      return plan;
+    }
+  }
+  plan.armed = true;
+  return plan;
+}
+
+/// Renews the lease under execution every `period_s`. The watched key is
+/// guarded by mutex_; the filesystem renew itself runs unlocked so a slow
+/// disk can never block the worker thread's watch()/clear() calls.
+class Heartbeat {
+ public:
+  Heartbeat(WorkQueue& queue, std::string worker, double period_s)
+      : queue_(&queue),
+        worker_(std::move(worker)),
+        period_(period_s),
+        thread_([this] { loop(); }) {}
+
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  ~Heartbeat() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  void watch(const std::string& key) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    key_ = key;
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    key_.clear();
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::duration<double>(period_));
+      if (stop_) break;
+      if (key_.empty()) continue;
+      const std::string key = key_;
+      lock.unlock();
+      if (!queue_->renew(key, worker_)) {
+        // Reclaimed from under us: harmless (results are content-addressed;
+        // a duplicate execution stores an identical entry) but worth a log.
+        ALERT_LOG_WARN("dist: worker %s lost lease on %s mid-execution",
+                       worker_.c_str(), key.c_str());
+      }
+      lock.lock();
+    }
+  }
+
+  WorkQueue* queue_;
+  std::string worker_;
+  double period_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::string key_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
+std::string default_worker_id() {
+  char host[256] = {};
+  if (::gethostname(host, sizeof(host) - 1) != 0) {
+    std::snprintf(host, sizeof(host), "host");
+  }
+  std::ostringstream id;
+  id << host << "-" << static_cast<unsigned long>(::getpid());
+  return id.str();
+}
+
+WorkerOutcome run_worker(const campaign::CampaignSpec& spec,
+                         const WorkerOptions& options, UnitRunner runner) {
+  WorkerOutcome out;
+  out.worker_id =
+      options.worker_id.empty() ? default_worker_id() : options.worker_id;
+  const CrashPlan crash = crash_plan_from_env();
+
+  campaign::UnitGrid grid = campaign::expand_units(spec, options.reps, false);
+  out.units_total = grid.units.size();
+
+  const std::string root = options.cache_dir.empty()
+                               ? campaign::default_cache_root()
+                               : options.cache_dir;
+  campaign::ResultCache cache(root);
+  WorkQueue queue(cache, spec.name, options.retry);
+  campaign::Journal journal(root + "/journal", spec.name);
+
+  WorkerProgress progress;
+  progress.worker = out.worker_id;
+  progress.campaign = spec.name;
+  const auto publish = [&] {
+    progress.claimed = out.claimed;
+    progress.executed = out.executed;
+    progress.failed = out.failed;
+    progress.reclaimed = out.reclaimed;
+    progress.store_errors = cache.store_errors();
+    progress.journal_write_errors = journal.write_errors();
+    (void)write_progress_atomic(queue.progress_dir(), progress);
+  };
+  publish();
+
+  ALERT_LOG_INFO("dist: worker %s starting on campaign %s (%zu units)",
+                 out.worker_id.c_str(), spec.name.c_str(), out.units_total);
+
+  bool converged = grid.units.empty();
+  std::size_t stuck_sweeps = 0;
+  {
+    Heartbeat heartbeat(queue, out.worker_id, options.lease_ttl_s / 3.0);
+    while (!converged) {
+      bool progressed = false;
+      // Self-healing: break any lease a dead worker left behind before
+      // claiming, so its units re-enter circulation within one TTL.
+      const ReclaimStats rec = reclaim_stale_leases(
+          queue, grid.units, options.lease_ttl_s, &journal);
+      if (rec.reclaimed > 0) {
+        out.reclaimed += rec.reclaimed;
+        progressed = true;
+        publish();
+      }
+
+      std::size_t broken_claims = 0;
+      for (const campaign::WorkUnit& unit : grid.units) {
+        if (queue.state(unit.key) != UnitState::Ready) continue;
+        if (!queue.try_claim(unit.key, out.worker_id)) {
+          // Either a concurrent claimer won (a lease now exists — benign)
+          // or the lease directory itself is unwritable.
+          if (!queue.leases().read(unit.key).has_value()) ++broken_claims;
+          continue;
+        }
+        ++out.claimed;
+        journal.mark_claimed(unit.key, out.worker_id);
+        heartbeat.watch(unit.key);
+
+        std::optional<core::RunResult> result;
+        if (runner) {
+          result = runner(spec, unit);
+        } else if (crash.matches(unit)) {
+          switch (crash.mode) {
+            case CrashPlan::Mode::Kill:
+              // One-shot: once a reclaim has charged the crash to the unit
+              // (failures > 0), later claimers — including respawned workers
+              // inheriting this environment — execute it normally.
+              if (queue.failures(unit.key) == 0) {
+                publish();
+                ALERT_LOG_WARN("dist: worker %s injecting SIGKILL on unit %s",
+                               out.worker_id.c_str(), unit.key.c_str());
+                (void)std::raise(SIGKILL);
+              }
+              result = campaign::execute_unit(spec, unit);
+              break;
+            case CrashPlan::Mode::Fail:
+              break;  // result stays nullopt — fails every attempt
+            case CrashPlan::Mode::Flaky:
+              if (queue.failures(unit.key) > 0) {
+                result = campaign::execute_unit(spec, unit);
+              }
+              break;
+          }
+        } else {
+          result = campaign::execute_unit(spec, unit);
+        }
+        heartbeat.clear();
+
+        bool stored = false;
+        if (result) {
+          stored = cache.store(unit.key, *result);
+          if (!stored) {
+            // Without a durable entry the unit is not done (done-ness IS
+            // the cache entry); charge a failed attempt so an unwritable
+            // cache root quarantines instead of spinning forever.
+            ALERT_LOG_WARN(
+                "dist: worker %s executed %s but could not store the result",
+                out.worker_id.c_str(), unit.key.c_str());
+          }
+        }
+        if (stored) {
+          journal.mark_done(unit.key);
+          queue.release(unit.key, out.worker_id);
+          ++out.executed;
+        } else {
+          journal.mark_failed(unit.key, out.worker_id);
+          (void)queue.record_failure(unit.key, out.worker_id);
+          ++out.failed;
+        }
+        progressed = true;
+        publish();
+      }
+
+      std::size_t terminal = 0;
+      for (const campaign::WorkUnit& unit : grid.units) {
+        const UnitState st = queue.state(unit.key);
+        if (st == UnitState::Done || st == UnitState::Poisoned) ++terminal;
+      }
+      if (terminal == grid.units.size()) {
+        converged = true;
+        break;
+      }
+      if (options.print) {
+        std::ostringstream line;
+        line << "dist worker " << out.worker_id << ": " << terminal << "/"
+             << grid.units.size() << " units terminal";
+        obs::print_text_line(line.str());
+      }
+      if (progressed) {
+        stuck_sweeps = 0;
+        continue;
+      }
+      // No claim won, nothing reclaimed, sweep not converged. Normal when
+      // peers hold fresh leases or units sit in backoff; fatal when our own
+      // claims fail without a winner appearing (unwritable lease dir).
+      if (broken_claims > 0) {
+        if (++stuck_sweeps >= 5) {
+          ALERT_LOG_ERROR(
+              "dist: worker %s cannot acquire leases under %s — giving up",
+              out.worker_id.c_str(), queue.dist_dir().c_str());
+          out.exit_code = 2;
+          break;
+        }
+      } else {
+        stuck_sweeps = 0;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options.poll_interval_s));
+    }
+  }
+
+  out.poisoned_total = queue.poisoned_keys().size();
+  out.store_errors = cache.store_errors();
+  out.journal_write_errors = journal.write_errors();
+  publish();
+  ALERT_LOG_INFO(
+      "dist: worker %s done — claimed %zu, executed %zu, failed %zu, "
+      "reclaimed %zu (exit %d)",
+      out.worker_id.c_str(), out.claimed, out.executed, out.failed,
+      out.reclaimed, out.exit_code);
+  return out;
+}
+
+}  // namespace alert::dist

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file worker.hpp
+/// The distributed worker loop: one process of the crash-tolerant campaign
+/// fan-out (docs/DIST.md). A worker expands the same unit grid as
+/// campaign::run_campaign, then repeatedly sweeps it claiming Ready units
+/// through the lease directory, executing them with the engine's own
+/// execute_unit and storing results into the shared content-addressed
+/// cache. A heartbeat thread renews the held lease every TTL/3 so only a
+/// dead (or wedged) worker's lease ever goes stale; between claims the
+/// worker opportunistically reclaims stale leases it encounters, so the
+/// fleet self-heals without a coordinator. The loop exits when every unit
+/// is terminal (Done or Poisoned).
+///
+/// Because results are content-addressed and deterministic, any number of
+/// workers — started, SIGKILLed and restarted in any order — converge on
+/// the same cache contents; the aggregator (aggregate.hpp) then assembles a
+/// manifest byte-identical to a single-process run.
+///
+/// Fault injection for the chaos tests (honoured only by the *default*
+/// runner, and only for the matching unit):
+///   ALERTSIM_DIST_CRASH_UNIT="<point>:<rep>"
+///   ALERTSIM_DIST_CRASH_MODE=kill   die via SIGKILL mid-unit, once — the
+///                                   lease dangles until reclaimed, then the
+///                                   unit runs normally (exercises reclaim)
+///                           =fail   report failure every attempt
+///                                   (exercises retry + quarantine)
+///                           =flaky  fail only the first attempt
+///                                   (exercises backoff + retry success)
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "campaign/engine.hpp"
+#include "campaign/spec.hpp"
+#include "core/experiment.hpp"
+#include "dist/queue.hpp"
+
+namespace alert::dist {
+
+/// "<hostname>-<pid>" — unique enough across a shared-filesystem fleet.
+[[nodiscard]] std::string default_worker_id();
+
+struct WorkerOptions {
+  std::string worker_id;     ///< empty = default_worker_id()
+  std::size_t reps = 0;      ///< as CampaignOptions::reps
+  std::string cache_dir;     ///< empty = campaign::default_cache_root()
+  double lease_ttl_s = 30.0; ///< staleness threshold; heartbeat = ttl/3
+  RetryPolicy retry;
+  double poll_interval_s = 0.2;  ///< sleep between sweeps with no progress
+  bool print = false;            ///< per-sweep progress lines (obs helpers)
+};
+
+/// Per-worker tallies (the same counters streamed to progress/<id>.json).
+struct WorkerOutcome {
+  std::string worker_id;
+  std::size_t units_total = 0;
+  std::size_t claimed = 0;
+  std::size_t executed = 0;  ///< units this worker completed live
+  std::size_t failed = 0;    ///< failed attempts this worker observed
+  std::size_t reclaimed = 0; ///< stale leases this worker broke
+  std::size_t poisoned_total = 0;  ///< quarantined units at exit (fleet-wide)
+  std::size_t store_errors = 0;
+  std::size_t journal_write_errors = 0;
+  int exit_code = 0;  ///< 0 = every unit terminal at exit
+};
+
+/// Replaces live execution in tests: return the unit's result, or nullopt
+/// to report a failed attempt. The default runner calls
+/// campaign::execute_unit (after the crash-injection hooks above).
+using UnitRunner = std::function<std::optional<core::RunResult>(
+    const campaign::CampaignSpec& spec, const campaign::WorkUnit& unit)>;
+
+/// Run one worker over `spec`'s unit grid until the sweep converges.
+[[nodiscard]] WorkerOutcome run_worker(const campaign::CampaignSpec& spec,
+                                       const WorkerOptions& options,
+                                       UnitRunner runner = {});
+
+}  // namespace alert::dist

@@ -74,13 +74,14 @@ struct AnalyzerConfig {
        {"util", "sim", "net", "routing", "loc", "crypto", "attack", "obs",
         "faults", "scale"}},
       {"campaign", {"util", "analysis", "core", "obs", "routing"}},
+      {"dist", {"util", "obs", "core", "campaign"}},
       {"perf", {"util", "obs", "sim", "net", "core", "campaign", "scale"}},
       {"lint", {"util", "obs"}},
       // Test-only module (tests/integration/): end-to-end suites sit above
       // the whole DAG, so every module is a legal dependency.
       {"integration",
        {"util", "analysis", "obs", "crypto", "sim", "faults", "net", "loc",
-        "routing", "attack", "core", "campaign", "lint", "scale"}},
+        "routing", "attack", "core", "campaign", "dist", "lint", "scale"}},
   };
   /// rng-discipline / lock-discipline: callables whose lambda arguments run
   /// on util::ThreadPool worker threads.

@@ -27,6 +27,17 @@ namespace alert::obs {
 
 inline constexpr const char* kManifestSchema = "alertsim-run-manifest/1";
 
+/// How a distributed fan-out (src/dist/) converged: worker count and the
+/// fault-tolerance events absorbed along the way. Optional on the manifest
+/// (absent = single-process or not requested) so default manifests stay
+/// byte-identical across live/cached/distributed runs.
+struct DistSummary {
+  std::uint64_t workers = 0;          ///< distinct worker ids that claimed
+  std::uint64_t reclaimed_leases = 0; ///< stale leases broken
+  std::uint64_t retries = 0;          ///< executions beyond each unit's first
+  std::uint64_t poisoned_units = 0;   ///< units quarantined
+};
+
 struct RunManifest {
   std::string name;         ///< machine id, e.g. "fig14a_latency_vs_nodes"
   std::string title;        ///< human title, e.g. "Fig. 14a — latency ..."
@@ -49,6 +60,11 @@ struct RunManifest {
   /// so byte-identity contracts (cold vs cached campaign manifests) are
   /// untouched by default.
   std::uint64_t peak_rss_bytes = 0;
+
+  /// Distributed-convergence summary (see DistSummary). Only stamped when a
+  /// dist aggregation requested it; omitted from the JSON otherwise.
+  bool has_dist = false;
+  DistSummary dist;
 
   MetricsSnapshot metrics;
   ProfileReport profile;

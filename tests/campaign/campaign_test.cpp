@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -128,6 +129,68 @@ TEST(ResultCache, CorruptEntryIsAMiss) {
   EXPECT_FALSE(cache.load(key).has_value());
 }
 
+TEST(ResultCache, CorruptEntryOverwrittenByNextStore) {
+  TempDir dir("alertsim-cache-test-");
+  ResultCache cache(dir.path());
+  const core::RunResult run = core::run_once(tiny_scenario(), 0);
+  const std::string key = core::scenario_unit_key(tiny_scenario(), 0);
+  fs::create_directories(fs::path(cache.object_path(key)).parent_path());
+  std::ofstream(cache.object_path(key)) << "{torn write";
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_TRUE(cache.entry_exists(key));  // present-but-corrupt
+
+  // The re-execution path: the corrupt entry reads as a miss, the unit runs
+  // again, and the atomic store replaces the bad bytes under the final name.
+  ASSERT_TRUE(cache.store(key, run));
+  EXPECT_EQ(cache.store_errors(), 0u);
+  const auto healed = cache.load(key);
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ(run_result_to_json(*healed), run_result_to_json(run));
+}
+
+TEST(ResultCache, RemoveHealsEntryUnderFinalName) {
+  TempDir dir("alertsim-cache-test-");
+  ResultCache cache(dir.path());
+  const std::string key = core::scenario_unit_key(tiny_scenario(), 1);
+  ASSERT_TRUE(cache.store(key, core::run_once(tiny_scenario(), 1)));
+  EXPECT_TRUE(cache.entry_exists(key));
+  cache.remove(key);
+  EXPECT_FALSE(cache.entry_exists(key));
+  EXPECT_FALSE(cache.load(key).has_value());
+}
+
+TEST(ResultCache, UnwritableRootCountsStoreErrors) {
+  // Tests may run as root (CI containers), where permission bits are
+  // ineffective — nest the cache root under a regular file instead, so
+  // create_directories fails with ENOTDIR for every euid.
+  TempDir dir("alertsim-cache-test-");
+  const std::string blocker = dir.path() + "/blocker";
+  std::ofstream(blocker) << "not a directory\n";
+  ResultCache cache(blocker + "/cache");
+  const core::RunResult run = core::run_once(tiny_scenario(), 0);
+  const std::string key = core::scenario_unit_key(tiny_scenario(), 0);
+  EXPECT_FALSE(cache.store(key, run));
+  EXPECT_FALSE(cache.store(key, run));
+  EXPECT_EQ(cache.store_errors(), 2u);
+  EXPECT_FALSE(cache.load(key).has_value());
+}
+
+TEST(ResultCache, EmptyCacheDirEnvFallsBackToDefault) {
+  const char* saved = std::getenv("ALERTSIM_CACHE_DIR");
+  const std::string restore = saved != nullptr ? saved : "";
+
+  ::setenv("ALERTSIM_CACHE_DIR", "", 1);
+  EXPECT_EQ(default_cache_root(), ".alertsim-cache");
+  ::setenv("ALERTSIM_CACHE_DIR", "/tmp/alertsim-somewhere", 1);
+  EXPECT_EQ(default_cache_root(), "/tmp/alertsim-somewhere");
+  ::unsetenv("ALERTSIM_CACHE_DIR");
+  EXPECT_EQ(default_cache_root(), ".alertsim-cache");
+
+  if (saved != nullptr) {
+    ::setenv("ALERTSIM_CACHE_DIR", restore.c_str(), 1);
+  }
+}
+
 TEST(ScenarioUnitKey, ChangesWithParamsAndReplication) {
   const core::ScenarioConfig cfg = tiny_scenario();
   const std::string key = core::scenario_unit_key(cfg, 0);
@@ -180,6 +243,49 @@ TEST(Journal, IgnoresTornTailLine) {
   Journal reopened(dir.path(), "spec_b");
   EXPECT_EQ(reopened.done_count(), 1u);
   EXPECT_TRUE(reopened.contains("aaaa"));
+}
+
+TEST(Journal, DistRecordsPersistAndCount) {
+  TempDir dir("alertsim-journal-test-");
+  {
+    Journal journal(dir.path(), "spec_d");
+    journal.mark_claimed("aaaa", "worker-1");
+    journal.mark_claimed("aaaa", "worker-2");  // retry after a reclaim
+    journal.mark_claimed("bbbb", "worker-2");
+    journal.mark_failed("aaaa", "worker-1");
+    journal.mark_reclaimed("aaaa", "worker-1");
+    journal.mark_done("aaaa");
+    EXPECT_EQ(journal.claim_count("aaaa"), 2u);
+    EXPECT_EQ(journal.max_claim_count(), 2u);
+    EXPECT_EQ(journal.total_retries(), 1u);
+    EXPECT_EQ(journal.total_failed(), 1u);
+    EXPECT_EQ(journal.total_reclaimed(), 1u);
+  }
+  Journal reopened(dir.path(), "spec_d");
+  EXPECT_EQ(reopened.claim_count("aaaa"), 2u);
+  EXPECT_EQ(reopened.claim_count("bbbb"), 1u);
+  EXPECT_EQ(reopened.failed_count("aaaa"), 1u);
+  EXPECT_EQ(reopened.total_reclaimed(), 1u);
+  EXPECT_EQ(reopened.total_retries(), 1u);
+  const std::vector<std::string> workers = reopened.workers();
+  EXPECT_EQ(workers, (std::vector<std::string>{"worker-1", "worker-2"}));
+  EXPECT_TRUE(reopened.contains("aaaa"));
+  EXPECT_EQ(reopened.write_errors(), 0u);
+}
+
+TEST(Journal, UnwritableDirCountsWriteErrorsInsteadOfSilence) {
+  // Same ENOTDIR trick as the cache test: works under any euid.
+  TempDir dir("alertsim-journal-test-");
+  const std::string blocker = dir.path() + "/blocker";
+  std::ofstream(blocker) << "not a directory\n";
+  Journal journal(blocker + "/journal", "spec_e");
+  EXPECT_GE(journal.write_errors(), 1u);  // the failed open
+  const std::size_t before = journal.write_errors();
+  journal.mark_done("aaaa");
+  journal.mark_claimed("bbbb", "w");
+  EXPECT_EQ(journal.write_errors(), before + 2);
+  // In-memory view still works — only durability is degraded.
+  EXPECT_TRUE(journal.contains("aaaa"));
 }
 
 // --- spec JSON loader ------------------------------------------------------
@@ -343,6 +449,33 @@ TEST(Engine, RepsOverridePinsPointReplications) {
       run_campaign(spec, engine_options(dir.path() + "/cache", ""));
   EXPECT_EQ(outcome.units_total, 3u);  // 1 + 2
   EXPECT_EQ(outcome.reps, 2u);
+}
+
+TEST(Engine, UnwritableCacheRootDegradesGracefully) {
+  // A sweep pointed at an unusable cache root must still complete (exit 0,
+  // every unit executed live) and must say so: store/journal failures are
+  // counted on the outcome, never silent (satellite of docs/DIST.md's
+  // failure matrix).
+  TempDir dir("alertsim-engine-test-");
+  const std::string blocker = dir.path() + "/blocker";
+  std::ofstream(blocker) << "not a directory\n";
+  const CampaignSpec spec = tiny_spec("engine_degraded");
+  const CampaignOutcome outcome =
+      run_campaign(spec, engine_options(blocker + "/cache", ""));
+  EXPECT_EQ(outcome.exit_code, 0);
+  EXPECT_EQ(outcome.executed, outcome.units_total);
+  EXPECT_EQ(outcome.cache_hits, 0u);
+  EXPECT_EQ(outcome.cache_store_errors, outcome.units_total);
+  EXPECT_GE(outcome.journal_write_errors, outcome.units_total);
+  // The counters also surface through the obs progress snapshot.
+  bool found = false;
+  for (const auto& metric : outcome.progress.metrics) {
+    if (metric.name == "campaign.cache.store_errors") {
+      found = true;
+      EXPECT_EQ(metric.total, outcome.cache_store_errors);
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 // --- figure registry -------------------------------------------------------

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Distributed campaign fan-out smoke test (wired into CI as dist-smoke).
+#
+# Proves the crash-tolerant fan-out guarantees end to end (docs/DIST.md):
+#   1. serial reference run into cache A            -> manifest R
+#   2. --aggregate over cache A                     -> byte-identical to R
+#   3. 3-worker coordinator into a fresh cache B with one worker SIGKILLed
+#      mid-unit (crash injection): the coordinator respawns it, the stale
+#      lease is reclaimed within one TTL, the fleet converges -> manifest D
+#   4. single-process run over the converged cache B -> byte-identical to D
+#      (every unit a cache hit: the single-process byte-identity guarantee)
+#   5. D vs R semantic compare — everything but the wall-clock self-profile,
+#      which differs between independent live runs by construction
+#   6. journal audit: a worker really died, its lease was reclaimed, no unit
+#      was claimed more than 1 + max-retries times, >= 3 workers claimed
+#   7. --dist-summary manifest carries the convergence counters and
+#      validates against the schema (check_manifest.py)
+#
+# Usage: tools/dist_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:-build}
+BIN="$BUILD_DIR/tools/alertsim-campaign"
+[ -x "$BIN" ] || { echo "dist smoke: $BIN not built" >&2; exit 1; }
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+cat > "$WORK/spec.json" <<'EOF'
+{
+  "schema": "alertsim-campaign-spec/1",
+  "name": "dist_sweep",
+  "title": "dist smoke: delivery vs speed",
+  "y_metric": "delivery_rate",
+  "reps": 3,
+  "base": {"node_count": 80, "duration_s": 60, "flow_count": 6},
+  "x": {"param": "speed_mps", "values": [2, 4, 6]}
+}
+EOF
+run() {  # run <cache-dir> <out-dir> [extra flags...]
+  local cache="$1" out="$2"; shift 2
+  "$BIN" --spec "$WORK/spec.json" --reps 3 \
+    --cache-dir "$cache" --out-dir "$out" "$@"
+}
+
+echo "dist smoke: serial reference run"
+run "$WORK/cache-a" "$WORK/serial" --threads 2 > "$WORK/serial.log"
+
+echo "dist smoke: aggregate over the serial cache"
+run "$WORK/cache-a" "$WORK/agg-a" --aggregate > "$WORK/agg-a.log"
+cmp "$WORK/serial/dist_sweep.json" "$WORK/agg-a/dist_sweep.json"
+echo "dist smoke: aggregate is byte-identical to the serial manifest"
+
+echo "dist smoke: 3-worker fleet with one worker SIGKILLed mid-unit"
+# The first claimer of unit (point 0, rep 1) raises SIGKILL while holding
+# its lease — once. The coordinator respawns the dead worker; the dangling
+# lease goes stale after --lease-ttl and a peer reclaims it.
+ALERTSIM_DIST_CRASH_UNIT="0:1" ALERTSIM_DIST_CRASH_MODE=kill \
+  run "$WORK/cache-b" "$WORK/dist" --workers 3 --lease-ttl 2 \
+  --log-level=info > "$WORK/dist.log" 2> "$WORK/dist.err"
+grep -q 'dist: worker pid .* died' "$WORK/dist.err"
+echo "dist smoke: coordinator observed the worker death and respawned"
+
+echo "dist smoke: single-process run over the converged fleet cache"
+run "$WORK/cache-b" "$WORK/cached" --threads 2 > "$WORK/cached.log"
+cmp "$WORK/dist/dist_sweep.json" "$WORK/cached/dist_sweep.json"
+echo "dist smoke: fleet manifest is byte-identical to a single-process run"
+
+python3 tools/check_manifest.py "$WORK/serial/dist_sweep.json" \
+  "$WORK/dist/dist_sweep.json"
+
+python3 - "$WORK/serial/dist_sweep.json" "$WORK/dist/dist_sweep.json" <<'EOF'
+import json, sys
+ref, dist = (json.load(open(p)) for p in sys.argv[1:3])
+for key in ("trace_digests", "series", "metrics", "params", "seed",
+            "replications", "notes"):
+    assert ref[key] == dist[key], f"{key} diverged across the fleet"
+print("dist smoke: fleet manifest matches the serial reference")
+EOF
+
+python3 - "$WORK"/cache-b/journal/dist_sweep.journal <<'EOF'
+import collections, sys
+claims = collections.Counter()
+workers = set()
+reclaimed = 0
+for line in open(sys.argv[1]):
+    parts = line.split()
+    if len(parts) >= 3 and parts[0] == "claimed":
+        claims[parts[1]] += 1
+        workers.add(parts[2])
+    elif parts and parts[0] == "reclaimed":
+        reclaimed += 1
+assert claims, "journal recorded no claims"
+worst = max(claims.values())
+assert worst <= 3, f"a unit was claimed {worst} times (budget: 1 + 2 retries)"
+assert reclaimed >= 1, "the dead worker's lease was never reclaimed"
+assert len(workers) >= 3, f"only {len(workers)} workers claimed units"
+print(f"dist smoke: journal audit OK ({len(workers)} workers, "
+      f"max {worst} claims/unit, {reclaimed} reclaimed)")
+EOF
+
+echo "dist smoke: --dist-summary convergence counters"
+run "$WORK/cache-b" "$WORK/summary" --aggregate --dist-summary \
+  > "$WORK/summary.log"
+python3 tools/check_manifest.py "$WORK/summary/dist_sweep.json"
+python3 - "$WORK/summary/dist_sweep.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+dist = doc["dist"]
+assert dist["workers"] >= 3, dist
+assert dist["reclaimed_leases"] >= 1, dist
+assert dist["poisoned_units"] == 0, dist
+print(f"dist smoke: dist summary OK {dist}")
+EOF
+echo "dist smoke: OK"
