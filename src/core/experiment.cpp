@@ -382,7 +382,10 @@ RunResult run_once(const ScenarioConfig& config,
   for (std::size_t s = 0; s < max_len; ++s) {
     double sum = 0.0;
     std::size_t n = 0;
-    for (const auto& v : residency_samples) {
+    // Index-ordered so the digest does not depend on how the samples are
+    // traversed — the PDES backend may shard this reduction.
+    for (std::size_t r = 0; r < residency_samples.size(); ++r) {
+      const auto& v = residency_samples[r];
       if (s < v.size()) {
         sum += v[s];
         ++n;

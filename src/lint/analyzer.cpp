@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -16,7 +17,9 @@
 #include "lint/baseline.hpp"
 #include "lint/callgraph.hpp"
 #include "lint/index.hpp"
+#include "lint/lockgraph.hpp"
 #include "lint/rules.hpp"
+#include "obs/profile.hpp"
 #include "util/thread_pool.hpp"
 
 namespace alert::analysis_tools {
@@ -141,6 +144,9 @@ AnalyzeResult analyze(const AnalyzerOptions& options) {
   Sink sink(options.config);
   result.files.resize(paths.size());
   std::vector<FileIndex> slices(paths.size());
+  // Per-rule wall time, accumulated across phases (atomically in the
+  // parallel phase — every worker adds its own check_file time).
+  std::vector<std::atomic<std::uint64_t>> rule_ns(rules.size());
   {
     util::ThreadPool pool(options.threads);
     pool.parallel_for(paths.size(), [&](std::size_t i) {
@@ -151,20 +157,32 @@ AnalyzeResult analyze(const AnalyzerOptions& options) {
           build_file_data(paths[i], read_file(full));
       slices[i] =
           index_file(result.files[i], options.config.worker_entry_points);
-      for (const auto& rule : rules) {
-        rule->check_file(result.files[i], sink);
+      for (std::size_t ri = 0; ri < rules.size(); ++ri) {
+        const std::uint64_t t0 = obs::monotonic_ns();
+        rules[ri]->check_file(result.files[i], sink);
+        rule_ns[ri].fetch_add(obs::monotonic_ns() - t0,
+                              std::memory_order_relaxed);
       }
     });
   }
-  for (const auto& rule : rules) {
-    rule->finish(result.files, sink);
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    const std::uint64_t t0 = obs::monotonic_ns();
+    rules[r]->finish(result.files, sink);
+    rule_ns[r].fetch_add(obs::monotonic_ns() - t0,
+                         std::memory_order_relaxed);
   }
   {
     const ProgramIndex index(result.files, std::move(slices));
     const CallGraph graph(index, &options.config);
-    for (const auto& rule : rules) {
-      rule->finish_program(index, graph, sink);
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      const std::uint64_t t0 = obs::monotonic_ns();
+      rules[r]->finish_program(index, graph, sink);
+      rule_ns[r].fetch_add(obs::monotonic_ns() - t0,
+                           std::memory_order_relaxed);
     }
+    // The acquisition-order proof artifact rides along with every scan —
+    // an acyclic rendering is exactly what reviewers gate the PDES arc on.
+    result.lock_graph_dot = LockGraph(index, graph).to_dot();
   }
 
   // Header self-sufficiency is compiler-backed, not token-backed: every
@@ -191,6 +209,31 @@ AnalyzeResult analyze(const AnalyzerOptions& options) {
   std::vector<Finding> findings = sink.take();
   result.report.files_scanned = paths.size();
   result.report.waived = sink.waived_count();
+
+  // --stats accounting: findings are attributed pre-baseline (the cost of
+  // a rule includes the findings it grandfathers), sorted by wall time so
+  // the expensive rules lead.
+  {
+    std::map<std::string, std::size_t> findings_by_rule;
+    for (const Finding& f : findings) ++findings_by_rule[f.rule];
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      RuleStat stat;
+      stat.id = rules[r]->info().id;
+      stat.wall_ns = rule_ns[r].load(std::memory_order_relaxed);
+      stat.findings = findings_by_rule[stat.id];
+      result.rule_stats.push_back(std::move(stat));
+    }
+    if (findings_by_rule.count("header-self-sufficiency") != 0) {
+      result.rule_stats.push_back(
+          {"header-self-sufficiency", 0,
+           findings_by_rule["header-self-sufficiency"]});
+    }
+    std::sort(result.rule_stats.begin(), result.rule_stats.end(),
+              [](const RuleStat& a, const RuleStat& b) {
+                return a.wall_ns != b.wall_ns ? a.wall_ns > b.wall_ns
+                                              : a.id < b.id;
+              });
+  }
 
   // Baseline pass: grandfathered findings drop out; entries that match
   // nothing are reported as stale (except in diff mode, where most of the
@@ -222,6 +265,9 @@ AnalyzeResult analyze(const AnalyzerOptions& options) {
     for (const BaselineEntry* e : baseline.stale()) {
       result.report.stale_baseline.push_back(e->rule + " " + e->path +
                                              " — " + e->reason);
+    }
+    if (!options.baseline_text.empty()) {
+      result.pruned_baseline_text = baseline.prune(options.baseline_text);
     }
   }
   result.report.findings = std::move(kept);

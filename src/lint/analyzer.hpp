@@ -7,6 +7,7 @@
 /// real compiler, then apply the baseline and assemble a ScanReport.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -40,12 +41,32 @@ struct AnalyzerOptions {
   std::size_t threads = 0;  ///< 0 = hardware concurrency
 };
 
+/// Per-rule cost/yield accounting for --stats: wall time summed across
+/// every phase the rule ran in (parallel check_file time is summed over
+/// files, so it can exceed the scan's wall clock) and findings counted
+/// before baseline filtering.
+struct RuleStat {
+  std::string id;
+  std::uint64_t wall_ns = 0;
+  std::size_t findings = 0;
+};
+
 struct AnalyzeResult {
   ScanReport report;
   std::vector<std::string> baseline_errors;  ///< malformed baseline lines
   /// Lexed inputs, sorted by rel_path (the self-test compares these
   /// against EXPECT annotations; --write-baseline needs the source lines).
   std::vector<FileData> files;
+  /// Per-rule timing and finding counts, sorted by descending wall time.
+  std::vector<RuleStat> rule_stats;
+  /// Graphviz rendering of the program lock graph (--lock-graph-dot; the
+  /// CI acquisition-order artifact). Always populated — an empty graph is
+  /// still a proof.
+  std::string lock_graph_dot;
+  /// The input baseline with stale entries removed (--prune-baseline).
+  /// Only meaningful when a baseline was supplied and the scan was not
+  /// path-filtered (diff mode leaves entries legitimately idle).
+  std::string pruned_baseline_text;
 };
 
 /// Sorted forward-slash rel paths of C++ sources under `root`.

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <charconv>
 #include <cstdio>
+#include <set>
+#include <tuple>
 
 namespace alert::analysis_tools {
 
@@ -154,6 +156,60 @@ std::vector<const BaselineEntry*> Baseline::stale() const {
   std::vector<const BaselineEntry*> out;
   for (const BaselineEntry& e : entries_) {
     if (!e.used) out.push_back(&e);
+  }
+  return out;
+}
+
+std::string Baseline::prune(std::string_view original_text) const {
+  // Stale (rule, path, fingerprint) triples; duplicates of a used entry
+  // were all marked used by absorbs(), so a triple is dropped only when
+  // every occurrence idled.
+  std::set<std::tuple<std::string, std::string, std::uint64_t>> stale_keys;
+  for (const BaselineEntry& e : entries_) {
+    if (!e.used) stale_keys.insert({e.rule, e.path, e.fingerprint});
+  }
+  std::string out;
+  std::size_t pos = 0;
+  while (pos <= original_text.size()) {
+    const std::size_t nl = original_text.find('\n', pos);
+    const std::string_view raw = original_text.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos
+                                          : nl - pos);
+    const bool last = nl == std::string_view::npos;
+    pos = last ? original_text.size() + 1 : nl + 1;
+    if (last && raw.empty()) break;  // no trailing empty segment
+
+    // Re-parse just enough to recover the triple; anything that does not
+    // parse as an entry is preserved verbatim.
+    bool keep = true;
+    std::string_view line = raw;
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
+      line.remove_prefix(1);
+    if (!line.empty() && line.front() != '#') {
+      auto field = [&line]() -> std::string_view {
+        const std::size_t sp = line.find_first_of(" \t");
+        std::string_view f = line.substr(0, sp);
+        line.remove_prefix(sp == std::string_view::npos ? line.size() : sp);
+        while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
+          line.remove_prefix(1);
+        return f;
+      };
+      const std::string_view rule = field();
+      const std::string_view path = field();
+      const std::string_view fp = field();
+      std::uint64_t value = 0;
+      const char* const fp_end = fp.data() + fp.size();
+      const auto [ptr, ec] = std::from_chars(fp.data(), fp_end, value, 16);
+      if (!rule.empty() && !path.empty() && fp.size() == 16 &&
+          ec == std::errc() && ptr == fp_end) {
+        keep = stale_keys.count(
+                   {std::string(rule), std::string(path), value}) == 0;
+      }
+    }
+    if (keep) {
+      out.append(raw);
+      out.push_back('\n');
+    }
   }
   return out;
 }

@@ -58,6 +58,12 @@ class Baseline {
   /// Entries never matched by a finding — stale, should be deleted.
   [[nodiscard]] std::vector<const BaselineEntry*> stale() const;
 
+  /// Rewrite the original baseline text dropping lines whose entry went
+  /// stale in this scan (--prune-baseline). Comments, blank lines and
+  /// malformed lines pass through untouched — pruning must never eat a
+  /// hand-written note or hide a parse error.
+  [[nodiscard]] std::string prune(std::string_view original_text) const;
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
   /// Serialize findings as a fresh baseline file (for --write-baseline).

@@ -44,54 +44,64 @@ bool edge_realizable(const AnalyzerConfig* config, const std::string& from,
 }  // namespace
 
 CallGraph::CallGraph(const ProgramIndex& index, const AnalyzerConfig* config)
-    : index_(&index) {
+    : index_(&index), config_(config) {
   const std::vector<FunctionInfo>& fns = index.functions();
   edges_.resize(fns.size());
-  std::vector<std::size_t> bare;  // scratch for unqualified-call resolution
   for (std::size_t fi = 0; fi < fns.size(); ++fi) {
-    const std::string from_module = module_of(fns[fi].file->rel_path);
-    std::string enclosing_class;
-    if (const std::size_t sep = fns[fi].qualified.rfind("::");
-        sep != std::string::npos) {
-      enclosing_class = fns[fi].qualified.substr(0, sep);
-    }
     std::set<std::size_t> seen;
     for (const CallSite& call : fns[fi].calls) {
-      if (is_std_qualifier(call.qualifier)) continue;
-      const std::vector<std::size_t>* targets = nullptr;
-      if (call.scope_qualified && !call.qualifier.empty()) {
-        targets = &index.by_qualified(call.qualifier + "::" + call.callee);
-        if (targets->empty()) targets = &index.by_name(call.callee);
-      } else if (call.qualifier.empty()) {
-        // A bare call follows C++ unqualified lookup: a member of the
-        // enclosing class hides everything else; failing that, only free
-        // functions are viable — members of unrelated classes cannot be
-        // called without an object, so by_name hits on them are collisions.
-        targets = enclosing_class.empty()
-                      ? nullptr
-                      : &index.by_qualified(enclosing_class + "::" +
-                                            call.callee);
-        if (targets == nullptr || targets->empty()) {
-          bare.clear();
-          for (const std::size_t t : index.by_name(call.callee)) {
-            if (fns[t].qualified == fns[t].name) bare.push_back(t);
-          }
-          targets = &bare;
-        }
-      } else {
-        targets = &index.by_name(call.callee);
-      }
-      for (const std::size_t t : *targets) {
-        if (t == fi) continue;  // self-edges never change reachability
-        if (!edge_realizable(config, from_module,
-                             module_of(fns[t].file->rel_path),
-                             call.qualifier.empty())) {
-          continue;
-        }
+      for (const std::size_t t : resolve(fi, call)) {
         if (seen.insert(t).second) edges_[fi].push_back({t, &call});
       }
     }
   }
+}
+
+std::vector<std::size_t> CallGraph::resolve(std::size_t caller,
+                                            const CallSite& call) const {
+  std::vector<std::size_t> out;
+  if (is_std_qualifier(call.qualifier)) return out;
+  const std::vector<FunctionInfo>& fns = index_->functions();
+  const std::string from_module = module_of(fns[caller].file->rel_path);
+  std::string enclosing_class;
+  if (const std::size_t sep = fns[caller].qualified.rfind("::");
+      sep != std::string::npos) {
+    enclosing_class = fns[caller].qualified.substr(0, sep);
+  }
+  std::vector<std::size_t> bare;  // scratch for unqualified-call resolution
+  const std::vector<std::size_t>* targets = nullptr;
+  if (call.scope_qualified && !call.qualifier.empty()) {
+    targets = &index_->by_qualified(call.qualifier + "::" + call.callee);
+    if (targets->empty()) targets = &index_->by_name(call.callee);
+  } else if (call.qualifier.empty()) {
+    // A bare call follows C++ unqualified lookup: a member of the
+    // enclosing class hides everything else; failing that, only free
+    // functions are viable — members of unrelated classes cannot be
+    // called without an object, so by_name hits on them are collisions.
+    targets = enclosing_class.empty()
+                  ? nullptr
+                  : &index_->by_qualified(enclosing_class + "::" +
+                                          call.callee);
+    if (targets == nullptr || targets->empty()) {
+      bare.clear();
+      for (const std::size_t t : index_->by_name(call.callee)) {
+        if (fns[t].qualified == fns[t].name) bare.push_back(t);
+      }
+      targets = &bare;
+    }
+  } else {
+    targets = &index_->by_name(call.callee);
+  }
+  for (const std::size_t t : *targets) {
+    if (t == caller) continue;  // self-edges never change reachability
+    if (!edge_realizable(config_, from_module,
+                         module_of(fns[t].file->rel_path),
+                         call.qualifier.empty())) {
+      continue;
+    }
+    out.push_back(t);
+  }
+  return out;
 }
 
 CallGraph::Reachability CallGraph::reach(

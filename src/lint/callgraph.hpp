@@ -76,8 +76,16 @@ class CallGraph {
   }
   [[nodiscard]] const ProgramIndex& index() const { return *index_; }
 
+  /// Function indices a call site in `caller` can target, after name
+  /// resolution and DAG pruning — the same policy the constructor uses to
+  /// build edges, exposed per call site because Edge keeps only the first
+  /// inducing site per target (the lock graph needs every site's held set).
+  [[nodiscard]] std::vector<std::size_t> resolve(std::size_t caller,
+                                                const CallSite& call) const;
+
  private:
   const ProgramIndex* index_;
+  const AnalyzerConfig* config_ = nullptr;
   std::vector<std::vector<Edge>> edges_;
 };
 

@@ -1,0 +1,429 @@
+/// \file cfg.cpp
+/// Token-level CFG construction. A recursive-descent statement walk over
+/// the code tokens of one function body; the grammar subset matches what
+/// the indexer already proves parseable (real-world C++ in this repo), and
+/// anything outside it degrades to a straight-line statement inside the
+/// current block — conservative for may-analyses.
+
+#include "lint/cfg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace alert::analysis_tools {
+
+namespace {
+
+class CfgBuilder {
+ public:
+  CfgBuilder(const CodeView& v, std::size_t body_begin, std::size_t body_end)
+      : v_(v), begin_(body_begin), end_(std::min(body_end, v.size())) {}
+
+  Cfg build() {
+    cfg_.blocks.resize(2);  // entry = 0, exit = 1
+    cur_ = cfg_.entry;
+    parse_seq(begin_ + 1, end_);
+    edge(cur_, cfg_.exit);
+    for (const auto& [block, label] : pending_gotos_) {
+      const auto it = labels_.find(label);
+      if (it != labels_.end()) edge(block, it->second);
+    }
+    return std::move(cfg_);
+  }
+
+ private:
+  [[nodiscard]] std::size_t nb() {
+    cfg_.blocks.emplace_back();
+    return cfg_.blocks.size() - 1;
+  }
+
+  void edge(std::size_t from, std::size_t to) {
+    std::vector<std::size_t>& succ = cfg_.blocks[from].succ;
+    if (std::find(succ.begin(), succ.end(), to) != succ.end()) return;
+    succ.push_back(to);
+    cfg_.blocks[to].pred.push_back(from);
+  }
+
+  /// Append [b, e) to `block`'s token ranges, merging adjacent runs.
+  void emit_to(std::size_t block, std::size_t b, std::size_t e) {
+    if (b >= e) return;
+    auto& ranges = cfg_.blocks[block].ranges;
+    if (!ranges.empty() && ranges.back().second == b) {
+      ranges.back().second = e;
+    } else {
+      ranges.emplace_back(b, e);
+    }
+  }
+  void emit(std::size_t b, std::size_t e) { emit_to(cur_, b, e); }
+
+  /// A block that can actually execute: reachable (has preds or is entry)
+  /// or carries tokens. Fresh post-jump blocks are neither.
+  [[nodiscard]] bool live(std::size_t b) const {
+    return b == cfg_.entry || !cfg_.blocks[b].pred.empty() ||
+           !cfg_.blocks[b].ranges.empty();
+  }
+
+  /// Park unreachable code after a jump in a fresh, predecessor-less block.
+  void terminate() { cur_ = nb(); }
+
+  /// Matching ')' for the '(' at `open`, clamped to the body end.
+  [[nodiscard]] std::size_t close_paren(std::size_t open) const {
+    const std::size_t c = v_.matching(open, "(", ")");
+    return std::min(c, end_ > 0 ? end_ - 1 : end_);
+  }
+
+  /// One past the ';' ending the plain statement at `i` (depth-aware over
+  /// (), [], {} — lambda bodies and init-lists stay inside the statement);
+  /// stops before a '}' closing the enclosing block.
+  [[nodiscard]] std::size_t past_simple(std::size_t i) const {
+    std::size_t depth = 0;
+    for (std::size_t j = i; j < end_; ++j) {
+      const std::string& t = v_.tok(j).text;
+      if (t == "(" || t == "[" || t == "{") {
+        ++depth;
+      } else if (t == ")" || t == "]") {
+        if (depth > 0) --depth;
+      } else if (t == "}") {
+        if (depth == 0) return j;  // enclosing close — malformed statement
+        --depth;
+      } else if (t == ";" && depth == 0) {
+        return j + 1;
+      }
+    }
+    return end_;
+  }
+
+  void parse_seq(std::size_t i, std::size_t stop) {
+    while (i < stop) {
+      if (v_.is_punct(i, "}")) break;  // defensive: never expected here
+      const std::size_t next = parse_stmt(i);
+      i = next > i ? next : i + 1;
+    }
+  }
+
+  std::size_t parse_stmt(std::size_t i) {  // NOLINT(misc-no-recursion)
+    if (i >= end_) return end_;
+    const Token& t = v_.tok(i);
+    const std::string& text = t.text;
+    if (text == ";") return i + 1;
+    if (text == "{") {
+      const std::size_t close = std::min(v_.matching(i, "{", "}"), end_);
+      parse_seq(i + 1, close);
+      return close + 1;
+    }
+    if (text == "if") return parse_if(i);
+    if (text == "while") return parse_while(i);
+    if (text == "do") return parse_do(i);
+    if (text == "for") return parse_for(i);
+    if (text == "switch") return parse_switch(i);
+    if (text == "try") return parse_try(i);
+    if (text == "break" || text == "continue") {
+      emit(i, i + 1);
+      const std::vector<std::size_t>& stack =
+          text == "break" ? break_stack_ : continue_stack_;
+      if (!stack.empty()) edge(cur_, stack.back());
+      terminate();
+      return v_.is_punct(i + 1, ";") ? i + 2 : i + 1;
+    }
+    if (text == "return" || text == "throw" ||
+        text == "co_return") {
+      const std::size_t past = past_simple(i);
+      emit(i, past);
+      edge(cur_, cfg_.exit);
+      terminate();
+      return past;
+    }
+    if (text == "goto") {
+      if (i + 1 < end_ && v_.tok(i + 1).kind == TokenKind::Identifier) {
+        emit(i, i + 2);
+        pending_gotos_.emplace_back(cur_, v_.tok(i + 1).text);
+        terminate();
+        return v_.is_punct(i + 2, ";") ? i + 3 : i + 2;
+      }
+      return past_simple(i);
+    }
+    // Stray case labels outside the switch walk (misparse guard): skip to
+    // the ':' and carry on in the current block.
+    if (text == "case" || text == "default") {
+      const std::size_t colon = find_label_colon(i);
+      return colon < end_ ? colon + 1 : end_;
+    }
+    // `label:` — a new join block; goto edges resolve to it at the end.
+    if (t.kind == TokenKind::Identifier && v_.is_punct(i + 1, ":")) {
+      const std::size_t block = nb();
+      if (live(cur_)) edge(cur_, block);
+      labels_[text] = block;
+      cur_ = block;
+      return i + 2;
+    }
+    const std::size_t past = past_simple(i);
+    emit(i, past);
+    return past;
+  }
+
+  std::size_t parse_if(std::size_t i) {  // NOLINT(misc-no-recursion)
+    std::size_t j = i + 1;
+    if (v_.is_ident(j, "constexpr")) ++j;
+    if (!v_.is_punct(j, "(")) return past_simple(i);
+    const std::size_t close = close_paren(j);
+    emit(i, close + 1);
+    const std::size_t cond = cur_;
+    const std::size_t then_b = nb();
+    edge(cond, then_b);
+    cur_ = then_b;
+    std::size_t next = parse_stmt(close + 1);
+    const std::size_t then_end = cur_;
+    const std::size_t join = nb();
+    if (v_.is_ident(next, "else")) {
+      const std::size_t else_b = nb();
+      edge(cond, else_b);
+      cur_ = else_b;
+      next = parse_stmt(next + 1);
+      edge(cur_, join);
+    } else {
+      edge(cond, join);
+    }
+    edge(then_end, join);
+    cur_ = join;
+    return next;
+  }
+
+  std::size_t parse_while(std::size_t i) {  // NOLINT(misc-no-recursion)
+    if (!v_.is_punct(i + 1, "(")) return past_simple(i);
+    const std::size_t close = close_paren(i + 1);
+    const std::size_t head = nb();
+    edge(cur_, head);
+    cur_ = head;
+    emit(i, close + 1);
+    const std::size_t body = nb();
+    const std::size_t after = nb();
+    edge(head, body);
+    edge(head, after);
+    const std::size_t loop_idx = open_loop(LoopKind::While, head, i);
+    break_stack_.push_back(after);
+    continue_stack_.push_back(head);
+    cur_ = body;
+    const std::size_t next = parse_stmt(close + 1);
+    edge(cur_, head);  // back edge
+    break_stack_.pop_back();
+    continue_stack_.pop_back();
+    close_loop(loop_idx, close + 1, next);
+    cur_ = after;
+    return next;
+  }
+
+  std::size_t parse_do(std::size_t i) {  // NOLINT(misc-no-recursion)
+    const std::size_t body = nb();
+    edge(cur_, body);
+    const std::size_t cond = nb();
+    const std::size_t after = nb();
+    const std::size_t loop_idx = open_loop(LoopKind::DoWhile, cond, i);
+    break_stack_.push_back(after);
+    continue_stack_.push_back(cond);
+    cur_ = body;
+    std::size_t next = parse_stmt(i + 1);
+    break_stack_.pop_back();
+    continue_stack_.pop_back();
+    edge(cur_, cond);
+    close_loop(loop_idx, i + 1, next);
+    if (v_.is_ident(next, "while") && v_.is_punct(next + 1, "(")) {
+      const std::size_t close = close_paren(next + 1);
+      emit_to(cond, next, close + 1);
+      next = close + 1;
+      if (v_.is_punct(next, ";")) ++next;
+      cfg_.loops[loop_idx].end = next;
+    }
+    edge(cond, body);  // back edge
+    edge(cond, after);
+    cur_ = after;
+    return next;
+  }
+
+  std::size_t parse_for(std::size_t i) {  // NOLINT(misc-no-recursion)
+    if (!v_.is_punct(i + 1, "(")) return past_simple(i);
+    const std::size_t open = i + 1;
+    const std::size_t close = close_paren(open);
+    // Classic `for (init; cond; step)` has top-level ';'s in the header;
+    // a range-for has none.
+    std::size_t semi1 = close;
+    std::size_t semi2 = close;
+    std::size_t depth = 0;
+    for (std::size_t j = open + 1; j < close; ++j) {
+      const std::string& tt = v_.tok(j).text;
+      if (tt == "(" || tt == "[" || tt == "{") ++depth;
+      if ((tt == ")" || tt == "]" || tt == "}") && depth > 0) --depth;
+      if (tt == ";" && depth == 0) {
+        if (semi1 == close) {
+          semi1 = j;
+        } else if (semi2 == close) {
+          semi2 = j;
+          break;
+        }
+      }
+    }
+    const bool classic = semi1 != close;
+    std::size_t head = 0;
+    std::size_t latch = 0;
+    if (classic) {
+      emit(i, semi1 + 1);  // `for ( init ;` runs once in the current block
+      head = nb();
+      edge(cur_, head);
+      emit_to(head, semi1 + 1, (semi2 == close ? close : semi2) + 1);
+      latch = nb();
+      if (semi2 != close) emit_to(latch, semi2 + 1, close + 1);
+    } else {
+      head = nb();
+      edge(cur_, head);
+      emit_to(head, i, close + 1);  // decl + range re-bind each iteration
+      latch = head;
+    }
+    const std::size_t body = nb();
+    const std::size_t after = nb();
+    edge(head, body);
+    edge(head, after);
+    const std::size_t loop_idx =
+        open_loop(classic ? LoopKind::For : LoopKind::RangeFor, head, i);
+    cfg_.loops[loop_idx].index_ordered = classic;
+    break_stack_.push_back(after);
+    continue_stack_.push_back(latch);
+    cur_ = body;
+    const std::size_t next = parse_stmt(close + 1);
+    break_stack_.pop_back();
+    continue_stack_.pop_back();
+    edge(cur_, latch);
+    if (latch != head) edge(latch, head);  // back edge via the step block
+    close_loop(loop_idx, close + 1, next);
+    cur_ = after;
+    return next;
+  }
+
+  std::size_t parse_switch(std::size_t i) {  // NOLINT(misc-no-recursion)
+    if (!v_.is_punct(i + 1, "(")) return past_simple(i);
+    const std::size_t close = close_paren(i + 1);
+    emit(i, close + 1);
+    const std::size_t dispatch = cur_;
+    if (!v_.is_punct(close + 1, "{")) {
+      // Braceless switch (degenerate): the sub-statement either runs or not.
+      const std::size_t body = nb();
+      edge(dispatch, body);
+      cur_ = body;
+      const std::size_t next = parse_stmt(close + 1);
+      const std::size_t join = nb();
+      edge(cur_, join);
+      edge(dispatch, join);
+      cur_ = join;
+      return next;
+    }
+    const std::size_t brace = close + 1;
+    const std::size_t bend = std::min(v_.matching(brace, "{", "}"), end_);
+    const std::size_t after = nb();
+    break_stack_.push_back(after);
+    terminate();  // statements before the first label are dead
+    bool saw_default = false;
+    std::size_t j = brace + 1;
+    while (j < bend) {
+      const std::string& tt = v_.tok(j).text;
+      if (tt == "case" || tt == "default") {
+        saw_default |= tt == "default";
+        const std::size_t colon = find_label_colon(j);
+        const std::size_t group = nb();
+        edge(dispatch, group);
+        if (live(cur_)) edge(cur_, group);  // fallthrough from the previous group
+        cur_ = group;
+        j = colon < bend ? colon + 1 : bend;
+        continue;
+      }
+      const std::size_t next = parse_stmt(j);
+      j = next > j ? next : j + 1;
+    }
+    if (live(cur_)) edge(cur_, after);  // fallthrough off the last group
+    if (!saw_default) edge(dispatch, after);
+    break_stack_.pop_back();
+    cur_ = after;
+    return bend + 1;
+  }
+
+  std::size_t parse_try(std::size_t i) {  // NOLINT(misc-no-recursion)
+    if (!v_.is_punct(i + 1, "{")) return past_simple(i);
+    const std::size_t before = cur_;
+    std::size_t next = parse_stmt(i + 1);  // the try compound
+    const std::size_t after_try = cur_;
+    const std::size_t join = nb();
+    edge(after_try, join);
+    while (v_.is_ident(next, "catch") && v_.is_punct(next + 1, "(")) {
+      const std::size_t close = close_paren(next + 1);
+      const std::size_t handler = nb();
+      // Conservative: the handler can run after any prefix of the try body;
+      // model it as an alternative from the block before the try.
+      edge(before, handler);
+      cur_ = handler;
+      emit(next, close + 1);
+      next = parse_stmt(close + 1);
+      edge(cur_, join);
+    }
+    cur_ = join;
+    return next;
+  }
+
+  /// Index of the ':' ending a case/default label (depth-aware; `::` is a
+  /// distinct token so scope qualifiers never match).
+  [[nodiscard]] std::size_t find_label_colon(std::size_t i) const {
+    std::size_t depth = 0;
+    for (std::size_t j = i + 1; j < end_; ++j) {
+      const std::string& t = v_.tok(j).text;
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      if ((t == ")" || t == "]" || t == "}") && depth > 0) --depth;
+      if (t == ":" && depth == 0) return j;
+      if ((t == ";" || t == "}") && depth == 0) return j;  // malformed
+    }
+    return end_;
+  }
+
+  std::size_t open_loop(LoopKind kind, std::size_t head, std::size_t kw) {
+    LoopInfo loop;
+    loop.kind = kind;
+    loop.head = head;
+    loop.begin = kw;
+    loop.line = v_.tok(kw).line;
+    cfg_.loops.push_back(loop);
+    return cfg_.loops.size() - 1;
+  }
+
+  void close_loop(std::size_t idx, std::size_t body_begin,
+                  std::size_t body_end) {
+    cfg_.loops[idx].body_begin = body_begin;
+    cfg_.loops[idx].body_end = body_end;
+    cfg_.loops[idx].end = body_end;
+  }
+
+  const CodeView& v_;
+  std::size_t begin_;
+  std::size_t end_;
+  Cfg cfg_;
+  std::size_t cur_ = 0;
+  std::vector<std::size_t> break_stack_;
+  std::vector<std::size_t> continue_stack_;
+  std::map<std::string, std::size_t> labels_;
+  std::vector<std::pair<std::size_t, std::string>> pending_gotos_;
+};
+
+}  // namespace
+
+const LoopInfo* Cfg::innermost_loop_at(std::size_t tok) const {
+  const LoopInfo* best = nullptr;
+  for (const LoopInfo& loop : loops) {
+    if (loop.begin <= tok && tok < loop.end &&
+        (best == nullptr || loop.begin > best->begin)) {
+      best = &loop;
+    }
+  }
+  return best;
+}
+
+Cfg build_cfg(const CodeView& v, std::size_t body_begin,
+              std::size_t body_end) {
+  return CfgBuilder(v, body_begin, body_end).build();
+}
+
+}  // namespace alert::analysis_tools

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file cfg.hpp
+/// Intraprocedural control-flow graphs over the code-token stream. One CFG
+/// per function body: basic blocks hold ordered code-token ranges, edges
+/// follow if/else, while, for (classic and range), do-while, switch
+/// (including fallthrough between case groups), break/continue/return and
+/// goto (backward edges included). Ternaries stay inside one block — the
+/// join is implicit, which is exactly the conservative treatment a
+/// may-analysis wants. Lambda bodies are opaque: their tokens land in the
+/// enclosing block but their control flow (a `return` inside a lambda does
+/// not leave the enclosing function) never edges into the function's CFG.
+/// Everything here is token-level, so unmodeled constructs degrade to
+/// straight-line over-approximation, never to missing paths.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "lint/file_data.hpp"
+
+namespace alert::analysis_tools {
+
+struct CfgBlock {
+  /// Ordered, disjoint [begin, end) code-token ranges belonging to this
+  /// block (a for-loop head and its latch are separate blocks, so a block's
+  /// tokens need not be contiguous with its neighbours').
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  std::vector<std::size_t> succ;
+  std::vector<std::size_t> pred;
+};
+
+enum class LoopKind { While, DoWhile, For, RangeFor };
+
+struct LoopInfo {
+  LoopKind kind = LoopKind::While;
+  std::size_t head = 0;        ///< block id of the condition/head block
+  std::size_t begin = 0;       ///< code index of the loop keyword
+  std::size_t end = 0;         ///< one past the whole loop statement
+  std::size_t body_begin = 0;  ///< code index of the body statement
+  std::size_t body_end = 0;    ///< one past the body statement
+  std::size_t line = 0;        ///< line of the loop keyword
+  /// True for a classic `for (init; cond; step)` — iteration order is an
+  /// explicit index program, so reductions inside stay reassociation-safe
+  /// to reorder proofs (fp-accumulation-order exempts these).
+  bool index_ordered = false;
+};
+
+struct Cfg {
+  std::vector<CfgBlock> blocks;
+  std::size_t entry = 0;
+  std::size_t exit = 1;
+  /// All loops in the body, in source order of their keywords.
+  std::vector<LoopInfo> loops;
+
+  /// Innermost loop whose statement extent contains code index `tok`;
+  /// nullptr when `tok` is outside every loop.
+  [[nodiscard]] const LoopInfo* innermost_loop_at(std::size_t tok) const;
+};
+
+/// Build the CFG of a function body: `body_begin` is the code index of the
+/// body '{' and `body_end` its matching '}' (FunctionInfo's convention).
+[[nodiscard]] Cfg build_cfg(const CodeView& v, std::size_t body_begin,
+                            std::size_t body_end);
+
+}  // namespace alert::analysis_tools

@@ -1,0 +1,64 @@
+/// \file dataflow.cpp
+
+#include "lint/dataflow.hpp"
+
+#include <deque>
+
+namespace alert::analysis_tools {
+
+namespace {
+
+std::set<unsigned> transfer(const BlockFacts& f, const std::set<unsigned>& in) {
+  std::set<unsigned> out = f.gen;
+  for (const unsigned fact : in) {
+    if (f.kill.count(fact) == 0) out.insert(fact);
+  }
+  return out;
+}
+
+/// Shared worklist core: `boundary[b]` is the union over `sources(b)` of
+/// transfer(facts[s], boundary[s]). Forward uses pred edges, backward succ.
+std::vector<std::set<unsigned>> solve(
+    const Cfg& cfg, const std::vector<BlockFacts>& facts, bool forward) {
+  const std::size_t n = cfg.blocks.size();
+  std::vector<std::set<unsigned>> boundary(n);
+  std::deque<std::size_t> queue;
+  std::vector<char> queued(n, 1);
+  for (std::size_t b = 0; b < n; ++b) queue.push_back(b);
+  while (!queue.empty()) {
+    const std::size_t b = queue.front();
+    queue.pop_front();
+    queued[b] = 0;
+    const auto& sources = forward ? cfg.blocks[b].pred : cfg.blocks[b].succ;
+    std::set<unsigned> next;
+    for (const std::size_t s : sources) {
+      const std::set<unsigned> out =
+          transfer(s < facts.size() ? facts[s] : BlockFacts{}, boundary[s]);
+      next.insert(out.begin(), out.end());
+    }
+    if (next == boundary[b]) continue;
+    boundary[b] = std::move(next);
+    const auto& sinks = forward ? cfg.blocks[b].succ : cfg.blocks[b].pred;
+    for (const std::size_t s : sinks) {
+      if (queued[s] == 0) {
+        queued[s] = 1;
+        queue.push_back(s);
+      }
+    }
+  }
+  return boundary;
+}
+
+}  // namespace
+
+std::vector<std::set<unsigned>> solve_forward(
+    const Cfg& cfg, const std::vector<BlockFacts>& facts) {
+  return solve(cfg, facts, true);
+}
+
+std::vector<std::set<unsigned>> solve_backward(
+    const Cfg& cfg, const std::vector<BlockFacts>& facts) {
+  return solve(cfg, facts, false);
+}
+
+}  // namespace alert::analysis_tools

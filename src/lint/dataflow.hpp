@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file dataflow.hpp
+/// A small gen/kill dataflow engine over lint CFGs. Facts are dense
+/// unsigned ids (the caller owns the numbering); the join is set union, so
+/// both directions compute may-information — the conservative side for
+/// diagnosis rules (a fact that *may* hold on some path is worth warning
+/// about; one that must hold on all paths is a subset). The solver is a
+/// plain worklist iteration; transfer functions are monotone
+/// (OUT = gen ∪ (IN − kill)), so it terminates at the least fixpoint in
+/// O(blocks × facts) set operations.
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "lint/cfg.hpp"
+
+namespace alert::analysis_tools {
+
+/// Per-block transfer summary. `gen` facts hold after the block regardless
+/// of entry state; `kill` facts are cancelled by the block. When one fact is
+/// in both, gen wins (the block's last action asserted it).
+struct BlockFacts {
+  std::set<unsigned> gen;
+  std::set<unsigned> kill;
+};
+
+/// Forward may-analysis: returns IN[b] for every block — the union of
+/// OUT over predecessors, with IN[entry] = {}.
+[[nodiscard]] std::vector<std::set<unsigned>> solve_forward(
+    const Cfg& cfg, const std::vector<BlockFacts>& facts);
+
+/// Backward may-analysis: returns OUT[b] for every block — the union of
+/// IN over successors, with OUT[exit] = {} (IN[b] = gen ∪ (OUT[b] − kill)).
+[[nodiscard]] std::vector<std::set<unsigned>> solve_backward(
+    const Cfg& cfg, const std::vector<BlockFacts>& facts);
+
+}  // namespace alert::analysis_tools

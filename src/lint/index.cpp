@@ -355,6 +355,7 @@ struct BodyScanner {
     site.tok = c;
     site.line = callee.line;
     site.column = callee.column;
+    site.held = held_mutexes();
     if (c >= 2) {
       const std::string& acc = v.tok(c - 1).text;
       if ((acc == "::" || acc == "." || acc == "->") &&
@@ -392,7 +393,10 @@ struct BodyScanner {
     if (close >= v.size()) return 0;
 
     LockSite lock;
+    lock.tok = j;
     lock.line = v.tok(j).line;
+    lock.column = v.tok(j).column;
+    lock.held = held_mutexes();  // before this guard's own operands join
     std::size_t item = k + 1;
     std::size_t depth = 0;
     for (std::size_t p = k + 1; p <= close; ++p) {

@@ -62,12 +62,21 @@ struct CallSite {
   std::size_t tok = 0;           ///< code index of the callee identifier
   std::size_t line = 0;
   std::size_t column = 0;
+  /// Mutexes held (by enclosing RAII guards) when the call executes — the
+  /// lock graph charges the callee's acquisitions against these.
+  std::set<std::string> held;
 };
 
 /// A std::lock_guard / scoped_lock / unique_lock / shared_lock declaration.
 struct LockSite {
   std::vector<std::string> mutexes;  ///< normalized operand expressions
+  std::size_t tok = 0;               ///< code index of the guard keyword
   std::size_t line = 0;
+  std::size_t column = 0;
+  /// Mutexes already held when this guard is constructed (acquisition
+  /// order: each held mutex precedes each of `mutexes` in the lock graph;
+  /// mutexes acquired together by one scoped_lock are unordered).
+  std::set<std::string> held;
 };
 
 /// A write (assignment, ++/--, or mutating container call) to a member

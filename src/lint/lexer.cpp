@@ -35,6 +35,12 @@ class Lexer {
 
   TokenStream run() {
     TokenStream out;
+    // A UTF-8 BOM would otherwise lex as three punct bytes and clear
+    // at_line_start_, so a leading `#include` on line 1 never became a
+    // Preprocessor token. Skip it before the main loop.
+    if (src_.size() >= 3 && src_.compare(0, 3, "\xEF\xBB\xBF") == 0) {
+      pos_ = 3;
+    }
     while (pos_ < src_.size()) {
       const char c = src_[pos_];
       if (c == '\n') {

@@ -1,0 +1,263 @@
+/// \file lockgraph.cpp
+
+#include "lint/lockgraph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace alert::analysis_tools {
+
+namespace {
+
+/// How a function comes to hold a lock: a direct guard in its body, or a
+/// call into a function that (transitively) acquires it.
+struct Acq {
+  bool direct = false;
+  std::size_t line = 0;       ///< direct: the guard's line
+  std::size_t via_fn = 0;     ///< indirect: callee index on the path
+  std::size_t via_line = 0;   ///< indirect: call-site line
+};
+
+std::string class_of(const std::string& qualified) {
+  const std::size_t sep = qualified.rfind("::");
+  return sep == std::string::npos ? std::string() : qualified.substr(0, sep);
+}
+
+/// Qualified node name for a mutex operand in `fn` (see lockgraph.hpp).
+std::string qualify(const FunctionInfo& fn,
+                    const std::set<std::string>& body_locals,
+                    const std::string& mutex) {
+  const std::string base = mutex.substr(0, mutex.find('.'));
+  if (body_locals.count(base) != 0) return fn.qualified + "::" + mutex;
+  if (!base.empty() && base.back() == '_') {
+    const std::string cls = class_of(fn.qualified);
+    if (!cls.empty()) return cls + "::" + mutex;
+  }
+  return mutex;
+}
+
+std::string site_ref(const FunctionInfo& fn, std::size_t line) {
+  return fn.file->rel_path + ":" + std::to_string(line);
+}
+
+}  // namespace
+
+LockGraph::LockGraph(const ProgramIndex& index, const CallGraph& graph) {
+  const std::vector<FunctionInfo>& fns = index.functions();
+
+  // Per-function qualified lock names and body-local declarations.
+  std::vector<std::set<std::string>> locals(fns.size());
+  std::set<std::string> node_set;
+  std::vector<std::map<std::string, Acq>> acquires(fns.size());
+  for (std::size_t fi = 0; fi < fns.size(); ++fi) {
+    const FunctionInfo& fn = fns[fi];
+    if (fn.locks.empty()) continue;
+    locals[fi] = declared_names(*fn.file, fn.body_begin, fn.body_end);
+    for (const LockSite& lock : fn.locks) {
+      for (const std::string& m : lock.mutexes) {
+        const std::string q = qualify(fn, locals[fi], m);
+        node_set.insert(q);
+        auto [it, inserted] = acquires[fi].emplace(q, Acq{});
+        if (inserted) {
+          it->second.direct = true;
+          it->second.line = lock.line;
+        }
+      }
+    }
+  }
+  nodes_.assign(node_set.begin(), node_set.end());
+
+  // May-acquire fixpoint over the call graph: a caller may acquire every
+  // lock any resolved callee may acquire. Deterministic worklist (index
+  // order passes until stable); the first witness found is kept.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t u = 0; u < fns.size(); ++u) {
+      for (const CallGraph::Edge& e : graph.edges()[u]) {
+        for (const auto& [lock, acq] : acquires[e.target]) {
+          (void)acq;
+          if (acquires[u].count(lock) != 0) continue;
+          Acq via;
+          via.via_fn = e.target;
+          via.via_line = e.via->line;
+          acquires[u].emplace(lock, via);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Edges. Intraprocedural first (nested guards), then interprocedural
+  // (calls under held locks into lock-acquiring callees); dedup by
+  // (from, to) keeping the first — and therefore shallowest — witness.
+  std::set<std::pair<std::string, std::string>> seen;
+  auto add_edge = [&](Edge&& e) {
+    if (!seen.emplace(e.from, e.to).second) return;
+    edges_.push_back(std::move(e));
+  };
+  for (std::size_t fi = 0; fi < fns.size(); ++fi) {
+    const FunctionInfo& fn = fns[fi];
+    for (const LockSite& lock : fn.locks) {
+      if (lock.held.empty()) continue;
+      for (const std::string& h : lock.held) {
+        const std::string from = qualify(fn, locals[fi], h);
+        for (const std::string& m : lock.mutexes) {
+          const std::string to = qualify(fn, locals[fi], m);
+          if (from == to) continue;  // re-spelled same guard operand
+          Edge e;
+          e.from = from;
+          e.to = to;
+          e.file = fn.file;
+          e.line = lock.line;
+          e.column = lock.column;
+          e.label = fn.qualified + " (" + site_ref(fn, lock.line) + ")";
+          e.detail = "'" + fn.qualified + "' acquires '" + to +
+                     "' while holding '" + from + "' (" +
+                     site_ref(fn, lock.line) + ")";
+          add_edge(std::move(e));
+        }
+      }
+    }
+  }
+  for (std::size_t fi = 0; fi < fns.size(); ++fi) {
+    const FunctionInfo& fn = fns[fi];
+    for (const CallSite& call : fn.calls) {
+      if (call.held.empty()) continue;
+      for (const std::size_t target : graph.resolve(fi, call)) {
+        for (const auto& [lock, first_acq] : acquires[target]) {
+          (void)first_acq;
+          for (const std::string& h : call.held) {
+            const std::string from = qualify(fn, locals[fi], h);
+            if (from == lock) continue;  // same-lock re-entry, not an order
+            // Witness chain: caller -> ... -> the function with the guard.
+            std::string chain = "'" + fn.qualified + "' holds '" + from +
+                                "' and calls '" +
+                                fns[target].qualified + "' (" +
+                                site_ref(fn, call.line) + ")";
+            std::size_t cur = target;
+            while (true) {
+              const Acq& a = acquires[cur].at(lock);
+              if (a.direct) {
+                chain += "; '" + fns[cur].qualified + "' acquires '" + lock +
+                         "' (" + site_ref(fns[cur], a.line) + ")";
+                break;
+              }
+              chain += " -> '" + fns[a.via_fn].qualified + "' (" +
+                       site_ref(fns[cur], a.via_line) + ")";
+              cur = a.via_fn;
+            }
+            Edge e;
+            e.from = from;
+            e.to = lock;
+            e.file = fn.file;
+            e.line = call.line;
+            e.column = call.column;
+            e.label = fn.qualified + " -> " + fns[target].qualified + " (" +
+                      site_ref(fn, call.line) + ")";
+            e.detail = std::move(chain);
+            add_edge(std::move(e));
+          }
+        }
+      }
+    }
+  }
+
+  for (const Edge& e : edges_) adjacency_[e.from].push_back(&e);
+}
+
+std::vector<LockGraph::Cycle> LockGraph::cycles() const {
+  std::vector<Cycle> out;
+  std::set<std::vector<std::string>> canonical_seen;
+  enum : char { White, Gray, Black };
+  std::map<std::string, char> color;
+  for (const std::string& n : nodes_) color[n] = White;
+  std::vector<std::pair<std::string, const Edge*>> stack;  // node, in-edge
+
+  // Iterative DFS from every node in sorted order; a back edge to a gray
+  // node closes a cycle. Deterministic: adjacency lists follow edge order.
+  for (const std::string& root : nodes_) {
+    if (color[root] != White) continue;
+    struct Frame {
+      std::string node;
+      std::size_t next = 0;
+    };
+    std::vector<Frame> frames{{root, 0}};
+    color[root] = Gray;
+    stack.clear();
+    stack.emplace_back(root, nullptr);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto adj_it = adjacency_.find(f.node);
+      const std::vector<const Edge*>* adj =
+          adj_it == adjacency_.end() ? nullptr : &adj_it->second;
+      if (adj == nullptr || f.next >= adj->size()) {
+        color[f.node] = Black;
+        frames.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const Edge* e = (*adj)[f.next++];
+      const char c =
+          color.count(e->to) != 0 ? color[e->to] : static_cast<char>(Black);
+      if (c == Gray) {
+        // Unwind the stack back to e->to to extract the cycle.
+        Cycle cycle;
+        std::size_t start = stack.size();
+        while (start > 0 && stack[start - 1].first != e->to) --start;
+        if (start == 0) continue;
+        --start;  // index of e->to on the stack
+        for (std::size_t s = start; s < stack.size(); ++s) {
+          cycle.nodes.push_back(stack[s].first);
+        }
+        for (std::size_t s = start + 1; s < stack.size(); ++s) {
+          cycle.witnesses.push_back(stack[s].second);
+        }
+        cycle.witnesses.push_back(e);
+        // Canonicalize: rotate so the smallest node leads, dedupe.
+        std::size_t min_at = 0;
+        for (std::size_t k = 1; k < cycle.nodes.size(); ++k) {
+          if (cycle.nodes[k] < cycle.nodes[min_at]) min_at = k;
+        }
+        const auto shift = static_cast<std::ptrdiff_t>(min_at);
+        std::rotate(cycle.nodes.begin(), cycle.nodes.begin() + shift,
+                    cycle.nodes.end());
+        std::rotate(cycle.witnesses.begin(),
+                    cycle.witnesses.begin() + shift,
+                    cycle.witnesses.end());
+        if (canonical_seen.insert(cycle.nodes).second) {
+          out.push_back(std::move(cycle));
+        }
+      } else if (c == White) {
+        color[e->to] = Gray;
+        frames.push_back({e->to, 0});
+        stack.emplace_back(e->to, e);
+      }
+    }
+  }
+  return out;
+}
+
+std::string LockGraph::to_dot() const {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  std::string dot = "digraph lock_order {\n  rankdir=LR;\n";
+  for (const std::string& n : nodes_) {
+    dot += "  \"" + escape(n) + "\";\n";
+  }
+  for (const Edge& e : edges_) {
+    dot += "  \"" + escape(e.from) + "\" -> \"" + escape(e.to) +
+           "\" [label=\"" + escape(e.label) + "\"];\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace alert::analysis_tools

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file lockgraph.hpp
+/// Program-wide lock-acquisition-order graph, the static deadlock proof the
+/// PDES arc (ROADMAP item 3) gates on. Nodes are qualified mutex names;
+/// an edge A -> B means some execution acquires B while holding A. Edges
+/// come from two places:
+///
+///   * intraprocedural — a LockSite whose `held` set (RAII scope nesting,
+///     which is acquisition order for lock guards) is non-empty;
+///   * interprocedural — a call site executed under held locks whose callee
+///     may (transitively, over the call graph) acquire more locks.
+///
+/// Mutex names are qualified to avoid cross-class collisions: a name
+/// declared in the function body stays function-scoped
+/// ("Class::fn::mutex"), a member-ish name (trailing '_') gets the
+/// enclosing class ("Class::mutex_"), anything else (globals, parameters)
+/// keeps its bare name — the only spelling that can alias across
+/// functions, which is exactly when cross-function ordering matters.
+/// Mutexes acquired together by one std::scoped_lock are deliberately
+/// unordered (scoped_lock's deadlock-avoidance makes the order moot).
+///
+/// The graph must be acyclic; each cycle is a deadlock witness and the
+/// lock-order-cycle rule reports it with the acquisition chains. to_dot()
+/// renders the whole graph for the CI artifact, so reviewers can read the
+/// global acquisition order even when it is clean.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/callgraph.hpp"
+#include "lint/index.hpp"
+
+namespace alert::analysis_tools {
+
+class LockGraph {
+ public:
+  LockGraph(const ProgramIndex& index, const CallGraph& graph);
+
+  struct Edge {
+    std::string from;  ///< qualified mutex held
+    std::string to;    ///< qualified mutex acquired under it
+    const FileData* file = nullptr;  ///< where the acquisition happens
+    std::size_t line = 0;
+    std::size_t column = 0;
+    std::string label;   ///< short witness: "Fn (path:line)"
+    std::string detail;  ///< full witness chain for the finding message
+  };
+
+  struct Cycle {
+    std::vector<std::string> nodes;        ///< n0 -> n1 -> ... -> n0
+    std::vector<const Edge*> witnesses;    ///< one edge per consecutive pair
+  };
+
+  /// All qualified mutex names seen at any lock site, sorted.
+  [[nodiscard]] const std::vector<std::string>& nodes() const {
+    return nodes_;
+  }
+  /// Deduplicated order edges, in deterministic scan order.
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Elementary cycles found by DFS (at least one per strongly-connected
+  /// component with a cycle), deterministic for a fixed scan.
+  [[nodiscard]] std::vector<Cycle> cycles() const;
+
+  /// Graphviz rendering of the full graph — the CI acquisition-order proof.
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  std::vector<std::string> nodes_;
+  std::vector<Edge> edges_;
+  std::map<std::string, std::vector<const Edge*>> adjacency_;
+};
+
+}  // namespace alert::analysis_tools

@@ -75,7 +75,8 @@ struct AnalyzerConfig {
         "faults", "scale"}},
       {"campaign", {"util", "analysis", "core", "obs", "routing"}},
       {"dist", {"util", "obs", "core", "campaign"}},
-      {"perf", {"util", "obs", "sim", "net", "core", "campaign", "scale"}},
+      {"perf",
+       {"util", "obs", "sim", "net", "core", "campaign", "scale", "lint"}},
       {"lint", {"util", "obs"}},
       // Test-only module (tests/integration/): end-to-end suites sit above
       // the whole DAG, so every module is a legal dependency.
@@ -100,6 +101,22 @@ struct AnalyzerConfig {
       "Mac::acquire",         "ChannelModel::lose_frame",
       "Network::deliver_broadcast", "Network::deliver_unicast",
       "Network::send_hello"};
+  /// fp-accumulation-order: directories whose floating-point reductions
+  /// feed determinism digests — reassociation under PDES partitioning
+  /// would silently change the digest, so loop accumulations there must be
+  /// index-ordered (classic `for`) or routed through obs aggregation.
+  std::vector<std::string> fp_digest_dirs{"core/", "sim/", "routing/",
+                                          "scale/"};
+  /// sim-state-confinement: types whose instances are simulator-owned
+  /// state; shared instances must never be touched from ThreadPool worker
+  /// tasks (the PDES partition-safety precondition).
+  std::vector<std::string> sim_state_types{"Network", "Node", "Simulator",
+                                           "EventQueue"};
+  /// sim-state-confinement: methods on Simulator-typed objects that are
+  /// safe to call from workers — the dispatch context marshals the effect
+  /// onto the event loop.
+  std::vector<std::string> sim_dispatch_methods{
+      "schedule_in", "schedule_at", "schedule_periodic", "schedule"};
   /// Per-rule severity overrides (default: every rule is an Error).
   std::map<std::string, Severity> severity_overrides;
   /// Rules disabled entirely.

@@ -22,6 +22,10 @@ std::vector<std::unique_ptr<Rule>> make_default_rules(
   rules.push_back(detail::make_wallclock_in_sim(config));
   rules.push_back(detail::make_lock_discipline(config));
   rules.push_back(detail::make_hotpath_allocation(config));
+  rules.push_back(detail::make_lock_order_cycle());
+  rules.push_back(detail::make_use_after_move());
+  rules.push_back(detail::make_fp_accumulation_order(config));
+  rules.push_back(detail::make_sim_state_confinement(config));
   return rules;
 }
 

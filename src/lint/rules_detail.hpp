@@ -28,4 +28,9 @@ std::unique_ptr<Rule> make_wallclock_in_sim(const AnalyzerConfig& c);
 std::unique_ptr<Rule> make_lock_discipline(const AnalyzerConfig& c);
 std::unique_ptr<Rule> make_hotpath_allocation(const AnalyzerConfig& c);
 
+std::unique_ptr<Rule> make_lock_order_cycle();
+std::unique_ptr<Rule> make_use_after_move();
+std::unique_ptr<Rule> make_fp_accumulation_order(const AnalyzerConfig& c);
+std::unique_ptr<Rule> make_sim_state_confinement(const AnalyzerConfig& c);
+
 }  // namespace alert::analysis_tools::detail

@@ -1,0 +1,604 @@
+/// \file rules_flow.cpp
+/// Flow-sensitive rule families built on the CFG/dataflow layer
+/// (lint/cfg.hpp, lint/dataflow.hpp) and the lock graph (lint/lockgraph.hpp)
+/// — the analyzer tier that reasons about *order* of operations inside a
+/// function, which the token- and call-graph-level rules cannot:
+///
+///   lock-order-cycle      the global lock-acquisition graph must be
+///                         acyclic; each cycle is reported with its witness
+///                         acquisition chains (the PDES deadlock gate)
+///   use-after-move        forward dataflow of moved-from locals; reset on
+///                         reassignment, .clear()/.reset()/.assign()/.swap()
+///                         and redeclaration (range-for heads rebind)
+///   fp-accumulation-order float/double +=/-= reductions inside loops whose
+///                         iteration order is not an explicit index program
+///                         (range-for/while/do) in digest-sensitive dirs —
+///                         PDES reassociation would break digest identity
+///   sim-state-confinement shared Network/node/Simulator state must not be
+///                         touched from ThreadPool worker tasks except
+///                         through the Simulator dispatch methods
+///
+/// All four run in finish_program() against the shared index/graph.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/callgraph.hpp"
+#include "lint/cfg.hpp"
+#include "lint/dataflow.hpp"
+#include "lint/index.hpp"
+#include "lint/lockgraph.hpp"
+#include "lint/rule.hpp"
+#include "lint/rules_detail.hpp"
+
+namespace alert::analysis_tools {
+
+namespace {
+
+bool ends_with(const std::string& s, char c) {
+  return !s.empty() && s.back() == c;
+}
+
+/// Variable names declared in code-token range [begin, end) with one of
+/// `types` as the declared type: `Type [&*const]* name`. Mirrors the
+/// indexer's RNG-engine scan; template wrappers (vector<double>,
+/// shared_ptr<Network>) are deliberately not followed —
+/// under-approximation keeps the rules quiet on code they cannot type.
+std::set<std::string> collect_typed_vars(const CodeView& v,
+                                         const std::set<std::string>& types,
+                                         std::size_t begin, std::size_t end) {
+  std::set<std::string> out;
+  end = std::min(end, v.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = v.tok(i);
+    if (t.kind != TokenKind::Identifier || types.count(t.text) == 0) continue;
+    std::size_t k = i + 1;
+    while (v.is_punct(k, "&") || v.is_punct(k, "*") ||
+           v.is_ident(k, "const")) {
+      ++k;
+    }
+    if (k < v.size() && v.tok(k).kind == TokenKind::Identifier &&
+        v.tok(k).text != "const" && v.tok(k).text != "operator") {
+      out.insert(v.tok(k).text);
+    }
+  }
+  return out;
+}
+
+/// Names with one of `types` that are visible inside `fn`: declared in the
+/// function's parameter list or body, or a member-ish name (trailing '_')
+/// declared anywhere in the file with that type. File-wide collection for
+/// non-members would conflate same-named locals of different functions
+/// (e.g. a `double* out` parameter in one function poisoning a
+/// `std::string out` local in another), so the scope is deliberate.
+std::set<std::string> typed_vars_in_scope(const CodeView& v,
+                                          const FunctionInfo& fn,
+                                          const std::set<std::string>& types) {
+  // Walk back from the body '{' over trailing specifiers (const, noexcept,
+  // override, -> T) to the ')' closing the parameter list, then to its
+  // matching '(' — the header range covering the parameters.
+  std::size_t header = fn.body_begin;
+  std::size_t j = fn.body_begin;
+  for (std::size_t guard = 0; j > 0 && guard < 16; ++guard) {
+    --j;
+    const std::string& t = v.tok(j).text;
+    if (t == ")") break;
+    if (t == "{" || t == "}" || t == ";") {
+      j = 0;
+      break;
+    }
+  }
+  if (j > 0 && v.is_punct(j, ")")) {
+    std::size_t depth = 1;
+    while (j > 0 && depth > 0) {
+      --j;
+      const std::string& t = v.tok(j).text;
+      if (t == ")") ++depth;
+      if (t == "(") --depth;
+    }
+    if (depth == 0) header = j;
+  }
+  std::set<std::string> out =
+      collect_typed_vars(v, types, header, fn.body_end);
+  for (const std::string& name :
+       collect_typed_vars(v, types, 0, v.size())) {
+    if (ends_with(name, '_')) out.insert(name);
+  }
+  return out;
+}
+
+/// True when code index `j` lies strictly inside any lambda body of `fn` —
+/// flow-sensitive rules treat lambda bodies as opaque (they run at another
+/// time, possibly never, possibly on another thread).
+bool in_lambda_body(const FunctionInfo& fn, std::size_t j) {
+  for (const LambdaInfo& l : fn.lambdas) {
+    if (l.body_begin < j && j < l.body_end) return true;
+  }
+  return false;
+}
+
+/// Same type-position test as declared_names(): the identifier at `i` is
+/// being declared (type-ish token before, declarator punctuation after).
+bool is_declaration(const CodeView& v, std::size_t i) {
+  if (i == 0) return false;
+  const Token& prev = v.tok(i - 1);
+  static const std::set<std::string> kTypeKeywords{
+      "auto", "bool",  "char",     "double",   "float", "int",
+      "long", "short", "signed",   "unsigned", "void",  "wchar_t",
+      "const"};
+  static const std::set<std::string> kNonTypeKeywords{
+      "return", "delete", "new",  "sizeof", "throw", "case",
+      "goto",   "else",   "do",   "break",  "continue"};
+  const bool type_prev =
+      (prev.kind == TokenKind::Identifier &&
+       (kTypeKeywords.count(prev.text) != 0 ||
+        kNonTypeKeywords.count(prev.text) == 0)) ||
+      prev.text == ">" || prev.text == "&" || prev.text == "*";
+  if (!type_prev) return false;
+  // `obj.field x` is not a declaration, but a scope-qualified type
+  // (`obs::ScopeStats s;`) is — only member access disqualifies.
+  if (prev.kind == TokenKind::Identifier && i >= 2 &&
+      (v.is_punct(i - 2, ".") || v.is_punct(i - 2, "->"))) {
+    return false;
+  }
+  if (i + 1 >= v.size()) return false;
+  const std::string& next = v.tok(i + 1).text;
+  return next == "=" || next == ";" || next == "," || next == ")" ||
+         next == "{" || next == "(" || next == ":";
+}
+
+/// lock-order-cycle: every cycle in the program lock graph is a deadlock
+/// witness — two threads entering it from different nodes block forever.
+/// The graph (and its DOT rendering, shipped as a CI artifact via
+/// AnalyzeResult::lock_graph_dot) doubles as the acquisition-order proof
+/// when clean.
+class LockOrderCycleRule final : public Rule {
+ public:
+  LockOrderCycleRule() {
+    info_ = {"lock-order-cycle",
+             "lock acquisition order contains a deadlock cycle",
+             Severity::Error};
+  }
+  [[nodiscard]] const RuleInfo& info() const override { return info_; }
+
+  void finish_program(const ProgramIndex& index, const CallGraph& graph,
+                      Sink& sink) override {
+    const LockGraph lock_graph(index, graph);
+    for (const LockGraph::Cycle& cycle : lock_graph.cycles()) {
+      std::string ring;
+      for (const std::string& n : cycle.nodes) ring += n + " -> ";
+      ring += cycle.nodes.front();
+      std::string chains;
+      for (const LockGraph::Edge* w : cycle.witnesses) {
+        if (!chains.empty()) chains += "; ";
+        chains += w->detail;
+      }
+      const LockGraph::Edge* at = cycle.witnesses.front();
+      sink.emit(info_, *at->file, at->line, at->column,
+                "lock-order cycle " + ring + ": " + chains +
+                    " — acquire these mutexes in one global order, or take "
+                    "them together in a single std::scoped_lock");
+    }
+  }
+
+ private:
+  RuleInfo info_;
+};
+
+/// use-after-move: forward may-dataflow of moved-from locals over the CFG.
+/// gen at `std::move(x)` (single-identifier argument only), kill on
+/// reassignment, .clear()/.reset()/.assign()/.swap() and redeclaration;
+/// conservative bail-outs: variables captured by reference into lambdas or
+/// whose address is taken leave the analysis, and lambda-body uses are
+/// skipped (they run at another time).
+class UseAfterMoveRule final : public Rule {
+ public:
+  UseAfterMoveRule() {
+    info_ = {"use-after-move",
+             "moved-from variable is used before being reset",
+             Severity::Error};
+  }
+  [[nodiscard]] const RuleInfo& info() const override { return info_; }
+
+  void finish_program(const ProgramIndex& index, const CallGraph& graph,
+                      Sink& sink) override {
+    (void)graph;
+    for (const FunctionInfo& fn : index.functions()) {
+      check_function(fn, sink);
+    }
+  }
+
+ private:
+  enum class Action { Use, Move, Kill };
+  struct Event {
+    Action action = Action::Use;
+    unsigned var = 0;
+    std::size_t line = 0;
+    std::size_t column = 0;
+  };
+
+  /// `j` indexes `move` — return the single-identifier argument's code
+  /// index, or size() when the call shape does not match `std::move(x)`.
+  static std::size_t move_arg(const CodeView& v, std::size_t j) {
+    if (!v.is_ident(j, "move") || !v.is_punct(j + 1, "(")) return v.size();
+    const bool std_qualified =
+        j >= 2 && v.is_punct(j - 1, "::") && v.is_ident(j - 2, "std");
+    if (!std_qualified && v.prev_is_accessor(j)) return v.size();
+    if (j + 3 < v.size() && v.tok(j + 2).kind == TokenKind::Identifier &&
+        v.is_punct(j + 3, ")")) {
+      return j + 2;
+    }
+    return v.size();
+  }
+
+  void check_function(const FunctionInfo& fn, Sink& sink) {
+    const CodeView v(*fn.file);
+    // Pass 1: which locals are ever moved from? (Fast path: most
+    // functions move nothing and never build a CFG.) Fact ids are only
+    // assigned after the bail-out passes below settle the final set.
+    std::set<std::string> moved_names;
+    for (std::size_t j = fn.body_begin + 1; j < fn.body_end; ++j) {
+      const std::size_t arg = move_arg(v, j);
+      if (arg < v.size()) moved_names.insert(v.tok(arg).text);
+    }
+    if (moved_names.empty()) return;
+
+    // Conservative bail-outs: reference-captured (a lambda may reset or
+    // reuse the variable at any time) and address-taken variables leave
+    // the analysis entirely.
+    for (const LambdaInfo& lam : fn.lambdas) {
+      for (auto it = moved_names.begin(); it != moved_names.end();) {
+        bool drop = lam.captures_by_ref(*it);
+        if (!drop && lam.has_default_ref()) {
+          for (std::size_t j = lam.body_begin + 1;
+               !drop && j < lam.body_end; ++j) {
+            drop = v.is_ident(j, *it);
+          }
+        }
+        it = drop ? moved_names.erase(it) : ++it;
+      }
+    }
+    for (std::size_t j = fn.body_begin + 2; j < fn.body_end; ++j) {
+      if (!v.is_punct(j - 1, "&")) continue;
+      const Token& before = v.tok(j - 2);
+      const bool binary = before.kind == TokenKind::Identifier ||
+                          before.kind == TokenKind::Number ||
+                          before.text == ")" || before.text == "]";
+      if (binary) continue;  // `a & b`, not address-of
+      moved_names.erase(v.tok(j).text);
+    }
+    if (moved_names.empty()) return;
+    std::map<std::string, unsigned> vars;
+    for (const std::string& name : moved_names) {
+      vars.emplace(name, static_cast<unsigned>(vars.size()));
+    }
+
+    const Cfg cfg = build_cfg(v, fn.body_begin, fn.body_end);
+    std::vector<std::vector<Event>> events(cfg.blocks.size());
+    std::vector<BlockFacts> facts(cfg.blocks.size());
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+      scan_block(v, fn, cfg.blocks[b], vars, &events[b]);
+      // Transfer summary: the block's last action per variable decides.
+      std::map<unsigned, Action> last;
+      for (const Event& e : events[b]) {
+        if (e.action != Action::Use) last[e.var] = e.action;
+      }
+      for (const auto& [var, action] : last) {
+        if (action == Action::Move) {
+          facts[b].gen.insert(var);
+        } else {
+          facts[b].kill.insert(var);
+        }
+      }
+    }
+    const std::vector<std::set<unsigned>> in = solve_forward(cfg, facts);
+
+    // Report: replay each block from its IN state.
+    std::vector<std::string> names(vars.size());
+    for (const auto& [name, id] : vars) names[id] = name;
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+      std::set<unsigned> moved = in[b];
+      for (const Event& e : events[b]) {
+        switch (e.action) {
+          case Action::Use:
+            if (moved.count(e.var) != 0) {
+              emit(sink, fn, names[e.var], e.line, e.column, false);
+              moved.erase(e.var);  // one report per variable per path
+            }
+            break;
+          case Action::Move:
+            if (moved.count(e.var) != 0) {
+              emit(sink, fn, names[e.var], e.line, e.column, true);
+            }
+            moved.insert(e.var);
+            break;
+          case Action::Kill:
+            moved.erase(e.var);
+            break;
+        }
+      }
+    }
+  }
+
+  static void scan_block(const CodeView& v, const FunctionInfo& fn,
+                         const CfgBlock& block,
+                         const std::map<std::string, unsigned>& vars,
+                         std::vector<Event>* out) {
+    static const std::set<std::string> kResetMethods{"clear", "reset",
+                                                     "assign", "swap"};
+    for (const auto& [begin, end] : block.ranges) {
+      for (std::size_t j = begin; j < end; ++j) {
+        // Lambda bodies are opaque; capture lists still run here (an
+        // init-capture `[y = std::move(x)]` moves x at creation time).
+        if (in_lambda_body(fn, j)) continue;
+        const std::size_t arg = move_arg(v, j);
+        if (arg < v.size()) {
+          const auto it = vars.find(v.tok(arg).text);
+          if (it != vars.end()) {
+            out->push_back({Action::Move, it->second, v.tok(arg).line,
+                            v.tok(arg).column});
+          }
+          j = arg + 1;  // past the ')'
+          continue;
+        }
+        const Token& t = v.tok(j);
+        if (t.kind != TokenKind::Identifier) continue;
+        const auto it = vars.find(t.text);
+        if (it == vars.end() || v.prev_is_accessor(j)) continue;
+        Action action = Action::Use;
+        if (is_declaration(v, j)) {
+          action = Action::Kill;
+        } else if (v.is_punct(j + 1, "=")) {
+          action = Action::Kill;
+        } else if (j > 0 && v.is_punct(j - 1, ">>")) {
+          // Stream extraction (`in >> token`) refills the variable — the
+          // canonical move-in-a-read-loop idiom.
+          action = Action::Kill;
+        } else if ((v.is_punct(j + 1, ".") || v.is_punct(j + 1, "->")) &&
+                   j + 2 < v.size() &&
+                   kResetMethods.count(v.tok(j + 2).text) != 0 &&
+                   v.is_punct(j + 3, "(")) {
+          action = Action::Kill;
+        }
+        out->push_back({action, it->second, t.line, t.column});
+      }
+    }
+  }
+
+  void emit(Sink& sink, const FunctionInfo& fn, const std::string& name,
+            std::size_t line, std::size_t column, bool double_move) {
+    sink.emit(info_, *fn.file, line, column,
+              std::string(double_move ? "'" : "'") + name +
+                  (double_move
+                       ? "' is moved from again while already moved-from in '"
+                       : "' may be used after std::move in '") +
+                  fn.qualified +
+                  "' — reassign it or call .clear()/.reset() before reuse");
+  }
+
+  RuleInfo info_;
+};
+
+/// fp-accumulation-order: a float/double reduction inside a loop whose
+/// iteration order is not an explicit index program (range-for, while,
+/// do-while) is exactly the code PDES partitioning would reassociate —
+/// and IEEE-754 addition is not associative, so the determinism digest
+/// would drift. Classic `for (init; cond; step)` loops are exempt (their
+/// order is pinned by the index), as is anything the file types as an
+/// obs-style order-insensitive accumulator.
+class FpAccumulationOrderRule final : public Rule {
+ public:
+  explicit FpAccumulationOrderRule(const AnalyzerConfig& cfg) : cfg_(&cfg) {
+    info_ = {"fp-accumulation-order",
+             "order-sensitive float accumulation in a non-indexed loop",
+             Severity::Error};
+  }
+  [[nodiscard]] const RuleInfo& info() const override { return info_; }
+
+  void finish_program(const ProgramIndex& index, const CallGraph& graph,
+                      Sink& sink) override {
+    (void)graph;
+    static const std::set<std::string> kFloatTypes{"double", "float"};
+    static const std::set<std::string> kAccumTypes{"Accumulator"};
+    for (const FunctionInfo& fn : index.functions()) {
+      if (!AnalyzerConfig::path_in(fn.file->rel_path, cfg_->fp_digest_dirs))
+        continue;
+      const CodeView v(*fn.file);
+      // Cheap pre-filter: no compound assignment, no candidate sites.
+      bool has_compound = false;
+      for (std::size_t j = fn.body_begin + 1;
+           !has_compound && j < fn.body_end; ++j) {
+        has_compound = v.is_punct(j, "+=") || v.is_punct(j, "-=");
+      }
+      if (!has_compound) continue;
+      const std::set<std::string> float_vars =
+          typed_vars_in_scope(v, fn, kFloatTypes);
+      if (float_vars.empty()) continue;
+      const std::set<std::string> accum_vars =
+          typed_vars_in_scope(v, fn, kAccumTypes);
+      check_function(v, fn, float_vars, accum_vars, sink);
+    }
+  }
+
+ private:
+  void check_function(const CodeView& v, const FunctionInfo& fn,
+                      const std::set<std::string>& float_vars,
+                      const std::set<std::string>& accum_vars, Sink& sink) {
+    // Candidate sites first; the CFG is only built when one exists.
+    struct Site {
+      std::size_t head = 0;      ///< code index of the chain head
+      std::string target;        ///< printable chain
+      std::string op;
+    };
+    std::vector<Site> sites;
+    for (std::size_t j = fn.body_begin + 1; j < fn.body_end; ++j) {
+      const Token& t = v.tok(j);
+      if (t.kind != TokenKind::Identifier || v.prev_is_accessor(j)) continue;
+      if (in_lambda_body(fn, j)) continue;  // runs at another time/thread
+      // Follow the lvalue chain (subscripts elided, members kept).
+      std::string target = t.text;
+      std::string last_segment = t.text;
+      std::size_t k = j + 1;
+      while (k < v.size()) {
+        if (v.is_punct(k, "[")) {
+          const std::size_t close = v.matching(k, "[", "]");
+          if (close >= v.size()) break;
+          target += "[]";
+          k = close + 1;
+          continue;
+        }
+        if ((v.is_punct(k, ".") || v.is_punct(k, "->")) && k + 1 < v.size() &&
+            v.tok(k + 1).kind == TokenKind::Identifier &&
+            !v.is_punct(k + 2, "(")) {
+          last_segment = v.tok(k + 1).text;
+          target += v.tok(k).text + last_segment;
+          k += 2;
+          continue;
+        }
+        break;
+      }
+      if (k >= v.size() ||
+          (!v.is_punct(k, "+=") && !v.is_punct(k, "-="))) {
+        continue;
+      }
+      if (accum_vars.count(t.text) != 0) continue;  // order-free by type
+      if (float_vars.count(t.text) == 0 &&
+          float_vars.count(last_segment) == 0) {
+        continue;  // not provably floating-point — stay quiet
+      }
+      sites.push_back({j, target, v.tok(k).text});
+    }
+    if (sites.empty()) return;
+
+    const Cfg cfg = build_cfg(v, fn.body_begin, fn.body_end);
+    for (const Site& site : sites) {
+      const LoopInfo* loop = cfg.innermost_loop_at(site.head);
+      if (loop == nullptr || loop->index_ordered) continue;
+      const char* kind = loop->kind == LoopKind::RangeFor ? "range-for"
+                         : loop->kind == LoopKind::DoWhile ? "do-while"
+                                                           : "while";
+      const Token& t = v.tok(site.head);
+      sink.emit(info_, *fn.file, t.line, t.column,
+                "floating-point accumulation '" + site.target + " " +
+                    site.op + " ...' in a " + kind + " loop in '" +
+                    fn.qualified +
+                    "' — iteration order is not an explicit index program, "
+                    "so PDES reassociation would change the determinism "
+                    "digest; use an index-ordered for loop, or prove the "
+                    "update order-free and waive");
+    }
+  }
+
+  const AnalyzerConfig* cfg_;
+  RuleInfo info_;
+};
+
+/// sim-state-confinement: the PDES partition-safety precondition. Shared
+/// simulator-owned state (Network, nodes, the event queue) reached from a
+/// ThreadPool worker task bypasses the event loop's single-writer
+/// discipline; the only sanctioned channel is the Simulator dispatch
+/// context (schedule_in/schedule_at/schedule_periodic), which marshals the
+/// effect back onto simulated time. Copies (by-value captures), locals and
+/// parameters are confined by construction and stay quiet.
+class SimStateConfinementRule final : public Rule {
+ public:
+  explicit SimStateConfinementRule(const AnalyzerConfig& cfg) : cfg_(&cfg) {
+    info_ = {"sim-state-confinement",
+             "shared simulator state touched from a worker task",
+             Severity::Error};
+  }
+  [[nodiscard]] const RuleInfo& info() const override { return info_; }
+
+  void finish_program(const ProgramIndex& index, const CallGraph& graph,
+                      Sink& sink) override {
+    (void)graph;
+    const std::set<std::string> state_types(cfg_->sim_state_types.begin(),
+                                            cfg_->sim_state_types.end());
+    const std::set<std::string> dispatch(cfg_->sim_dispatch_methods.begin(),
+                                         cfg_->sim_dispatch_methods.end());
+    for (const FunctionInfo& fn : index.functions()) {
+      bool has_worker = false;
+      for (const LambdaInfo& lam : fn.lambdas) has_worker |= lam.worker;
+      if (!has_worker) continue;
+      const CodeView v(*fn.file);
+      const std::set<std::string> sim_vars =
+          typed_vars_in_scope(v, fn, state_types);
+      if (sim_vars.empty()) continue;
+
+      for (const LambdaInfo& lam : fn.lambdas) {
+        if (!lam.worker) continue;
+        const std::set<std::string> locals =
+            declared_names(*fn.file, lam.body_begin, lam.body_end);
+        std::set<std::string> flagged;
+        for (std::size_t j = lam.body_begin + 1; j < lam.body_end; ++j) {
+          const Token& t = v.tok(j);
+          if (t.kind != TokenKind::Identifier ||
+              sim_vars.count(t.text) == 0 || v.prev_is_accessor(j)) {
+            continue;
+          }
+          if (!shared_in(lam, locals, t.text)) continue;
+          // The sanctioned channel: sim.schedule_*(...) dispatch calls.
+          if ((v.is_punct(j + 1, ".") || v.is_punct(j + 1, "->")) &&
+              j + 2 < v.size() && dispatch.count(v.tok(j + 2).text) != 0 &&
+              v.is_punct(j + 3, "(")) {
+            continue;
+          }
+          if (!flagged.insert(t.text).second) continue;
+          sink.emit(info_, *fn.file, t.line, t.column,
+                    "simulator state '" + t.text +
+                        "' is touched from a ThreadPool worker task in '" +
+                        fn.qualified +
+                        "' — worker code must not reach shared "
+                        "Network/node/queue state; marshal the effect "
+                        "through the Simulator dispatch context "
+                        "(schedule_in/schedule_at) or operate on a "
+                        "confined copy");
+        }
+      }
+    }
+  }
+
+ private:
+  /// Does `name` inside this worker lambda denote *shared* state? Locals,
+  /// parameters and by-value captures are copies or confined; explicit
+  /// by-ref captures, default-& captures of enclosing-scope names and
+  /// members (trailing '_', reached via a this/default capture) are shared.
+  static bool shared_in(const LambdaInfo& lam,
+                        const std::set<std::string>& locals,
+                        const std::string& name) {
+    if (lam.params.count(name) != 0 || locals.count(name) != 0) return false;
+    for (const Capture& c : lam.captures) {
+      if (!c.is_default && c.name == name) return c.by_ref;
+    }
+    if (ends_with(name, '_')) return true;  // member via this capture
+    return lam.has_default_ref();
+  }
+
+  const AnalyzerConfig* cfg_;
+  RuleInfo info_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<Rule> make_lock_order_cycle() {
+  return std::make_unique<LockOrderCycleRule>();
+}
+std::unique_ptr<Rule> make_use_after_move() {
+  return std::make_unique<UseAfterMoveRule>();
+}
+std::unique_ptr<Rule> make_fp_accumulation_order(const AnalyzerConfig& c) {
+  return std::make_unique<FpAccumulationOrderRule>(c);
+}
+std::unique_ptr<Rule> make_sim_state_confinement(const AnalyzerConfig& c) {
+  return std::make_unique<SimStateConfinementRule>(c);
+}
+
+}  // namespace detail
+
+}  // namespace alert::analysis_tools

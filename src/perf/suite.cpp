@@ -2,11 +2,13 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <system_error>
 #include <utility>
 
 #include "campaign/engine.hpp"
 #include "campaign/spec.hpp"
+#include "lint/analyzer.hpp"
 #include "obs/manifest.hpp"
 #include "obs/profile.hpp"
 #include "obs/resource.hpp"
@@ -368,10 +370,116 @@ constexpr Pin kScaleMacroDurationS{5, 2};
   return report;
 }
 
+// --- lint suite -------------------------------------------------------------
+
+/// Synthetic-tree pins: the scan workload must not drift as the real src/
+/// tree grows, so the suite lints a generated tree of fixed shape instead.
+/// 160 files ~ the real tree's size at the time the pin was chosen.
+constexpr Pin kLintFiles{160, 24};
+constexpr Pin kLintRepeats{5, 2};
+
+/// One deterministic synthetic TU: exercises the flow-sensitive families
+/// (CFG + dataflow over loops and moves, lock-graph edges from the guard
+/// pair) and the token rules, while staying finding-free so the measured
+/// cost is analysis, not Sink/report traffic. Only names vary with `i`.
+[[nodiscard]] std::string lint_synthetic_source(std::size_t i) {
+  const std::string n = std::to_string(i);
+  std::string out;
+  out += "#include <mutex>\n#include <string>\n#include <utility>\n";
+  out += "#include <vector>\n\n";
+  out += "namespace alert::sim {\n\n";
+  out += "class Worker" + n + " {\n public:\n";
+  out += "  double digest(const std::vector<double>& samples) {\n";
+  out += "    double total = 0.0;\n";
+  out += "    for (unsigned long k = 0; k < samples.size(); ++k) {\n";
+  out += "      total += samples[k];\n";
+  out += "    }\n";
+  out += "    return total;\n";
+  out += "  }\n";
+  out += "  void credit() {\n";
+  out += "    std::lock_guard<std::mutex> a(first_);\n";
+  out += "    std::lock_guard<std::mutex> b(second_);\n";
+  out += "    ++balance_;\n";
+  out += "  }\n";
+  out += "  void debit() {\n";
+  out += "    std::lock_guard<std::mutex> a(first_);\n";
+  out += "    std::lock_guard<std::mutex> b(second_);\n";
+  out += "    --balance_;\n";
+  out += "  }\n";
+  out += "  std::string consume" + n + "(std::string label) {\n";
+  out += "    std::string stored = std::move(label);\n";
+  out += "    label = stored;\n";
+  out += "    switch (label.size() % 3) {\n";
+  out += "      case 0: stored += \"a\"; break;\n";
+  out += "      case 1: stored += \"b\"; break;\n";
+  out += "      default: stored += \"c\"; break;\n";
+  out += "    }\n";
+  out += "    return stored + label;\n";
+  out += "  }\n";
+  out += " private:\n";
+  out += "  std::mutex first_;\n";
+  out += "  std::mutex second_;\n";
+  out += "  long balance_ = 0;\n";
+  out += "};\n\n}  // namespace alert::sim\n";
+  return out;
+}
+
+[[nodiscard]] BenchReport run_lint_suite(const SuiteOptions& options) {
+  BenchReport report = make_report("lint");
+
+  const fs::path work_dir =
+      options.work_dir.empty()
+          ? fs::temp_directory_path() / "alertsim-perf-lint"
+          : fs::path(options.work_dir);
+  const std::size_t files = kLintFiles.at(options.smoke);
+  {
+    std::error_code ec;
+    fs::remove_all(work_dir, ec);
+    fs::create_directories(work_dir / "sim");
+    fs::create_directories(work_dir / "util");
+    for (std::size_t i = 0; i < files; ++i) {
+      const fs::path dir = work_dir / (i % 2 == 0 ? "sim" : "util");
+      std::ofstream out(dir / ("gen_" + std::to_string(i) + ".cpp"));
+      out << lint_synthetic_source(i);
+    }
+  }
+
+  analysis_tools::AnalyzerOptions scan;
+  scan.root = work_dir.string();
+  scan.threads = 1;  // serial scan: stable ms independent of runner cores
+  const Measurement elapsed = measure(
+      [&scan, files] {
+        const std::uint64_t start = obs::monotonic_ns();
+        const analysis_tools::AnalyzeResult r = analysis_tools::analyze(scan);
+        const double wall_ms =
+            static_cast<double>(obs::monotonic_ns() - start) / 1e6;
+        ALERT_INVARIANT(r.report.files_scanned == files,
+                        "lint kernel scanned the wrong tree");
+        ALERT_INVARIANT(r.report.findings.empty(),
+                        "lint kernel tree is not finding-free");
+        return wall_ms;
+      },
+      options_for(options, kLintRepeats, 1));
+  // Wall-clock over file I/O + every rule phase; median with the usual
+  // macro-style tolerance.
+  report.add_metric(metric_from("lint_scan_ms", "ms", elapsed, Stat::Median,
+                         /*higher_is_better=*/false, 35.0));
+  ALERT_LOG_INFO("perf lint: lint_scan_ms %.1f (iqr %.1f)", elapsed.median,
+                 elapsed.iqr);
+
+  {
+    std::error_code ec;
+    fs::remove_all(work_dir, ec);
+  }
+  add_peak_rss(report);
+  return report;
+}
+
 }  // namespace
 
 const std::vector<std::string>& suite_names() {
-  static const std::vector<std::string> names{"core", "campaign", "scale"};
+  static const std::vector<std::string> names{"core", "campaign", "scale",
+                                              "lint"};
   return names;
 }
 
@@ -384,6 +492,7 @@ std::optional<BenchReport> run_suite(std::string_view suite,
   if (suite == "core") return run_core_suite(options);
   if (suite == "campaign") return run_campaign_suite(options);
   if (suite == "scale") return run_scale_suite(options);
+  if (suite == "lint") return run_lint_suite(options);
   return std::nullopt;
 }
 

@@ -15,6 +15,9 @@
 ///               backends on (events/s) plus its speedup over the
 ///               linear-scan / binary-heap / malloc configuration, and
 ///               peak RSS → BENCH_scale.json
+///   lint      — alertsim-analyzer wall time over a generated source tree
+///               of pinned shape (the real tree would drift as the repo
+///               grows), single-threaded, and peak RSS → BENCH_lint.json
 ///
 /// "Pinned" means the workload shapes, seeds and repeat counts are fixed in
 /// suite.cpp: a measured number is only comparable against a baseline

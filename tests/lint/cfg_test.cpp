@@ -1,0 +1,325 @@
+/// Unit tests for the intraprocedural layer under the flow-sensitive rules:
+/// CFG construction corner cases (goto backward edges, switch fallthrough
+/// with and without [[fallthrough]], ternary joins, early returns inside
+/// loops, the three loop shapes and their index_ordered classification) and
+/// the gen/kill worklist solver in both directions. The rule-level tests
+/// live in flow_rules_test.cpp; these pin the graph shapes they rely on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "lint/cfg.hpp"
+#include "lint/dataflow.hpp"
+#include "lint/file_data.hpp"
+
+namespace lint = alert::analysis_tools;
+
+namespace {
+
+/// Builds the CFG of the first (only) function in `source`. The source must
+/// not open any other brace before the function body — plain free functions,
+/// no namespaces.
+class CfgFixture {
+ public:
+  explicit CfgFixture(const std::string& source)
+      : file_(lint::build_file_data("core/cfg_fixture.cpp", source)),
+        view_(file_) {
+    std::size_t open = 0;
+    while (open < view_.size() && !view_.is_punct(open, "{")) ++open;
+    cfg_ = lint::build_cfg(view_, open, view_.matching(open, "{", "}"));
+  }
+
+  [[nodiscard]] const lint::Cfg& cfg() const { return cfg_; }
+
+  /// Code index of the nth occurrence of `text` (0-based).
+  [[nodiscard]] std::size_t code_index(std::string_view text,
+                                       int nth = 0) const {
+    for (std::size_t i = 0; i < view_.size(); ++i) {
+      if (view_.tok(i).text == text && nth-- == 0) return i;
+    }
+    ADD_FAILURE() << "token not found: " << text;
+    return 0;
+  }
+
+  /// Block whose token ranges contain code index `tok`.
+  [[nodiscard]] std::size_t block_at(std::size_t tok) const {
+    for (std::size_t b = 0; b < cfg_.blocks.size(); ++b) {
+      for (const auto& [begin, end] : cfg_.blocks[b].ranges) {
+        if (begin <= tok && tok < end) return b;
+      }
+    }
+    ADD_FAILURE() << "no block contains code index " << tok;
+    return cfg_.entry;
+  }
+
+  [[nodiscard]] bool has_edge(std::size_t from, std::size_t to) const {
+    const auto& succ = cfg_.blocks[from].succ;
+    return std::find(succ.begin(), succ.end(), to) != succ.end();
+  }
+
+ private:
+  lint::FileData file_;
+  lint::CodeView view_;
+  lint::Cfg cfg_;
+};
+
+TEST(Cfg, StraightLineBodyIsOneBlock) {
+  const CfgFixture f(
+      "int f(int a) {\n"
+      "  int b = a + 1;\n"
+      "  return b * 2;\n"
+      "}\n");
+  // entry, exit, and exactly one body block.
+  EXPECT_EQ(f.cfg().blocks.size(), 3u);
+  EXPECT_EQ(f.block_at(f.code_index("b")), f.block_at(f.code_index("return")));
+  EXPECT_TRUE(f.has_edge(f.block_at(f.code_index("return")), f.cfg().exit));
+}
+
+TEST(Cfg, TernaryStaysInsideOneBlock) {
+  const CfgFixture f(
+      "int pick(bool c, int a, int b) {\n"
+      "  int x = c ? a : b;\n"
+      "  return x;\n"
+      "}\n");
+  // The ternary's implicit join never splits the block: both arms and the
+  // following statement share it, which is the conservative may-analysis
+  // reading (facts from either arm survive).
+  EXPECT_EQ(f.block_at(f.code_index("?")),
+            f.block_at(f.code_index("return")));
+  EXPECT_EQ(f.cfg().blocks.size(), 3u);
+}
+
+TEST(Cfg, IfElseFormsDiamond) {
+  const CfgFixture f(
+      "int f(bool c) {\n"
+      "  int r = 0;\n"
+      "  if (c) {\n"
+      "    r = 1;\n"
+      "  } else {\n"
+      "    r = 2;\n"
+      "  }\n"
+      "  return r;\n"
+      "}\n");
+  const std::size_t cond = f.block_at(f.code_index("if"));
+  const std::size_t then_b = f.block_at(f.code_index("1"));
+  const std::size_t else_b = f.block_at(f.code_index("2"));
+  const std::size_t join = f.block_at(f.code_index("return"));
+  EXPECT_TRUE(f.has_edge(cond, then_b));
+  EXPECT_TRUE(f.has_edge(cond, else_b));
+  EXPECT_TRUE(f.has_edge(then_b, join));
+  EXPECT_TRUE(f.has_edge(else_b, join));
+  EXPECT_FALSE(f.has_edge(cond, join));  // the else arm covers that path
+}
+
+TEST(Cfg, WhileLoopHasBackEdgeAndExit) {
+  const CfgFixture f(
+      "int f(int n) {\n"
+      "  while (n > 0) {\n"
+      "    n -= 1;\n"
+      "  }\n"
+      "  return n;\n"
+      "}\n");
+  ASSERT_EQ(f.cfg().loops.size(), 1u);
+  const lint::LoopInfo& loop = f.cfg().loops[0];
+  EXPECT_EQ(loop.kind, lint::LoopKind::While);
+  EXPECT_FALSE(loop.index_ordered);
+  const std::size_t body = f.block_at(f.code_index("-="));
+  EXPECT_TRUE(f.has_edge(body, loop.head));  // back edge
+  EXPECT_TRUE(f.has_edge(loop.head, f.block_at(f.code_index("return"))));
+}
+
+TEST(Cfg, DoWhileRunsBodyBeforeCondition) {
+  const CfgFixture f(
+      "int f(int n) {\n"
+      "  do {\n"
+      "    n += 1;\n"
+      "  } while (n < 4);\n"
+      "  return n;\n"
+      "}\n");
+  ASSERT_EQ(f.cfg().loops.size(), 1u);
+  EXPECT_EQ(f.cfg().loops[0].kind, lint::LoopKind::DoWhile);
+  // Entry reaches the body directly — the condition only runs afterwards.
+  EXPECT_TRUE(f.has_edge(f.cfg().entry, f.block_at(f.code_index("+="))));
+}
+
+TEST(Cfg, ClassicForIsIndexOrderedRangeForIsNot) {
+  const CfgFixture classic(
+      "int sum(int n) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    s += i;\n"
+      "  }\n"
+      "  return s;\n"
+      "}\n");
+  ASSERT_EQ(classic.cfg().loops.size(), 1u);
+  EXPECT_EQ(classic.cfg().loops[0].kind, lint::LoopKind::For);
+  EXPECT_TRUE(classic.cfg().loops[0].index_ordered);
+
+  const CfgFixture ranged(
+      "int sum(const int (&v)[4]) {\n"
+      "  int s = 0;\n"
+      "  for (int x : v) {\n"
+      "    s += x;\n"
+      "  }\n"
+      "  return s;\n"
+      "}\n");
+  ASSERT_EQ(ranged.cfg().loops.size(), 1u);
+  EXPECT_EQ(ranged.cfg().loops[0].kind, lint::LoopKind::RangeFor);
+  EXPECT_FALSE(ranged.cfg().loops[0].index_ordered);
+}
+
+TEST(Cfg, EarlyReturnInLoopEdgesToExitOnly) {
+  const CfgFixture f(
+      "int find(const int* v, int n, int want) {\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    if (v[i] == want) return i;\n"
+      "  }\n"
+      "  return -1;\n"
+      "}\n");
+  const std::size_t ret = f.block_at(f.code_index("return", 0));
+  ASSERT_EQ(f.cfg().blocks[ret].succ.size(), 1u);
+  EXPECT_TRUE(f.has_edge(ret, f.cfg().exit));  // never back to the latch
+}
+
+TEST(Cfg, SwitchFallthroughEdgesWithAndWithoutAttribute) {
+  const CfgFixture f(
+      "void f(int k) {\n"
+      "  switch (k) {\n"
+      "    case 0:\n"
+      "      zero();\n"
+      "      [[fallthrough]];\n"
+      "    case 1:\n"
+      "      one();\n"
+      "      break;\n"
+      "    case 2:\n"
+      "      two();\n"
+      "    case 3:\n"
+      "      three();\n"
+      "      break;\n"
+      "  }\n"
+      "  after();\n"
+      "}\n");
+  const std::size_t zero = f.block_at(f.code_index("zero"));
+  const std::size_t one = f.block_at(f.code_index("one"));
+  const std::size_t two = f.block_at(f.code_index("two"));
+  const std::size_t three = f.block_at(f.code_index("three"));
+  const std::size_t after = f.block_at(f.code_index("after"));
+  // [[fallthrough]] and a plain missing break spell the same CFG edge.
+  EXPECT_TRUE(f.has_edge(zero, one));
+  EXPECT_TRUE(f.has_edge(two, three));
+  // break leaves the switch; it never falls into the next group.
+  EXPECT_TRUE(f.has_edge(one, after));
+  EXPECT_FALSE(f.has_edge(one, two));
+  EXPECT_TRUE(f.has_edge(three, after));
+  // No default: the dispatch can skip the whole switch.
+  const std::size_t dispatch = f.block_at(f.code_index("switch"));
+  EXPECT_TRUE(f.has_edge(dispatch, after));
+}
+
+TEST(Cfg, GotoMakesABackwardEdge) {
+  const CfgFixture f(
+      "int f(int n) {\n"
+      "  int tries = 0;\n"
+      "retry:\n"
+      "  tries += 1;\n"
+      "  if (n > tries) goto retry;\n"
+      "  return tries;\n"
+      "}\n");
+  const std::size_t jump = f.block_at(f.code_index("goto"));
+  const std::size_t label = f.block_at(f.code_index("tries", 1));
+  EXPECT_TRUE(f.has_edge(jump, label));
+  // The label block sits earlier in the token stream than the goto: this is
+  // a genuine backward edge, so fixpoint solvers must iterate.
+  EXPECT_NE(jump, label);
+}
+
+TEST(Cfg, InnermostLoopAtPicksTheNestedLoop) {
+  const CfgFixture f(
+      "int f(int n) {\n"
+      "  int s = 0;\n"
+      "  while (n > 0) {\n"
+      "    for (int i = 0; i < n; ++i) {\n"
+      "      s += i;\n"
+      "    }\n"
+      "    n -= 1;\n"
+      "  }\n"
+      "  return s;\n"
+      "}\n");
+  ASSERT_EQ(f.cfg().loops.size(), 2u);
+  const lint::LoopInfo* inner = f.cfg().innermost_loop_at(f.code_index("+="));
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->kind, lint::LoopKind::For);
+  const lint::LoopInfo* outer = f.cfg().innermost_loop_at(f.code_index("-="));
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->kind, lint::LoopKind::While);
+  EXPECT_EQ(f.cfg().innermost_loop_at(f.code_index("return")), nullptr);
+}
+
+// --- dataflow -------------------------------------------------------------
+
+/// Hand-built diamond: entry -> cond -> {left, right} -> join -> exit.
+lint::Cfg diamond() {
+  lint::Cfg cfg;
+  cfg.blocks.resize(6);
+  const auto edge = [&](std::size_t from, std::size_t to) {
+    cfg.blocks[from].succ.push_back(to);
+    cfg.blocks[to].pred.push_back(from);
+  };
+  edge(0, 2);  // entry -> cond
+  edge(2, 3);  // cond -> left
+  edge(2, 4);  // cond -> right
+  edge(3, 5);  // left -> join
+  edge(4, 5);  // right -> join
+  edge(5, 1);  // join -> exit
+  return cfg;
+}
+
+TEST(Dataflow, ForwardMayUnionSurvivesOneKilledArm) {
+  const lint::Cfg cfg = diamond();
+  std::vector<lint::BlockFacts> facts(cfg.blocks.size());
+  facts[2].gen = {0};   // the condition block asserts fact 0
+  facts[3].kill = {0};  // the left arm cancels it
+  const auto in = lint::solve_forward(cfg, facts);
+  EXPECT_TRUE(in[3].count(0));   // reaches both arms
+  EXPECT_TRUE(in[4].count(0));
+  EXPECT_TRUE(in[5].count(0));   // may: the right arm kept it alive
+  EXPECT_TRUE(in[1].count(0));
+  EXPECT_FALSE(in[2].count(0));  // nothing flows in before the gen
+}
+
+TEST(Dataflow, ForwardReachesFixpointAroundALoop) {
+  // entry -> head <-> body -> (head) ; head -> exit. The body gens fact 0,
+  // which must flow around the back edge into the head's IN.
+  lint::Cfg cfg;
+  cfg.blocks.resize(4);
+  const auto edge = [&](std::size_t from, std::size_t to) {
+    cfg.blocks[from].succ.push_back(to);
+    cfg.blocks[to].pred.push_back(from);
+  };
+  edge(0, 2);  // entry -> head
+  edge(2, 3);  // head -> body
+  edge(3, 2);  // body -> head (back edge)
+  edge(2, 1);  // head -> exit
+  std::vector<lint::BlockFacts> facts(cfg.blocks.size());
+  facts[3].gen = {0};
+  const auto in = lint::solve_forward(cfg, facts);
+  EXPECT_TRUE(in[2].count(0));  // carried around the loop
+  EXPECT_TRUE(in[1].count(0));
+}
+
+TEST(Dataflow, BackwardMayPropagatesAgainstEdges) {
+  const lint::Cfg cfg = diamond();
+  std::vector<lint::BlockFacts> facts(cfg.blocks.size());
+  facts[5].gen = {0};   // the join demands fact 0
+  facts[4].kill = {0};  // the right arm satisfies/cancels it
+  const auto out = lint::solve_backward(cfg, facts);
+  EXPECT_TRUE(out[3].count(0));  // flows up the left arm
+  EXPECT_TRUE(out[2].count(0));  // may: one path still demands it
+  EXPECT_FALSE(out[5].count(0));  // nothing demands it after the join
+}
+
+}  // namespace

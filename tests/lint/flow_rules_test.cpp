@@ -1,0 +1,283 @@
+/// Unit tests for the flow-sensitive rule families (lock-order-cycle,
+/// use-after-move, fp-accumulation-order, sim-state-confinement), the
+/// LockGraph proof artifact they share, Baseline::prune, and the lexer's
+/// UTF-8 BOM handling. CFG/dataflow shape tests live in cfg_test.cpp;
+/// end-to-end fixture parity lives in the analyzer self-test.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/baseline.hpp"
+#include "lint/callgraph.hpp"
+#include "lint/file_data.hpp"
+#include "lint/index.hpp"
+#include "lint/lexer.hpp"
+#include "lint/lockgraph.hpp"
+#include "lint/rules.hpp"
+
+namespace lint = alert::analysis_tools;
+
+namespace {
+
+/// Runs every rule's finish_program over `sources` and keeps only the
+/// findings of `rule_id` — the flow families all report from that phase.
+std::vector<lint::Finding> program_findings(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const std::string& rule_id, const lint::AnalyzerConfig& config = {}) {
+  std::vector<lint::FileData> files;
+  for (const auto& [rel_path, source] : sources) {
+    files.push_back(lint::build_file_data(rel_path, source));
+  }
+  lint::Sink sink(config);
+  const lint::ProgramIndex index(files);
+  const lint::CallGraph graph(index, &config);
+  for (const auto& rule : lint::make_default_rules(config)) {
+    rule->finish_program(index, graph, sink);
+  }
+  std::vector<lint::Finding> out;
+  for (lint::Finding& f : sink.take()) {
+    if (f.rule == rule_id) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+// --- lock-order-cycle -----------------------------------------------------
+
+constexpr const char* kAbBaSource =
+    "#include <mutex>\n"
+    "class Ledger {\n"
+    " public:\n"
+    "  void credit() {\n"
+    "    std::lock_guard<std::mutex> a(accounts_);\n"
+    "    std::lock_guard<std::mutex> b(audit_);\n"
+    "  }\n"
+    "  void reconcile() {\n"
+    "    std::lock_guard<std::mutex> b(audit_);\n"
+    "    std::lock_guard<std::mutex> a(accounts_);\n"
+    "  }\n"
+    " private:\n"
+    "  std::mutex accounts_;\n"
+    "  std::mutex audit_;\n"
+    "};\n";
+
+TEST(LockOrderCycle, FlagsAbBaAcrossMethods) {
+  const auto findings =
+      program_findings({{"core/ledger.cpp", kAbBaSource}}, "lock-order-cycle");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("Ledger::accounts_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("Ledger::audit_"), std::string::npos);
+  // The witness names both acquisition sites' functions.
+  EXPECT_NE(findings[0].message.find("credit"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("reconcile"), std::string::npos);
+}
+
+TEST(LockOrderCycle, ConsistentOrderStaysSilent) {
+  const auto findings = program_findings(
+      {{"core/ledger.cpp",
+        "#include <mutex>\n"
+        "class Ledger {\n"
+        " public:\n"
+        "  void credit() {\n"
+        "    std::lock_guard<std::mutex> a(first_);\n"
+        "    std::lock_guard<std::mutex> b(second_);\n"
+        "  }\n"
+        "  void debit() {\n"
+        "    std::lock_guard<std::mutex> a(first_);\n"
+        "    std::lock_guard<std::mutex> b(second_);\n"
+        "  }\n"
+        " private:\n"
+        "  std::mutex first_;\n"
+        "  std::mutex second_;\n"
+        "};\n"}},
+      "lock-order-cycle");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LockGraph, ExposesNodesEdgesCyclesAndDot) {
+  const std::vector<lint::FileData> files{
+      lint::build_file_data("core/ledger.cpp", kAbBaSource)};
+  const lint::AnalyzerConfig config;
+  const lint::ProgramIndex index(files);
+  const lint::CallGraph graph(index, &config);
+  const lint::LockGraph lock_graph(index, graph);
+  ASSERT_EQ(lock_graph.nodes().size(), 2u);
+  EXPECT_EQ(lock_graph.nodes()[0], "Ledger::accounts_");
+  EXPECT_EQ(lock_graph.nodes()[1], "Ledger::audit_");
+  EXPECT_EQ(lock_graph.edges().size(), 2u);  // one per direction
+  const auto cycles = lock_graph.cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].nodes.size(), 2u);
+  ASSERT_EQ(cycles[0].witnesses.size(), 2u);
+  EXPECT_NE(cycles[0].witnesses[0], nullptr);
+  const std::string dot = lock_graph.to_dot();
+  EXPECT_NE(dot.find("digraph lock_order"), std::string::npos);
+  EXPECT_NE(dot.find("\"Ledger::accounts_\" -> \"Ledger::audit_\""),
+            std::string::npos);
+}
+
+// --- use-after-move -------------------------------------------------------
+
+TEST(UseAfterMove, FlagsStraightLineUseAndLoopCarriedMove) {
+  const auto findings = program_findings(
+      {{"core/moves.cpp",
+        "#include <string>\n"
+        "#include <utility>\n"
+        "#include <vector>\n"
+        "std::string consume(std::string label) {\n"
+        "  std::string stored = std::move(label);\n"
+        "  return stored + label;\n"
+        "}\n"
+        "void drain(std::vector<std::string>& out, std::string seed) {\n"
+        "  for (unsigned long i = 0; i < out.size(); ++i) {\n"
+        "    out[i] = std::move(seed);\n"
+        "  }\n"
+        "}\n"}},
+      "use-after-move");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 6u);  // label read after the move
+  EXPECT_NE(findings[0].message.find("'label'"), std::string::npos);
+  EXPECT_EQ(findings[1].line, 10u);  // seed moved again on iteration two
+  EXPECT_NE(findings[1].message.find("'seed'"), std::string::npos);
+}
+
+TEST(UseAfterMove, ReassignmentAndExitingBranchStaySilent) {
+  const auto findings = program_findings(
+      {{"core/moves.cpp",
+        "#include <string>\n"
+        "#include <utility>\n"
+        "std::string reset_between(std::string a, std::string b) {\n"
+        "  std::string keep = std::move(a);\n"
+        "  a = std::move(b);\n"
+        "  keep += a;\n"
+        "  return keep;\n"
+        "}\n"
+        "std::string branch_safe(bool flip, std::string s) {\n"
+        "  if (flip) {\n"
+        "    return std::move(s);\n"
+        "  }\n"
+        "  return s;\n"
+        "}\n"}},
+      "use-after-move");
+  EXPECT_TRUE(findings.empty());
+}
+
+// --- fp-accumulation-order ------------------------------------------------
+
+TEST(FpAccumulationOrder, FlagsRangeForNotIndexedFor) {
+  const std::string source =
+      "#include <vector>\n"
+      "double range_sum(const std::vector<double>& v) {\n"
+      "  double total = 0.0;\n"
+      "  for (const double s : v) {\n"
+      "    total += s;\n"
+      "  }\n"
+      "  return total;\n"
+      "}\n"
+      "double indexed_sum(const std::vector<double>& v) {\n"
+      "  double total = 0.0;\n"
+      "  for (unsigned long i = 0; i < v.size(); ++i) {\n"
+      "    total += v[i];\n"
+      "  }\n"
+      "  return total;\n"
+      "}\n";
+  const auto findings =
+      program_findings({{"sim/digest.cpp", source}}, "fp-accumulation-order");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 5u);
+  EXPECT_NE(findings[0].message.find("range-for"), std::string::npos);
+  // The same code outside the digest-sensitive directories is fine: host-side
+  // tooling does not feed the determinism digest.
+  EXPECT_TRUE(program_findings({{"obs/digest.cpp", source}},
+                               "fp-accumulation-order")
+                  .empty());
+}
+
+// --- sim-state-confinement ------------------------------------------------
+
+TEST(SimStateConfinement, FlagsSharedNetworkButNotDispatchOrCopies) {
+  const auto findings = program_findings(
+      {{"core/runner.cpp",
+        "void fan_out(ThreadPool& pool, Network& net, Simulator& sim) {\n"
+        "  pool.parallel_for(4, [&](int i) {\n"
+        "    net.mark_dirty(i);\n"
+        "    sim.schedule_in(i, i);\n"
+        "  });\n"
+        "}\n"
+        "void confined(ThreadPool& pool, Network& net) {\n"
+        "  pool.parallel_for(4, [net](int i) mutable {\n"
+        "    net.mark_dirty(i);\n"
+        "  });\n"
+        "}\n"}},
+      "sim-state-confinement");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_NE(findings[0].message.find("'net'"), std::string::npos);
+}
+
+// --- Baseline::prune ------------------------------------------------------
+
+TEST(Baseline, PruneDropsOnlyStaleEntries) {
+  const std::string text =
+      "# header comment\n"
+      "\n"
+      "mutable-global core/x.cpp 00000000deadbeef grandfathered: legacy\n"
+      "wall-clock sim/gone.cpp 0000000000000001 grandfathered: removed\n"
+      "not a valid entry line\n";
+  std::vector<std::string> errors;
+  lint::Baseline b = lint::Baseline::parse(text, &errors);
+  ASSERT_EQ(b.size(), 2u);
+  // Mark the first entry used by absorbing a finding whose fingerprint was
+  // crafted to match is impractical here; instead absorb against the entry
+  // the same way the analyzer does — via a matching rule/path/line text.
+  lint::Finding f;
+  f.rule = "mutable-global";
+  f.path = "core/x.cpp";
+  const std::string line_text = "int g_bad = 0;";
+  std::string rendered = lint::Baseline::render({f}, {line_text});
+  const std::size_t todo = rendered.find("TODO: justify");
+  ASSERT_NE(todo, std::string::npos);
+  rendered.replace(todo, 13, "grandfathered: legacy");
+  const std::string full = rendered +
+                           "wall-clock sim/gone.cpp 0000000000000001 "
+                           "grandfathered: removed\n"
+                           "# trailing comment\n"
+                           "mangled line kept verbatim\n";
+  lint::Baseline parsed = lint::Baseline::parse(full, nullptr);
+  EXPECT_TRUE(parsed.absorbs(f, line_text));
+  const std::string pruned = parsed.prune(full);
+  // The used entry, the comment, and the malformed line survive; the stale
+  // wall-clock entry is gone.
+  EXPECT_NE(pruned.find("mutable-global core/x.cpp"), std::string::npos);
+  EXPECT_NE(pruned.find("# trailing comment"), std::string::npos);
+  EXPECT_NE(pruned.find("mangled line kept verbatim"), std::string::npos);
+  EXPECT_EQ(pruned.find("sim/gone.cpp"), std::string::npos);
+}
+
+TEST(Baseline, PruneWithNothingUsedDropsEveryEntry) {
+  const std::string text =
+      "# kept\n"
+      "wall-clock sim/gone.cpp 0000000000000001 grandfathered: removed\n";
+  lint::Baseline b = lint::Baseline::parse(text, nullptr);
+  const std::string pruned = b.prune(text);
+  EXPECT_EQ(pruned, "# kept\n");
+}
+
+// --- lexer BOM ------------------------------------------------------------
+
+TEST(Lexer, SkipsUtf8BomBeforeFirstToken) {
+  const lint::TokenStream ts = lint::lex("\xEF\xBB\xBF#include <x>\n");
+  ASSERT_FALSE(ts.empty());
+  // Without the skip, the BOM bytes glue onto the '#' and the directive
+  // lexes as garbage instead of a Preprocessor token.
+  EXPECT_EQ(ts[0].kind, lint::TokenKind::Preprocessor);
+  EXPECT_EQ(ts[0].line, 1u);
+  EXPECT_EQ(ts[0].column, 1u);
+  // A BOM mid-file is not a BOM; only the leading one is skipped.
+  const lint::TokenStream plain = lint::lex("#include <x>\n");
+  EXPECT_EQ(plain[0].kind, lint::TokenKind::Preprocessor);
+}
+
+}  // namespace

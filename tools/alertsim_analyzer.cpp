@@ -8,8 +8,10 @@
 ///       sarif] [--output=FILE] [--sarif-out=FILE] [--skip-headers]
 ///       [--cxx=BIN] [--diff-base=REF] [--threads=N]
 ///       [--disable=rule,rule,...] [--exclude=prefix,prefix,...]
+///       [--stats] [--stats-out=FILE] [--lock-graph-dot=FILE]
 ///   alertsim-analyzer --self-test [--fixtures=DIR] [--parity=FILE]
 ///   alertsim-analyzer --write-baseline=FILE [--root=src]
+///   alertsim-analyzer --prune-baseline --baseline=FILE [--root=src]
 ///   alertsim-analyzer --list-rules
 ///
 /// Exit status: 0 clean, 1 findings (or stale/malformed baseline), 2 usage
@@ -100,6 +102,28 @@ std::map<std::string, std::size_t> parse_expects(const lint::FileData& f) {
     if (rest >> rule >> count) out[rule] = count;
   }
   return out;
+}
+
+/// --stats table: per-rule wall time and finding counts, plain text for
+/// the terminal or a Markdown table for the CI job summary.
+void write_stats(std::ostream& os,
+                 const std::vector<lint::RuleStat>& stats, bool markdown) {
+  if (markdown) {
+    os << "| rule | wall (ms) | findings |\n|---|---:|---:|\n";
+  } else {
+    os << "per-rule stats (wall time summed across phases):\n";
+  }
+  for (const lint::RuleStat& s : stats) {
+    char ms[32];
+    std::snprintf(ms, sizeof ms, "%.2f",
+                  static_cast<double>(s.wall_ns) / 1e6);
+    if (markdown) {
+      os << "| " << s.id << " | " << ms << " | " << s.findings << " |\n";
+    } else {
+      os << "  " << s.id << ": " << ms << " ms, " << s.findings
+         << " finding(s)\n";
+    }
+  }
 }
 
 std::string render_counts(const std::map<std::string, std::size_t>& m) {
@@ -309,6 +333,22 @@ int main(int argc, char** argv) {
 
   const std::string write_baseline =
       args->get("write-baseline", std::string());
+  const bool prune_baseline = args->get("prune-baseline", false);
+  const bool show_stats = args->get("stats", false);
+  const std::string stats_out = args->get("stats-out", std::string());
+  const std::string lock_graph_dot =
+      args->get("lock-graph-dot", std::string());
+  if (prune_baseline && baseline_path.empty()) {
+    std::cerr << "alertsim-analyzer: --prune-baseline needs --baseline\n";
+    return 2;
+  }
+  if (prune_baseline && !diff_base.empty()) {
+    // A diff-filtered scan leaves most entries legitimately idle; pruning
+    // from it would delete the whole baseline.
+    std::cerr << "alertsim-analyzer: --prune-baseline requires a full scan "
+                 "(drop --diff-base)\n";
+    return 2;
+  }
   const std::string format = args->get("format", std::string("text"));
   const std::string output = args->get("output", std::string());
   const std::string sarif_out = args->get("sarif-out", std::string());
@@ -329,6 +369,27 @@ int main(int argc, char** argv) {
   const lint::AnalyzeResult result = lint::analyze(options);
   for (const std::string& e : result.baseline_errors) {
     std::cerr << "alertsim-analyzer: baseline " << e << '\n';
+  }
+
+  if (!lock_graph_dot.empty()) {
+    std::ofstream dot(lock_graph_dot);
+    dot << result.lock_graph_dot;
+    std::cerr << "alertsim-analyzer: wrote lock-order graph to "
+              << lock_graph_dot << '\n';
+  }
+  if (show_stats) write_stats(std::cerr, result.rule_stats, false);
+  if (!stats_out.empty()) {
+    std::ofstream stats_file(stats_out);
+    write_stats(stats_file, result.rule_stats, true);
+  }
+
+  if (prune_baseline) {
+    const std::size_t dropped = result.report.stale_baseline.size();
+    std::ofstream pruned(baseline_path);
+    pruned << result.pruned_baseline_text;
+    std::cerr << "alertsim-analyzer: pruned " << dropped << " stale entr"
+              << (dropped == 1 ? "y" : "ies") << " from " << baseline_path
+              << '\n';
   }
 
   if (!write_baseline.empty()) {
@@ -372,7 +433,8 @@ int main(int argc, char** argv) {
   }
 
   const bool failed = result.report.error_count() > 0 ||
-                      !result.report.stale_baseline.empty() ||
+                      (!prune_baseline &&
+                       !result.report.stale_baseline.empty()) ||
                       !result.baseline_errors.empty();
   return failed ? 1 : 0;
 }

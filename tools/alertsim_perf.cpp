@@ -16,7 +16,7 @@
 //
 // Usage:
 //   alertsim-perf --list
-//   alertsim-perf --run [--suite core|campaign|scale|all] [--out-dir DIR]
+//   alertsim-perf --run [--suite core|campaign|scale|lint|all] [--out-dir DIR]
 //   alertsim-perf --check BENCH_core.json [--scale 2.0] [--current FILE]
 //   alertsim-perf --update-baseline [--suite all] [--out-dir .]
 //   alertsim-perf --self-check [--work-dir DIR]
@@ -45,7 +45,7 @@ int usage(const char* msg) {
       stderr,
       "usage: alertsim-perf (--list | --run | --check BASELINE |\n"
       "                      --update-baseline | --self-check)\n"
-      "       [--suite core|campaign|scale|all] [--out-dir DIR] [--current FILE]\n"
+      "       [--suite core|campaign|scale|lint|all] [--out-dir DIR] [--current FILE]\n"
       "       [--scale X] [--smoke] [--repeats N] [--work-dir DIR]\n"
       "       [--log-level L]\n");
   return 2;

@@ -1,0 +1,32 @@
+// Fixture: sim-state-confinement — a ThreadPool worker task reaching a
+// by-ref-captured Network and a member EventQueue (both flagged), while
+// the Simulator dispatch call, a by-value Network copy and a task-local
+// Network stay silent.
+// EXPECT: sim-state-confinement 2
+namespace alert::core {
+
+class CampaignRunner {
+ public:
+  void fan_out(ThreadPool& pool, Network& shared_net, Simulator& sim) {
+    pool.parallel_for(4, [&](int i) {
+      shared_net.mark_dirty(i);  // flagged: shared Network from a worker
+      queue_.bump(i);            // flagged: member queue from a worker
+      sim.schedule_in(i, i);     // fine: the dispatch context marshals it
+    });
+  }
+
+  void confined(ThreadPool& pool, Network& shared_net) {
+    pool.parallel_for(4, [shared_net](int i) mutable {
+      shared_net.mark_dirty(i);  // fine: operates on its own copy
+    });
+    pool.submit([]() {
+      Network scratch;
+      scratch.mark_dirty(0);  // fine: confined to the task
+    });
+  }
+
+ private:
+  EventQueue queue_;
+};
+
+}  // namespace alert::core

@@ -1,0 +1,45 @@
+// Fixture: use-after-move — a straight-line use after std::move and a
+// loop-carried double-move (the second iteration moves from an already
+// moved-from variable). The negatives pin the dataflow edges: reassignment
+// kills the fact, a moved-then-returned variable is dead on the other
+// branch, and a range-for loop variable rebinds every iteration.
+// EXPECT: use-after-move 2
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace alert::core {
+
+std::string consume(std::string label) {
+  std::string stored = std::move(label);
+  return stored + label;  // flagged: label is moved-from here
+}
+
+void drain(std::vector<std::string>& out, std::string seed) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::move(seed);  // flagged: moved again on iteration two
+  }
+}
+
+std::string reset_between(std::string a, std::string b) {
+  std::string keep = std::move(a);
+  a = std::move(b);  // reassignment: a is live again
+  keep += a;         // fine
+  return keep;
+}
+
+std::string branch_safe(bool flip, std::string s) {
+  if (flip) {
+    return std::move(s);  // this path leaves the function immediately
+  }
+  return s;  // fine: not moved on this path
+}
+
+void rebind(std::vector<std::string> items, std::vector<std::string>& sink) {
+  for (std::string& item : items) {
+    sink.push_back(std::move(item));  // fine: item rebinds each iteration
+  }
+}
+
+}  // namespace alert::core

@@ -1,0 +1,42 @@
+// Fixture: fp-accumulation-order — double reductions inside a range-for
+// and a while loop (iteration order is not an explicit index program, so
+// PDES reassociation would change the digest), next to the sanctioned
+// shapes: an index-ordered classic for and an integer accumulation.
+// EXPECT: fp-accumulation-order 2
+#include <cstddef>
+#include <vector>
+
+namespace alert::sim {
+
+double range_for_sum(const std::vector<double>& samples) {
+  double total = 0.0;
+  for (const double s : samples) {
+    total += s;  // flagged: range-for accumulation
+  }
+  return total;
+}
+
+double while_normalize(double angle) {
+  while (angle < 0.0) {
+    angle += 6.283185307179586;  // flagged: while-loop accumulation
+  }
+  return angle;
+}
+
+double indexed_sum(const std::vector<double>& samples) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    total += samples[i];  // fine: order pinned by the index program
+  }
+  return total;
+}
+
+long event_count(const std::vector<int>& hits) {
+  long count = 0;
+  for (const int h : hits) {
+    count += h;  // fine: integer addition is associative
+  }
+  return count;
+}
+
+}  // namespace alert::sim

@@ -1,0 +1,6 @@
+﻿#include "net/mac.hpp"
+// Fixture: UTF-8 BOM — the byte-order mark precedes the #include on line
+// 1. The lexer must skip it so the directive still lexes as a Preprocessor
+// token; the module-layering finding below only fires when it does (util
+// may not include net), which pins the regression.
+// EXPECT: module-layering 1

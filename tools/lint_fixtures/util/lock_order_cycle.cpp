@@ -1,0 +1,48 @@
+// Fixture: lock-order-cycle — two member mutexes acquired in opposite
+// orders by two methods of the same class (a classic AB/BA deadlock),
+// next to a twin class that takes its pair in one global order everywhere
+// and stays silent.
+// EXPECT: lock-order-cycle 1
+#include <mutex>
+
+namespace alert::util {
+
+class PairLedger {
+ public:
+  void credit() {
+    std::lock_guard<std::mutex> hold_a(accounts_);
+    std::lock_guard<std::mutex> hold_b(audit_);  // accounts_ -> audit_
+    ++balance_;
+  }
+  void reconcile() {
+    std::lock_guard<std::mutex> hold_b(audit_);
+    std::lock_guard<std::mutex> hold_a(accounts_);  // audit_ -> accounts_
+    ++balance_;
+  }
+
+ private:
+  std::mutex accounts_;
+  std::mutex audit_;
+  long balance_ = 0;
+};
+
+class OrderedLedger {
+ public:
+  void credit() {
+    std::lock_guard<std::mutex> hold_a(first_);
+    std::lock_guard<std::mutex> hold_b(second_);  // first_ -> second_
+    ++balance_;
+  }
+  void debit() {
+    std::lock_guard<std::mutex> hold_a(first_);
+    std::lock_guard<std::mutex> hold_b(second_);  // same order: fine
+    --balance_;
+  }
+
+ private:
+  std::mutex first_;
+  std::mutex second_;
+  long balance_ = 0;
+};
+
+}  // namespace alert::util

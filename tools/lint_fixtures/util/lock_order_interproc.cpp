@@ -1,0 +1,46 @@
+// Fixture: lock-order-cycle (interprocedural) — neither function nests two
+// guards, but each calls into the other class while holding its own mutex,
+// so the call graph closes an AB/BA cycle the intraprocedural view cannot
+// see. The witness chain in the finding names both call sites.
+// EXPECT: lock-order-cycle 1
+#include <mutex>
+
+namespace alert::util {
+
+class RouteTable;
+
+class StatsBoard {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> hold(board_mu_);
+    ++hits_;
+  }
+  void merge(RouteTable& table);
+
+ private:
+  std::mutex board_mu_;
+  long hits_ = 0;
+};
+
+class RouteTable {
+ public:
+  void lookup() {
+    std::lock_guard<std::mutex> hold(table_mu_);
+    ++queries_;
+  }
+  void refresh(StatsBoard& stats) {
+    std::lock_guard<std::mutex> hold(table_mu_);
+    stats.bump();  // table_mu_ held -> bump() acquires board_mu_
+  }
+
+ private:
+  std::mutex table_mu_;
+  long queries_ = 0;
+};
+
+void StatsBoard::merge(RouteTable& table) {
+  std::lock_guard<std::mutex> hold(board_mu_);
+  table.lookup();  // board_mu_ held -> lookup() acquires table_mu_: cycle
+}
+
+}  // namespace alert::util
